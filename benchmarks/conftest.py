@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_*`` file regenerates one paper table/figure at a reduced
+but structure-preserving scale (the full-scale runs are available via
+``micco <experiment> --full``).  Benchmarks also assert the paper's
+*shape* claims, so `pytest benchmarks/ --benchmark-only` doubles as a
+reproduction regression suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MiccoConfig
+from repro.experiments.common import get_default_predictor
+
+#: Reduced sweep scale shared by the figure benches.
+BENCH = dict(num_vectors=8, batch=16, seed=7)
+
+
+@pytest.fixture(scope="session")
+def predictor8():
+    """Quick-trained predictor for 8-device configs (disk-cached)."""
+    return get_default_predictor(MiccoConfig(num_devices=8), quick=True, seed=7)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,38 @@
+"""Bench: design-choice ablations (beyond the paper's tables).
+
+Asserts the mechanism attribution DESIGN.md claims: the local-reuse-
+pattern machinery is the dominant contributor to MICCO's speedup; LRU
+is the right victim policy; transfer/compute overlap lifts throughput
+without erasing the scheduler gap; and the multi-node extension
+amplifies MICCO's advantage as cross-node links slow down.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark):
+    results = run_once(benchmark, ablations.run, quick=True)
+    print()
+    for res in results:
+        print(res.table().to_text())
+        print()
+
+    policy, eviction, overlap, multinode = results
+
+    # Pattern awareness is the load-bearing mechanism.
+    assert policy.gflops("micco (full)") > 1.05 * policy.gflops("micco - patterns")
+    assert policy.gflops("micco (full)") > policy.gflops("random")
+
+    # LRU at least matches the alternative victim policies.
+    assert eviction.gflops("lru") >= 0.99 * eviction.gflops("fifo")
+    assert eviction.gflops("lru") >= 0.99 * eviction.gflops("largest")
+
+    # Overlap helps everyone; MICCO's edge survives a perfect pipeline.
+    assert overlap.gflops("micco overlap=1.0") > overlap.gflops("micco overlap=0.0")
+    assert overlap.gflops("micco overlap=1.0") > 1.1 * overlap.gflops("groute overlap=1.0")
+
+    # Cross-node links amplify the reuse advantage.
+    gap_1 = multinode.gflops("micco 1x8") / multinode.gflops("groute 1x8")
+    gap_4 = multinode.gflops("micco 4x2") / multinode.gflops("groute 4x2")
+    assert gap_4 > gap_1

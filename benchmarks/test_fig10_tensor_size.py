@@ -1,0 +1,27 @@
+"""Bench: Fig. 10 — tensor-size sweep 128→768.
+
+Asserts: GFLOPS strongly increases with tensor size (arithmetic
+intensity), and MICCO stays ahead of Groute at every size (paper:
+1.35–1.92×).
+"""
+
+from benchmarks.conftest import BENCH, run_once
+from repro.experiments import fig10_tensor_size
+
+
+def test_fig10_tensor_size(benchmark, predictor8):
+    res = run_once(
+        benchmark,
+        fig10_tensor_size.run,
+        tensor_sizes=(128, 256, 384, 768),
+        predictor=predictor8,
+        **BENCH,
+    )
+    print()
+    print(res.table().to_text())
+
+    for dist in ("uniform", "gaussian"):
+        gflops = res.series(dist, "micco-optimal")
+        assert gflops == sorted(gflops), "GFLOPS should rise with tensor size"
+        speedups = res.series(dist, "speedup")
+        assert min(speedups) > 1.0, "MICCO ahead at every size"

@@ -1,0 +1,31 @@
+"""Bench: Fig. 11 — memory oversubscription 125→200 %.
+
+Asserts the paper's shape: throughput decreases as oversubscription
+grows (evictions hurt), eviction counts rise with the rate, and MICCO
+retains a geomean advantage.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import BENCH, run_once
+from repro.experiments import fig11_oversubscription
+
+
+def test_fig11_oversubscription(benchmark, predictor8):
+    res = run_once(
+        benchmark,
+        fig11_oversubscription.run,
+        rates=(1.25, 1.5, 1.75, 2.0),
+        predictor=predictor8,
+        **BENCH,
+    )
+    print()
+    print(res.table().to_text())
+
+    for dist in ("uniform", "gaussian"):
+        gflops = res.series(dist, "micco-optimal")
+        evs = [r["evictions_micco"] for r in res.rows if r["distribution"] == dist]
+        # Deeper oversubscription -> no faster, more evictions.
+        assert gflops[-1] < gflops[0]
+        assert evs[-1] > evs[0]
+        assert res.geomean_speedup(dist) > 1.0

@@ -1,0 +1,26 @@
+"""Bench: Fig. 5 — Spearman correlation heatmap.
+
+Builds a tuning set and computes the full 8×8 correlation matrix among
+data characteristics, optimal reuse bounds, and GFLOPS.  Asserts the
+paper's key reading: the data characteristics correlate positively
+with achieved GFLOPS (tensor size most strongly — it drives arithmetic
+intensity).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_spearman
+
+
+def test_fig5_spearman(benchmark):
+    res = run_once(benchmark, fig5_spearman.run, n_samples=100, seed=3, quick=True)
+    print()
+    print(res.table().to_text())
+
+    assert res.matrix.shape == (8, 8)
+    np.testing.assert_allclose(np.diag(res.matrix), 1.0)
+    # Tensor size dominates GFLOPS (paper: positive, strongest block).
+    assert res.corr("tensor_size", "gflops") > 0.5
+    assert res.corr("vector_size", "gflops") > 0.0
+    assert res.corr("repeated_rate", "gflops") > 0.0

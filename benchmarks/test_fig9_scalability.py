@@ -1,0 +1,31 @@
+"""Bench: Fig. 9 — scalability 1→8 GPUs.
+
+Asserts the paper's shape: GFLOPS grows sub-linearly in device count
+while MICCO's advantage over Groute grows with it.
+"""
+
+from benchmarks.conftest import BENCH, run_once
+from repro.experiments import fig9_scalability
+
+
+def test_fig9_scalability(benchmark, predictor8):
+    res = run_once(
+        benchmark,
+        fig9_scalability.run,
+        device_counts=(1, 2, 4, 8),
+        predictor=predictor8,
+        **BENCH,
+    )
+    print()
+    print(res.table().to_text())
+
+    for dist in ("uniform", "gaussian"):
+        gflops = res.series(dist, "micco-optimal")
+        speedups = res.series(dist, "speedup")
+        # Throughput increases with devices...
+        assert gflops == sorted(gflops)
+        # ...but sub-linearly (8 GPUs deliver < 8x of 1 GPU).
+        assert gflops[-1] < 8 * gflops[0]
+        # Single-GPU speedup is trivially 1; multi-GPU speedup exceeds it.
+        assert abs(speedups[0] - 1.0) < 1e-9
+        assert max(speedups[1:]) > 1.05

@@ -1,0 +1,95 @@
+"""Micro-benchmarks: per-component hot-path latency.
+
+Not a paper artifact — these track the cost of the pieces the paper's
+Table V overhead claim depends on: one scheduler decision, one
+simulated engine event, one real contraction kernel, and one model
+inference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MiccoConfig
+from repro.gpusim.cluster import ClusterState
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import mi100_like
+from repro.gpusim.engine import ExecutionEngine
+from repro.gpusim.metrics import ExecutionMetrics
+from repro.ml.forest import RandomForestRegressor
+from repro.schedulers.bounds import ReuseBounds
+from repro.schedulers.micco import MiccoScheduler
+from repro.tensor.contraction import meson_contract
+from repro.workloads.synth import SyntheticWorkload, WorkloadParams
+
+
+def _cluster(n=8):
+    return ClusterState(mi100_like(n))
+
+
+def test_micco_decision_latency(benchmark):
+    """One Alg. 1 + Alg. 2 decision on a warm 8-device cluster."""
+    cluster = _cluster()
+    engine = ExecutionEngine(cluster, CostModel())
+    sched = MiccoScheduler(ReuseBounds(2, 2, 2))
+    vectors = SyntheticWorkload(WorkloadParams(vector_size=64, num_vectors=3, batch=2), seed=0).vectors()
+    m = ExecutionMetrics(num_devices=8)
+    cluster.begin_vector(64)
+    for v in vectors[:2]:
+        for p in v.pairs:
+            engine.execute_pair(p, sched.choose(p, cluster), m)
+    probe = vectors[2].pairs[0]
+
+    result = benchmark(sched.choose, probe, cluster)
+    assert 0 <= result < 8
+
+
+def test_engine_pair_event_latency(benchmark):
+    """One simulated contraction event (fetch + alloc + kernel accounting)."""
+    cluster = _cluster()
+    engine = ExecutionEngine(cluster, CostModel())
+    vec = SyntheticWorkload(WorkloadParams(vector_size=64, num_vectors=1, batch=2), seed=0).vectors()[0]
+    m = ExecutionMetrics(num_devices=8)
+    cluster.begin_vector(64)
+    pairs = iter(vec.pairs * 10_000)
+
+    def one_event():
+        engine.execute_pair(next(pairs), 0, m)
+
+    benchmark(one_event)
+
+
+def test_meson_kernel_numpy(benchmark):
+    """Real batched meson contraction at the paper's default size."""
+    rng = np.random.default_rng(0)
+    a = (rng.standard_normal((8, 384, 384)) + 1j * rng.standard_normal((8, 384, 384))).astype(np.complex64)
+    b = a.copy()
+    out = benchmark(meson_contract, a, b)
+    assert out.shape == (8, 384, 384)
+
+
+def test_forest_inference_latency(benchmark):
+    """One reuse-bound inference (the paper's 'negligible' online step)."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(0, 10, (200, 4))
+    Y = np.stack([X[:, 0] % 3, X[:, 1] % 2, np.zeros(200)], axis=1)
+    model = RandomForestRegressor(n_estimators=40, seed=0).fit(X, Y)
+    probe = X[:1]
+    benchmark(model.predict, probe)
+
+
+def test_full_vector_schedule_and_execute(benchmark):
+    """Throughput: schedule + simulate one 64-tensor vector end-to-end."""
+    from repro.core.session import run_stream
+
+    config = MiccoConfig(num_devices=8)
+    vectors = SyntheticWorkload(
+        WorkloadParams(vector_size=64, num_vectors=1, batch=2), seed=0
+    ).vectors()
+
+    def run():
+        cluster = _cluster()
+        engine = ExecutionEngine(cluster, config.cost_model)
+        return run_stream(vectors, MiccoScheduler(), cluster, engine)
+
+    result = benchmark(run)
+    assert result.metrics.pairs_executed == 32

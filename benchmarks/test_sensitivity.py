@@ -1,0 +1,19 @@
+"""Bench: cost-model sensitivity (reproduction-credibility check).
+
+Asserts that the MICCO-over-Groute ordering survives 2× perturbations
+(both directions) of every calibrated cost constant — the simulator-
+substitution argument of DESIGN.md §2, tested.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(benchmark):
+    res = run_once(benchmark, sensitivity.run, quick=True)
+    print()
+    print(res.table().to_text())
+
+    speedups = res.speedups()
+    assert min(speedups) > 1.0, "ordering must never flip under perturbation"
+    assert max(speedups) / min(speedups) < 1.5, "speedup should be stable, not knife-edge"

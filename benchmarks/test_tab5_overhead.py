@@ -1,0 +1,27 @@
+"""Bench: Table V — scheduling overhead.
+
+Measures real wall-clock of MICCO's decisions (Alg. 1 + Alg. 2 and
+regression inference) against simulated execution time on the paper's
+setup, asserting the overhead is a small fraction (paper ≤ 5.4 %,
+headline "extremely low scheduling overhead").
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import tab5_overhead
+
+
+def test_tab5_overhead(benchmark, predictor8):
+    res = run_once(
+        benchmark,
+        tab5_overhead.run,
+        vector_size=64,
+        num_vectors=10,
+        seed=7,
+        predictor=predictor8,
+    )
+    print()
+    print(res.table().to_text())
+
+    for row in res.rows:
+        assert row["schedule_ms"] > 0
+        assert row["overhead_fraction"] < 0.1, "scheduler must be a minor cost"

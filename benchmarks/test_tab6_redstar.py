@@ -1,0 +1,32 @@
+"""Bench: Table VI — real correlation functions.
+
+Runs the three Redstar-analog correlators end-to-end (Wick diagrams →
+graph contraction → stage partitioning → scheduling) on eight 32 GB
+devices and asserts: footprints match the published memory costs,
+diagram counts land in the thousands, and MICCO-optimal achieves a
+Table VI-class speedup over Groute on every function.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import tab6_redstar
+from repro.redstar.datasets import GIB, REAL_WORLD_SPECS
+
+
+def test_tab6_redstar(benchmark, predictor8):
+    res = run_once(benchmark, tab6_redstar.run, seed=0, predictor=predictor8)
+    print()
+    print(res.table().to_text())
+
+    assert [r["name"] for r in res.rows] == ["a1_rhopi", "f0d2", "f0d4"]
+    for row in res.rows:
+        _, paper_n, paper_mem, paper_speedup = REAL_WORLD_SPECS[row["name"]]
+        assert row["tensor_size"] == paper_n
+        assert row["memory_gib"] == pytest.approx(paper_mem / GIB, rel=0.05)
+        assert row["num_graphs"] > 1000
+        # Speedup in the published neighbourhood (shape, not exact).
+        assert 1.1 < row["speedup"] < 2.3
+    # Paper ordering: a1_rhopi > f0d2 > f0d4.
+    sp = [r["speedup"] for r in res.rows]
+    assert sp[0] > sp[2]

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Meson spectroscopy: a correlation function end-to-end, with real math.
+
+Walks the full Redstar-analog pipeline for a small a1 ↔ ρπ correlator:
+Wick-diagram enumeration, graph contraction with interned
+intermediates, dependency-stage partitioning, MICCO scheduling on a
+simulated 4-GPU node — and *numerically executes* every contraction
+with NumPy, finishing with the correlator values per time slice.
+
+Run:  python examples/meson_spectroscopy.py
+"""
+
+import numpy as np
+
+from repro import MiccoConfig
+from repro.core.framework import Micco
+from repro.core.session import run_stream
+from repro.gpusim.engine import ExecutionEngine
+from repro.redstar.correlator import CorrelatorSpec, Operator
+from repro.redstar.pipeline import RedstarPipeline
+from repro.schedulers.bounds import ReuseBounds
+from repro.schedulers.groute import GrouteScheduler
+from repro.schedulers.micco import MiccoScheduler
+from repro.tensor.storage import TensorStore
+
+
+def build_spec() -> CorrelatorSpec:
+    """A small a1 system: single-particle a1 mixing with two-particle ρπ."""
+    return CorrelatorSpec(
+        name="a1_rhopi_demo",
+        operators=(
+            Operator(name="a1", hadrons=(("u", "dbar"),)),
+            Operator(name="rho_pi", hadrons=(("u", "ubar"), ("u", "dbar")), momenta=3),
+        ),
+        tensor_size=32,   # small so the NumPy execution is instant
+        batch=4,
+        time_slices=6,
+        max_vector_size=16,
+    )
+
+
+def main() -> None:
+    spec = build_spec()
+    pipe = RedstarPipeline(spec, seed=0)
+    vectors = pipe.vectors()
+    stats = pipe.stats
+
+    print(f"correlator {spec.name!r}:")
+    print(f"  {stats.num_graphs} contraction graphs over {spec.time_slices} time slices")
+    print(f"  {stats.num_hadron_tensors} hadron tensors, "
+          f"{stats.num_intermediate_tensors} interned intermediates")
+    print(f"  {stats.num_steps} hadron contractions in {len(vectors)} vectors")
+    print(f"  device footprint {stats.total_bytes / 2**20:.1f} MiB\n")
+
+    # Schedule with MICCO and execute the real contraction kernels.
+    store = TensorStore(seed=42)
+    micco = Micco.with_bounds(ReuseBounds(0, 4, 0), MiccoConfig(num_devices=4, keep_outputs=True))
+    micco.engine.store = store
+    result = micco.run(vectors)
+
+    print(f"MICCO:  {result.gflops:8.0f} GFLOPS simulated, "
+          f"{result.metrics.counts.reuse_hits} reuse hits, "
+          f"{result.metrics.counts.input_fetches} transfers")
+
+    groute = Micco.baseline(GrouteScheduler(), MiccoConfig(num_devices=4, keep_outputs=True))
+    g = groute.run(vectors)
+    print(f"Groute: {g.gflops:8.0f} GFLOPS simulated, "
+          f"{g.metrics.counts.reuse_hits} reuse hits, "
+          f"{g.metrics.counts.input_fetches} transfers")
+    print(f"speedup: {result.gflops / g.gflops:.2f}x\n")
+
+    # Correlator value per time slice: trace of the last intermediate of
+    # each slice's final stage (the host-side finishing step).
+    print("correlator trace per sink time slice (real NumPy contractions):")
+    by_slice: dict[int, list] = {}
+    for v in vectors:
+        by_slice.setdefault(v.vector_id // 10_000, []).extend(v.pairs)
+    for t in sorted(by_slice):
+        final = by_slice[t][-1]
+        out = store.get(final.out.uid)
+        corr = complex(np.trace(out.mean(axis=0)))
+        print(f"  t={t}: C(t) = {corr.real:+.4e} {corr.imag:+.4e}i")
+
+
+if __name__ == "__main__":
+    main()

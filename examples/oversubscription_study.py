@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Oversubscription study: how memory pressure reshapes scheduling.
+
+Sweeps device memory from comfortable (50 % subscribed) to heavily
+oversubscribed (200 %) on a fixed workload and shows how eviction
+counts explode, throughput falls, and MICCO's memory-eviction-sensitive
+policy keeps it ahead of the reuse-blind baseline (paper Fig. 11).
+
+Run:  python examples/oversubscription_study.py
+"""
+
+from repro import GrouteScheduler, Micco, MiccoConfig, ReuseBounds, SyntheticWorkload, WorkloadParams
+from repro.workloads import capacity_for_oversubscription
+
+
+def main() -> None:
+    params = WorkloadParams(
+        vector_size=64, tensor_size=384, repeated_rate=0.5,
+        distribution="gaussian", num_vectors=10, batch=32,
+    )
+    vectors = SyntheticWorkload(params, seed=5).vectors()
+    num_devices = 8
+
+    print(f"{'demand/capacity':>16s} {'groute':>10s} {'micco':>10s} "
+          f"{'speedup':>8s} {'evictions (g / m)':>20s}")
+    for rate in (0.5, 1.0, 1.25, 1.5, 1.75, 2.0):
+        cap = capacity_for_oversubscription(vectors, num_devices, rate)
+        config = MiccoConfig(num_devices=num_devices, memory_bytes=cap)
+        groute = Micco.baseline(GrouteScheduler(), config).run(vectors)
+        micco = Micco.with_bounds(ReuseBounds(0, 4, 0), config).run(vectors)
+        print(
+            f"{rate:15.0%} "
+            f"{groute.gflops:10.0f} {micco.gflops:10.0f} "
+            f"{micco.gflops / groute.gflops:7.2f}x "
+            f"{groute.metrics.counts.evictions:9d} / {micco.metrics.counts.evictions:d}"
+        )
+
+    print(
+        "\nPast 100% subscription the LRU pools start evicting; every"
+        "\nevicted tensor must be re-fetched over PCIe on next use, so"
+        "\nthroughput falls — and placement quality (MICCO) matters more."
+    )
+
+
+if __name__ == "__main__":
+    main()

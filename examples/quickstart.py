@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: schedule a synthetic correlation-function workload.
+
+Builds a synthetic vector stream (the paper's evaluation workload),
+runs it under the Groute baseline and two MICCO configurations on a
+simulated eight-GPU node, and prints the throughput comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    GrouteScheduler,
+    Micco,
+    MiccoConfig,
+    ReuseBounds,
+    SyntheticWorkload,
+    WorkloadParams,
+)
+
+
+def main() -> None:
+    # A stream of 10 vectors: 64 tensors each (32 contractions), tensor
+    # size 384, half the tensors repeat earlier ones (uniformly picked).
+    params = WorkloadParams(
+        vector_size=64,
+        tensor_size=384,
+        repeated_rate=0.5,
+        distribution="uniform",
+        num_vectors=10,
+        batch=32,
+    )
+    vectors = SyntheticWorkload(params, seed=0).vectors()
+
+    # Eight MI100-class simulated GPUs.
+    config = MiccoConfig(num_devices=8)
+
+    systems = {
+        "groute (earliest-available)": Micco.baseline(GrouteScheduler(), config),
+        "micco-naive (bounds = 0)": Micco.naive(config),
+        "micco (bounds = (0,4,0))": Micco.with_bounds(ReuseBounds(0, 4, 0), config),
+    }
+
+    print(f"workload: {len(vectors)} vectors x {len(vectors[0].pairs)} contractions, "
+          f"tensor size {params.tensor_size}\n")
+    baseline_gflops = None
+    for name, system in systems.items():
+        result = system.run(vectors)
+        m = result.metrics
+        if baseline_gflops is None:
+            baseline_gflops = result.gflops
+        print(
+            f"{name:30s} {result.gflops:9.0f} GFLOPS  "
+            f"(speedup {result.gflops / baseline_gflops:4.2f}x, "
+            f"reuse hits {m.counts.reuse_hits}, "
+            f"transfers {m.counts.input_fetches}, "
+            f"imbalance {m.load_imbalance:.3f})"
+        )
+
+    print(
+        "\nMICCO converts cross-vector tensor reuse into fewer transfers;"
+        "\nthe reuse bound trades a little imbalance for more of it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py kept for offline legacy editable installs.
+
+The environment has no ``wheel`` package, so PEP 660 editable builds
+(``pip install -e .``) fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` takes the legacy path through this file.  All
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

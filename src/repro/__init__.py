@@ -1,0 +1,49 @@
+"""MICCO reproduction: data-reuse-aware multi-GPU scheduling for
+many-body correlation functions (Wang et al., IPDPS 2022).
+
+Public API highlights
+---------------------
+* :class:`repro.Micco` — the framework facade (naive / optimal / baselines).
+* :class:`repro.MiccoConfig` — cluster + cost-model configuration.
+* :class:`repro.WorkloadParams` / :class:`repro.SyntheticWorkload` —
+  synthetic vector streams with the paper's data characteristics.
+* :mod:`repro.schedulers` — MICCO heuristic and baseline schedulers.
+* :mod:`repro.ml` — from-scratch regression models + reuse-bound tuner.
+* :mod:`repro.redstar` — Redstar-analog contraction-graph pipeline.
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+from repro.core import Micco, MiccoConfig, RunResult, compare, run_stream
+from repro.gpusim import ClusterState, CostModel, ExecutionEngine, ExecutionMetrics
+from repro.schedulers import (
+    GrouteScheduler,
+    MiccoScheduler,
+    ReuseBounds,
+    RoundRobinScheduler,
+)
+from repro.tensor import TensorPair, TensorSpec, VectorSpec
+from repro.workloads import SyntheticWorkload, WorkloadParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Micco",
+    "MiccoConfig",
+    "RunResult",
+    "compare",
+    "run_stream",
+    "ClusterState",
+    "CostModel",
+    "ExecutionEngine",
+    "ExecutionMetrics",
+    "GrouteScheduler",
+    "MiccoScheduler",
+    "ReuseBounds",
+    "RoundRobinScheduler",
+    "TensorPair",
+    "TensorSpec",
+    "VectorSpec",
+    "SyntheticWorkload",
+    "WorkloadParams",
+    "__version__",
+]

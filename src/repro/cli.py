@@ -1,0 +1,73 @@
+"""Command-line entry point: run any paper experiment.
+
+Examples
+--------
+::
+
+    micco list                 # show available experiments
+    micco fig7                 # quick Fig. 7 sweep
+    micco tab4 --full          # full-scale Table IV (300 samples)
+    python -m repro tab6       # same, via the module
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="micco",
+        description="MICCO reproduction: run a paper table/figure experiment.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=(
+            "experiment id (fig5, fig7, fig8, fig9, fig10, fig11, tab4, tab5, "
+            "tab6, ablations), 'all', or 'list'"
+        ),
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at full paper scale (slower; default is a quick configuration)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="with 'all': also write machine-readable results to PATH",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro.experiments import EXPERIMENTS
+
+    if args.experiment == "list":
+        for name, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:9s} {doc}")
+        return 0
+    if args.experiment == "all":
+        from repro.experiments.runner import run_all, save_results
+
+        results = run_all(quick=not args.full)
+        for name, entry in results.items():
+            print(f"\n===== {name} =====")
+            print(entry["text"])
+        if args.json:
+            save_results(results, args.json)
+            print(f"\nmachine-readable results written to {args.json}")
+        return 0
+    module = EXPERIMENTS.get(args.experiment)
+    if module is None:
+        print(f"unknown experiment {args.experiment!r}; try 'micco list'", file=sys.stderr)
+        return 2
+    print(module.main(quick=not args.full))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

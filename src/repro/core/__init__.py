@@ -1,0 +1,12 @@
+"""Core framework: the MICCO system of Fig. 6.
+
+Ties together the regression model (reuse-bound prediction), the
+heuristic scheduler, and the simulated multi-GPU execution engine, and
+provides the run-session driver every experiment uses.
+"""
+
+from repro.core.config import MiccoConfig
+from repro.core.session import RunResult, run_stream
+from repro.core.framework import Micco, compare
+
+__all__ = ["MiccoConfig", "RunResult", "run_stream", "Micco", "compare"]

@@ -1,0 +1,140 @@
+"""The MICCO facade — public entry point of the library.
+
+``Micco`` wires a simulated cluster, the heuristic scheduler, and
+(optionally) a trained reuse-bound predictor into one object that runs
+vector streams, in the three configurations the paper evaluates:
+
+* ``Micco.naive(config)``   — reuse bounds pinned to zero,
+* ``Micco.optimal(config, predictor)`` — per-vector predicted bounds,
+* ``Micco.with_bounds(config, bounds)`` — a fixed bound triple
+  (used by the Fig. 8 sweep and the offline tuner).
+
+Baselines run through the same machinery via ``Micco.baseline``.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MiccoConfig
+from repro.core.session import RunResult, run_stream
+from repro.gpusim.cluster import ClusterState
+from repro.gpusim.device import mi100_like
+from repro.gpusim.engine import ExecutionEngine
+from repro.schedulers.base import Scheduler
+from repro.schedulers.bounds import ReuseBounds
+from repro.schedulers.groute import GrouteScheduler
+from repro.schedulers.micco import MiccoScheduler
+from repro.tensor.spec import VectorSpec
+from repro.tensor.storage import TensorStore
+
+
+class Micco:
+    """A configured scheduling system, ready to run vector streams.
+
+    Most users want one of the class-method constructors; the raw
+    constructor accepts any :class:`Scheduler` for apples-to-apples
+    baseline comparisons on identical simulated hardware.
+    """
+
+    def __init__(
+        self,
+        config: MiccoConfig | None = None,
+        scheduler: Scheduler | None = None,
+        predictor=None,
+        store: TensorStore | None = None,
+    ):
+        self.config = config or MiccoConfig()
+        self.scheduler = scheduler if scheduler is not None else MiccoScheduler()
+        self.predictor = predictor
+        self.cluster = ClusterState(
+            mi100_like(
+                self.config.num_devices,
+                memory_bytes=self.config.memory_bytes,
+                peak_gflops=self.config.peak_gflops,
+            ),
+            eviction_policy=self.config.eviction_policy,
+        )
+        self.engine = ExecutionEngine(self.cluster, self.config.cost_model, store=store)
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def naive(cls, config: MiccoConfig | None = None, **kwargs) -> "Micco":
+        """MICCO-naive: heuristic with all reuse bounds at zero."""
+        return cls(config, scheduler=MiccoScheduler(ReuseBounds.zeros()), **kwargs)
+
+    @classmethod
+    def optimal(cls, predictor, config: MiccoConfig | None = None, **kwargs) -> "Micco":
+        """MICCO-optimal: per-vector bounds from a trained predictor."""
+        return cls(config, scheduler=MiccoScheduler(), predictor=predictor, **kwargs)
+
+    @classmethod
+    def with_bounds(cls, bounds: ReuseBounds, config: MiccoConfig | None = None, **kwargs) -> "Micco":
+        """MICCO with a fixed reuse-bound triple (no predictor)."""
+        return cls(config, scheduler=MiccoScheduler(bounds), **kwargs)
+
+    @classmethod
+    def baseline(cls, scheduler: Scheduler | None = None, config: MiccoConfig | None = None, **kwargs) -> "Micco":
+        """Any baseline scheduler on the same simulated hardware."""
+        return cls(config, scheduler=scheduler or GrouteScheduler(), **kwargs)
+
+    # ------------------------------------------------------------------- runs
+    def run(self, vectors: list[VectorSpec], *, reset: bool = True) -> RunResult:
+        """Schedule and execute a stream; returns metrics + overheads."""
+        return run_stream(
+            vectors,
+            self.scheduler,
+            self.cluster,
+            self.engine,
+            predictor=self.predictor,
+            keep_outputs=self.config.keep_outputs,
+            reset_cluster=reset,
+        )
+
+    def reset(self) -> None:
+        """Clear device residency and accumulated load."""
+        self.cluster.reset()
+
+
+def compare(
+    vectors: list[VectorSpec],
+    systems: dict[str, "Micco"],
+    *,
+    baseline: str | None = None,
+) -> "Table":
+    """Run several systems on one stream; return a comparison table.
+
+    ``baseline`` names the row the speedup column is relative to
+    (default: the first system).  Convenience wrapper over
+    :meth:`Micco.run` for quick interactive comparisons:
+
+    >>> from repro import Micco, MiccoConfig, GrouteScheduler
+    >>> from repro.core.framework import compare  # doctest: +SKIP
+    >>> print(compare(vectors, {
+    ...     "groute": Micco.baseline(GrouteScheduler(), cfg),
+    ...     "micco": Micco.naive(cfg),
+    ... }))  # doctest: +SKIP
+    """
+    from repro.experiments.report import Table
+
+    if not systems:
+        raise ValueError("compare() needs at least one system")
+    baseline = baseline if baseline is not None else next(iter(systems))
+    if baseline not in systems:
+        raise ValueError(f"baseline {baseline!r} is not among the systems {list(systems)}")
+    results = {name: system.run(vectors) for name, system in systems.items()}
+    base_gflops = results[baseline].gflops
+    table = Table(
+        "Scheduler comparison",
+        ["system", "gflops", "speedup", "reuse hits", "transfers", "evictions", "imbalance"],
+    )
+    for name, r in results.items():
+        c = r.metrics.counts
+        table.add_row(
+            name,
+            r.gflops,
+            r.gflops / base_gflops if base_gflops > 0 else float("nan"),
+            c.reuse_hits,
+            c.input_fetches,
+            c.evictions,
+            r.metrics.load_imbalance,
+        )
+    return table

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the MICCO reproduction.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so downstream users can catch one type.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced (or was handed) an inconsistent assignment."""
+
+
+class CapacityError(ReproError):
+    """A tensor cannot fit on a device even after evicting everything else."""
+
+
+class ModelError(ReproError):
+    """An ML model was used before fitting or with malformed inputs."""
+
+
+class GraphError(ReproError):
+    """A contraction graph is malformed or cannot be contracted."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with impossible parameters."""

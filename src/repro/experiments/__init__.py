@@ -1,0 +1,50 @@
+"""Experiment runners — one module per paper table/figure.
+
+Every runner returns a structured result object with a ``table()``
+method rendering the same rows/series the paper reports.  The
+``benchmarks/`` tree wraps each runner in a pytest-benchmark target;
+``python -m repro <experiment>`` runs them from the command line.
+
+| Module                   | Paper artifact                         |
+|--------------------------|----------------------------------------|
+| ``fig5_spearman``        | Fig. 5 Spearman-correlation heatmap    |
+| ``fig7_overall``         | Fig. 7 overall performance (a–h)       |
+| ``fig8_bounds``          | Fig. 8 impact of reuse bounds          |
+| ``fig9_scalability``     | Fig. 9 scalability 1→8 GPUs            |
+| ``fig10_tensor_size``    | Fig. 10 tensor-size sweep              |
+| ``fig11_oversubscription``| Fig. 11 memory oversubscription       |
+| ``tab4_regression``      | Table IV regression-model R²           |
+| ``tab5_overhead``        | Table V scheduling overhead            |
+| ``tab6_redstar``         | Table VI real-world correlators        |
+"""
+
+from repro.experiments.report import Table
+from repro.experiments import (
+    ablations,
+    sensitivity,
+    fig5_spearman,
+    fig7_overall,
+    fig8_bounds,
+    fig9_scalability,
+    fig10_tensor_size,
+    fig11_oversubscription,
+    tab4_regression,
+    tab5_overhead,
+    tab6_redstar,
+)
+
+EXPERIMENTS = {
+    "fig5": fig5_spearman,
+    "fig7": fig7_overall,
+    "fig8": fig8_bounds,
+    "fig9": fig9_scalability,
+    "fig10": fig10_tensor_size,
+    "fig11": fig11_oversubscription,
+    "tab4": tab4_regression,
+    "tab5": tab5_overhead,
+    "tab6": tab6_redstar,
+    "ablations": ablations,
+    "sensitivity": sensitivity,
+}
+
+__all__ = ["Table", "EXPERIMENTS"]

@@ -1,0 +1,95 @@
+"""Fig. 8 — impact of reuse bounds.
+
+Thirteen bound triples measured on three cases:
+Case 1: vector 64, rate 50 %; Case 2: vector 16, rate 25 %;
+Case 3: vector 32, rate 75 %.  Tensor size 384.
+
+The paper's triples use values 0–2; availability here counts tensor
+*slots* (two per pair), so each paper value v maps to 2·v slots —
+triple ``(0,2,0)`` in the paper is ``(0,4,0)`` here.  The headline
+finding reproduces either way: the best triple shifts with the data
+characteristics, so no single fixed setting wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MiccoConfig
+from repro.core.framework import Micco
+from repro.experiments.common import pressured_config
+from repro.experiments.report import Table
+from repro.schedulers.bounds import ReuseBounds, THIRTEEN_SETTINGS
+from repro.workloads.synth import SyntheticWorkload, WorkloadParams
+
+#: The paper's Fig. 8 cases: (vector size, repeated rate, distribution).
+CASES = (
+    (64, 0.50, "uniform"),
+    (16, 0.25, "uniform"),
+    (32, 0.75, "gaussian"),
+)
+
+
+def slot_scaled(bounds: ReuseBounds) -> ReuseBounds:
+    """Paper triple (values 0–2) → slot units (values doubled)."""
+    return ReuseBounds.from_sequence([2 * v for v in bounds.as_tuple()])
+
+
+@dataclass
+class Fig8Result:
+    #: per case: {paper-triple string: gflops}
+    cases: list[dict] = field(default_factory=list)
+
+    def best_setting(self, case_idx: int) -> tuple[str, float]:
+        sweep = self.cases[case_idx]["sweep"]
+        k = max(sweep, key=sweep.get)
+        return k, sweep[k]
+
+    def table(self) -> Table:
+        t = Table(
+            "Fig. 8 — GFLOPS per reuse-bound triple (paper units; slots = 2x)",
+            ["bounds"] + [f"case{i+1} v{c[0]} r{int(c[1]*100)}% {c[2][:4]}" for i, c in enumerate(CASES)],
+        )
+        for b in THIRTEEN_SETTINGS:
+            t.add_row(str(b), *[case["sweep"][str(b)] for case in self.cases])
+        return t
+
+
+def run(
+    *,
+    tensor_size: int = 384,
+    num_devices: int = 8,
+    num_vectors: int = 10,
+    batch: int = 32,
+    subscription: float | None = 0.9,
+    seed: int = 7,
+) -> Fig8Result:
+    """Sweep the thirteen bound settings over the three paper cases."""
+    base = MiccoConfig(num_devices=num_devices)
+    result = Fig8Result()
+    for vs, rate, dist in CASES:
+        params = WorkloadParams(
+            vector_size=vs,
+            tensor_size=tensor_size,
+            repeated_rate=rate,
+            distribution=dist,
+            num_vectors=num_vectors,
+            batch=batch,
+        )
+        vectors = SyntheticWorkload(params, seed=seed).vectors()
+        config = pressured_config(vectors, base, subscription)
+        sweep = {}
+        for b in THIRTEEN_SETTINGS:
+            sweep[str(b)] = Micco.with_bounds(slot_scaled(b), config).run(vectors).gflops
+        result.cases.append({"vector_size": vs, "repeated_rate": rate, "distribution": dist, "sweep": sweep})
+    return result
+
+
+def main(quick: bool = True) -> str:
+    res = run()
+    lines = [res.table().to_text(), ""]
+    for i in range(len(CASES)):
+        k, g = res.best_setting(i)
+        lines.append(f"case {i+1} best: {k} at {g:.0f} GFLOPS")
+    lines.append("paper: best triples differ per case — (0,2,0) for case 1, (0,2,2) for case 3")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Run-everything driver with machine-readable export.
+
+``run_all`` executes every registered experiment and returns the
+rendered reports; ``results_to_json`` turns the heterogeneous result
+objects into one JSON document (rows where the experiment has rows,
+matrices/scores where it doesn't) for CI dashboards or notebooks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def _jsonable(value):
+    """Best-effort conversion of experiment payloads to JSON types."""
+    import numpy as np
+
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, complex):
+        return {"real": value.real, "imag": value.imag}
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    # Dataclass-ish / result objects: take their public scalar fields.
+    return str(value)
+
+
+def result_to_dict(result) -> dict:
+    """Serialize one experiment result object.
+
+    Recognizes the conventions used across ``repro.experiments``:
+    ``rows`` (most figures/tables), ``cases`` (Fig. 8), ``scores``
+    (Table IV), ``names``/``matrix`` (Fig. 5), or a list of sub-results
+    (ablations).
+    """
+    if isinstance(result, list):  # ablations return a list of results
+        return {"ablations": [result_to_dict(r) for r in result]}
+    out: dict = {"type": type(result).__name__}
+    for attr in ("rows", "cases", "scores", "names"):
+        if hasattr(result, attr):
+            out[attr] = _jsonable(getattr(result, attr))
+    if hasattr(result, "matrix"):
+        out["matrix"] = _jsonable(result.matrix)
+    if hasattr(result, "title"):
+        out["title"] = result.title
+    return out
+
+
+def run_all(*, quick: bool = True, include=None, progress=print) -> dict[str, dict]:
+    """Run every (or the selected) experiments.
+
+    Returns ``{experiment id: {"text": rendered report, "data": dict}}``.
+    """
+    from repro.experiments import EXPERIMENTS
+
+    names = list(EXPERIMENTS) if include is None else list(include)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+    results: dict[str, dict] = {}
+    for name in names:
+        module = EXPERIMENTS[name]
+        if progress:
+            progress(f"[{name}] running...")
+        result = module.run(quick=quick)
+        if isinstance(result, list):
+            text = "\n\n".join(r.table().to_text() for r in result)
+        elif hasattr(result, "table"):
+            text = result.table().to_text()
+        else:  # pragma: no cover - no such experiment today
+            text = str(result)
+        results[name] = {"text": text, "data": result_to_dict(result)}
+    return results
+
+
+def save_results(results: dict[str, dict], path: str | Path) -> None:
+    """Write the machine-readable half of ``run_all`` output to JSON."""
+    payload = {name: entry["data"] for name, entry in results.items()}
+    Path(path).write_text(json.dumps(payload, indent=1))

@@ -1,0 +1,45 @@
+"""Multi-GPU simulator substrate.
+
+The paper evaluates on eight AMD MI100 GPUs.  This package replaces the
+hardware with a deterministic simulator that models exactly the
+quantities MICCO's scheduling decisions control:
+
+* per-device memory pools with LRU eviction under oversubscription
+  (:mod:`repro.gpusim.memory`),
+* host↔device and device↔device transfer costs
+  (:mod:`repro.gpusim.interconnect`),
+* kernel compute time as a function of tensor size
+  (:mod:`repro.gpusim.costmodel`),
+* the shared cluster state the schedulers read — the paper's
+  ``mapGPUTensor`` / ``mapGPUCom`` / ``mapGPUMem``
+  (:mod:`repro.gpusim.cluster`),
+* an execution engine that replays a pair→GPU assignment and produces
+  counters + simulated timing (:mod:`repro.gpusim.engine`).
+"""
+
+from repro.gpusim.device import DeviceSpec, mi100_like
+from repro.gpusim.memory import MemoryPool, Residency, EVICTION_POLICIES
+from repro.gpusim.interconnect import Interconnect
+from repro.gpusim.topology import Topology
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.cluster import ClusterState
+from repro.gpusim.metrics import ExecutionMetrics, MemoryOpCounts
+from repro.gpusim.engine import ExecutionEngine
+from repro.gpusim.trace import TraceRecorder, TraceEvent
+
+__all__ = [
+    "DeviceSpec",
+    "mi100_like",
+    "MemoryPool",
+    "Residency",
+    "EVICTION_POLICIES",
+    "Interconnect",
+    "Topology",
+    "CostModel",
+    "ClusterState",
+    "ExecutionMetrics",
+    "MemoryOpCounts",
+    "ExecutionEngine",
+    "TraceRecorder",
+    "TraceEvent",
+]

@@ -1,0 +1,166 @@
+"""Shared multi-GPU cluster state read by schedulers, written by the engine.
+
+This is the concrete realisation of the paper's three scheduler maps
+(Table III):
+
+* ``mapGPUTensor`` — which tensors are resident on which GPU
+  (here: each device's :class:`~repro.gpusim.memory.MemoryPool`),
+* ``mapGPUCom``   — accumulated computation cost per GPU,
+* ``mapGPUMem``   — memory bytes used per GPU,
+
+plus the per-vector tensor-slot counters the availability test
+``assigned[g] < reuseBd[k] + balanceNum`` is evaluated against
+(reuse bounds cap a GPU's *share of the current vector*, see
+DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.gpusim.device import DeviceSpec, mi100_like
+from repro.gpusim.memory import MemoryPool
+from repro.tensor.spec import TensorSpec
+
+
+class ClusterState:
+    """Mutable state of a simulated multi-GPU node.
+
+    Parameters
+    ----------
+    devices:
+        Device specs; one :class:`MemoryPool` is created per device.
+    """
+
+    def __init__(self, devices: list[DeviceSpec], eviction_policy: str = "lru"):
+        if not devices:
+            raise SchedulingError("cluster needs at least one device")
+        ids = [d.device_id for d in devices]
+        if ids != list(range(len(devices))):
+            raise SchedulingError(f"device ids must be 0..n-1 in order, got {ids}")
+        self.devices = list(devices)
+        self.eviction_policy = eviction_policy
+        self.pools = [MemoryPool(d.memory_bytes, policy=eviction_policy) for d in devices]
+        # mapGPUCom: accumulated simulated compute seconds per device.
+        self.compute_s = np.zeros(len(devices))
+        # Accumulated memory-operation seconds per device (for
+        # earliest-available-device baselines that watch busy time).
+        self.memop_s = np.zeros(len(devices))
+        # uid -> set of device ids currently holding a copy.
+        self._holders: dict[int, set[int]] = {}
+        # Per-vector load counters (the paper's availability test).
+        self.assigned_slots = np.zeros(len(devices), dtype=np.int64)
+        self.balance_num: float = 0.0
+
+    # ------------------------------------------------------------------ reads
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def devices_holding(self, uid: int) -> frozenset[int]:
+        """``mapGPUTensor.find(tensor)``: devices with a resident copy."""
+        return frozenset(self._holders.get(uid, ()))
+
+    def is_resident(self, uid: int, device_id: int) -> bool:
+        return device_id in self._holders.get(uid, ())
+
+    def resident_count(self, device_id: int) -> int:
+        """Number of tensors resident on a device."""
+        return len(self.pools[device_id])
+
+    def used_bytes(self, device_id: int) -> int:
+        """``mapGPUMem``: bytes used on a device."""
+        return self.pools[device_id].used_bytes
+
+    def free_bytes(self, device_id: int) -> int:
+        return self.pools[device_id].free_bytes
+
+    def total_resident_tensors(self) -> int:
+        return sum(len(p) for p in self.pools)
+
+    # ------------------------------------------------------- vector lifecycle
+    def begin_vector(self, num_tensors: int) -> None:
+        """Reset per-vector balance counters for a vector of ``num_tensors`` slots."""
+        if num_tensors <= 0:
+            raise SchedulingError(f"vector must have positive tensor slots, got {num_tensors}")
+        self.assigned_slots[:] = 0
+        self.balance_num = num_tensors / self.num_devices
+
+    def record_assignment(self, device_id: int, slots: int = 2) -> None:
+        """Charge ``slots`` tensor slots of the current vector to a device."""
+        self.assigned_slots[device_id] += slots
+
+    # ------------------------------------------------------ residency updates
+    def register(self, spec: TensorSpec, device_id: int, protect: set[int] | frozenset[int] = frozenset()):
+        """Make ``spec`` resident on ``device_id``; returns evicted residencies."""
+        evicted = self.pools[device_id].allocate(spec.uid, spec.nbytes, protect=protect)
+        for r in evicted:
+            holders = self._holders.get(r.uid)
+            if holders is not None:
+                holders.discard(device_id)
+                if not holders:
+                    del self._holders[r.uid]
+        self._holders.setdefault(spec.uid, set()).add(device_id)
+        return evicted
+
+    def touch(self, uid: int, device_id: int) -> None:
+        """Refresh LRU recency of a reused tensor."""
+        self.pools[device_id].touch(uid)
+
+    def drop(self, uid: int, device_id: int) -> int:
+        """Explicitly free a tensor from one device; returns bytes freed."""
+        nbytes = self.pools[device_id].free(uid)
+        if nbytes:
+            holders = self._holders.get(uid)
+            if holders is not None:
+                holders.discard(device_id)
+                if not holders:
+                    del self._holders[uid]
+        return nbytes
+
+    def drop_everywhere(self, uid: int) -> int:
+        """Free a tensor from every device; returns total bytes freed."""
+        total = 0
+        for dev in list(self._holders.get(uid, ())):
+            total += self.drop(uid, dev)
+        return total
+
+    def add_compute(self, device_id: int, seconds: float) -> None:
+        self.compute_s[device_id] += seconds
+
+    def add_memop(self, device_id: int, seconds: float) -> None:
+        self.memop_s[device_id] += seconds
+
+    @property
+    def busy_s(self) -> np.ndarray:
+        """Total accumulated busy time per device."""
+        return self.compute_s + self.memop_s
+
+    def reset(self) -> None:
+        """Clear all residency and counters (fresh cluster)."""
+        for p in self.pools:
+            p.clear()
+        self.compute_s[:] = 0.0
+        self.memop_s[:] = 0.0
+        self._holders.clear()
+        self.assigned_slots[:] = 0
+        self.balance_num = 0.0
+
+    def clone(self) -> "ClusterState":
+        """Deep copy — used by look-ahead / exhaustive oracles."""
+        import copy
+
+        other = ClusterState(self.devices, eviction_policy=self.eviction_policy)
+        other.compute_s = self.compute_s.copy()
+        other.memop_s = self.memop_s.copy()
+        other.pools = copy.deepcopy(self.pools)
+        other._holders = {uid: set(devs) for uid, devs in self._holders.items()}
+        other.assigned_slots = self.assigned_slots.copy()
+        other.balance_num = self.balance_num
+        return other
+
+    # -------------------------------------------------------------- factories
+    @classmethod
+    def homogeneous(cls, num_devices: int, memory_bytes: int, peak_gflops: float = 23_000.0) -> "ClusterState":
+        return cls(mi100_like(num_devices, memory_bytes=memory_bytes, peak_gflops=peak_gflops))

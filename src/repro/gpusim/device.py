@@ -1,0 +1,51 @@
+"""Simulated GPU device descriptions.
+
+Defaults are calibrated to the paper's testbed: AMD MI100 accelerators
+(32 GB HBM2, ~23 TFLOP/s FP32 peak / 11.5 FP64) attached to an EPYC
+host over PCIe 4.0, with xGMI links between devices.  Absolute numbers
+only set the time *scale*; the experiments compare schedulers on the
+same hardware model, so relative results are insensitive to moderate
+miscalibration (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one simulated GPU.
+
+    Parameters
+    ----------
+    device_id:
+        Index within the cluster, ``0 .. num_devices-1``.
+    memory_bytes:
+        Usable device memory capacity.
+    peak_gflops:
+        Peak arithmetic rate in GFLOP/s for the workload's precision.
+    """
+
+    device_id: int
+    memory_bytes: int = 32 * GIB
+    peak_gflops: float = 23_000.0
+
+    def __post_init__(self):
+        if self.device_id < 0:
+            raise ValueError(f"device_id must be >= 0, got {self.device_id}")
+        check_positive("memory_bytes", self.memory_bytes)
+        check_positive("peak_gflops", self.peak_gflops)
+
+
+def mi100_like(num_devices: int, memory_bytes: int = 32 * GIB, peak_gflops: float = 23_000.0) -> list[DeviceSpec]:
+    """A homogeneous cluster of MI100-class devices."""
+    check_positive("num_devices", num_devices)
+    return [
+        DeviceSpec(device_id=i, memory_bytes=memory_bytes, peak_gflops=peak_gflops)
+        for i in range(num_devices)
+    ]

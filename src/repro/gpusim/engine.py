@@ -1,0 +1,181 @@
+"""Execution engine: replays pair→GPU assignments against the cluster.
+
+The engine is the simulated runtime under every scheduler.  For each
+assigned pair it resolves both inputs (reuse hit / D2D fetch / H2D
+fetch), allocates the output, applies LRU evictions when the device is
+oversubscribed, and charges the cost model's simulated seconds to the
+owning device.  Optionally it also runs the *real* NumPy contraction
+through a :class:`~repro.tensor.storage.TensorStore` so numeric
+correctness can be asserted end-to-end.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchedulingError
+from repro.gpusim.cluster import ClusterState
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.metrics import ExecutionMetrics
+from repro.gpusim.trace import TraceRecorder
+from repro.tensor.flops import pair_flops
+from repro.tensor.spec import TensorPair, VectorSpec
+from repro.tensor.storage import TensorStore
+
+
+class ExecutionEngine:
+    """Applies assignments to a :class:`ClusterState` and accounts costs.
+
+    Parameters
+    ----------
+    cluster:
+        Shared cluster state (mutated in place).
+    cost_model:
+        Maps events to simulated seconds.
+    store:
+        Optional host tensor store; when given, every pair's contraction
+        is actually computed with NumPy (slow, for validation/examples).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterState,
+        cost_model: CostModel | None = None,
+        store: TensorStore | None = None,
+        trace: "TraceRecorder | None" = None,
+    ):
+        self.cluster = cluster
+        self.cost_model = cost_model or CostModel()
+        self.store = store
+        #: Optional event recorder; events carry raw (pre-overlap) durations.
+        self.trace = trace
+
+    # ------------------------------------------------------------- single pair
+    def execute_pair(self, pair: TensorPair, device_id: int, metrics: ExecutionMetrics) -> None:
+        """Run one contraction on ``device_id``, accumulating into ``metrics``."""
+        cl = self.cluster
+        if not (0 <= device_id < cl.num_devices):
+            raise SchedulingError(f"device id {device_id} out of range 0..{cl.num_devices - 1}")
+        cm = self.cost_model
+        protect = {pair.left.uid, pair.right.uid, pair.out.uid}
+
+        # Memory-op seconds of this pair, accumulated locally so the
+        # async-copy model can overlap them with the pair's kernel.
+        pair_memop_s = 0.0
+
+        # Resolve inputs.  A pair may reference the same tensor twice
+        # (e.g. a hadron contracted with itself); fetch it once.
+        resolved: set[int] = set()
+        for spec in pair.inputs:
+            if spec.uid in resolved:
+                metrics.counts.reuse_hits += 1
+                continue
+            resolved.add(spec.uid)
+            if cl.is_resident(spec.uid, device_id):
+                metrics.counts.reuse_hits += 1
+                cl.touch(spec.uid, device_id)
+                continue
+            holders = cl.devices_holding(spec.uid)
+            if holders:
+                source = min(holders)
+                copy_t = cm.d2d_time(spec.nbytes, src=source, dst=device_id)
+                if cm.d2d_moves:
+                    # Single-residency runtime: the source copy migrates.
+                    cl.drop(spec.uid, source)
+                metrics.counts.d2d_transfers += 1
+                copy_kind = "d2d"
+            else:
+                copy_t = cm.h2d_time(spec.nbytes)
+                metrics.counts.h2d_transfers += 1
+                copy_kind = "h2d"
+            evicted = cl.register(spec, device_id, protect=protect)
+            pair_memop_s += self._charge_evictions(evicted, metrics, device_id)
+            pair_memop_s += cm.alloc_time(spec.nbytes) + copy_t
+            metrics.counts.allocations += 1
+            metrics.counts.transferred_bytes += spec.nbytes
+            if self.trace is not None:
+                self.trace.record("alloc", device_id, cm.alloc_time(spec.nbytes), uid=spec.uid, nbytes=spec.nbytes)
+                self.trace.record(copy_kind, device_id, copy_t, uid=spec.uid, nbytes=spec.nbytes, label=spec.label)
+
+        # Allocate the output on the same device.
+        evicted = cl.register(pair.out, device_id, protect=protect)
+        pair_memop_s += self._charge_evictions(evicted, metrics, device_id)
+        pair_memop_s += cm.alloc_time(pair.out.nbytes)
+        metrics.counts.allocations += 1
+        if self.trace is not None:
+            self.trace.record("alloc", device_id, cm.alloc_time(pair.out.nbytes), uid=pair.out.uid, nbytes=pair.out.nbytes)
+
+        # Kernel; memory ops may overlap it (async-copy model).
+        kt = cm.kernel_time(pair, cl.devices[device_id])
+        effective_memop = cm.effective_memop_time(pair_memop_s, kt)
+        metrics.compute_s[device_id] += kt
+        metrics.memop_s[device_id] += effective_memop
+        cl.add_compute(device_id, kt)
+        cl.add_memop(device_id, effective_memop)
+        metrics.total_flops += pair_flops(pair)
+        metrics.pairs_executed += 1
+        metrics.pairs_per_device[device_id] += 1
+        cl.record_assignment(device_id, 2)
+        if self.trace is not None:
+            self.trace.record("kernel", device_id, kt, uid=pair.out.uid, label=pair.out.label)
+
+        if self.store is not None:
+            self.store.execute_pair(pair)
+
+    def _charge_evictions(self, evicted, metrics: ExecutionMetrics, device_id: int) -> float:
+        """Account eviction counters; returns their memory-op seconds."""
+        total = 0.0
+        for r in evicted:
+            ev_t = self.cost_model.eviction_time(r.nbytes)
+            total += ev_t
+            metrics.counts.evictions += 1
+            metrics.counts.eviction_bytes += r.nbytes
+            if self.trace is not None:
+                self.trace.record("evict", device_id, ev_t, uid=r.uid, nbytes=r.nbytes)
+        return total
+
+    # ------------------------------------------------------------ full vector
+    def execute_vector(
+        self,
+        vector: VectorSpec,
+        assignment: list[int],
+        *,
+        keep_outputs: bool = False,
+    ) -> ExecutionMetrics:
+        """Execute every pair of ``vector`` per ``assignment``.
+
+        ``assignment[i]`` is the device for ``vector.pairs[i]``.  With
+        ``keep_outputs=False`` (the synthetic-benchmark default) outputs
+        are drained back to the host after the vector — paying one D2H
+        transfer each — and freed; with ``keep_outputs=True`` (the
+        Redstar multi-stage pipeline) they stay resident to be reused as
+        next-stage inputs.
+        """
+        if len(assignment) != len(vector.pairs):
+            raise SchedulingError(
+                f"assignment length {len(assignment)} != vector pairs {len(vector.pairs)}"
+            )
+        metrics = ExecutionMetrics(num_devices=self.cluster.num_devices)
+        self.cluster.begin_vector(vector.num_tensors)
+        for pair, dev in zip(vector.pairs, assignment):
+            self.execute_pair(pair, int(dev), metrics)
+        if not keep_outputs:
+            self.drain_outputs(vector, assignment, metrics)
+        return metrics
+
+    def drain_outputs(self, vector: VectorSpec, assignment: list[int], metrics: ExecutionMetrics) -> None:
+        """Copy every vector output back to the host and free it.
+
+        The output may already have been evicted (oversubscription); in
+        that case the writeback happened at eviction time and only the
+        free is skipped here.
+        """
+        cm = self.cost_model
+        for pair, dev in zip(vector.pairs, assignment):
+            dev = int(dev)
+            if self.cluster.is_resident(pair.out.uid, dev):
+                if cm.drain_writeback:
+                    d2h_t = cm.interconnect.d2h_time(pair.out.nbytes)
+                    metrics.memop_s[dev] += d2h_t
+                    self.cluster.add_memop(dev, d2h_t)
+                    if self.trace is not None:
+                        self.trace.record("drain", dev, d2h_t, uid=pair.out.uid, nbytes=pair.out.nbytes)
+                self.cluster.drop(pair.out.uid, dev)

@@ -1,0 +1,52 @@
+"""Host↔device and device↔device transfer cost model.
+
+Calibrated to the paper's platform: PCIe 4.0 x16 between the EPYC host
+and each MI100 (~16 GB/s effective) and xGMI bridges between GPUs
+(~46 GB/s effective).  Each transfer pays a fixed launch latency plus a
+bandwidth term — the standard alpha–beta model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Alpha–beta transfer model for a multi-GPU node.
+
+    Parameters
+    ----------
+    h2d_bandwidth:
+        Host→device bytes/second (PCIe).
+    d2d_bandwidth:
+        Device→device bytes/second.  The default matches PCIe-staged
+        peer copies (the paper's cost analysis prices every non-reuse
+        mapping as "one allocation + one communication", not cheaper
+        for D2D); raise it to model xGMI/NVLink-bridged nodes.
+    latency_s:
+        Fixed per-transfer setup latency in seconds.
+    """
+
+    h2d_bandwidth: float = 16e9
+    d2d_bandwidth: float = 18e9
+    latency_s: float = 10e-6
+
+    def __post_init__(self):
+        check_positive("h2d_bandwidth", self.h2d_bandwidth)
+        check_positive("d2d_bandwidth", self.d2d_bandwidth)
+        check_non_negative("latency_s", self.latency_s)
+
+    def h2d_time(self, nbytes: int) -> float:
+        """Seconds to copy ``nbytes`` host → device."""
+        return self.latency_s + nbytes / self.h2d_bandwidth
+
+    def d2h_time(self, nbytes: int) -> float:
+        """Seconds to copy ``nbytes`` device → host (eviction writeback)."""
+        return self.latency_s + nbytes / self.h2d_bandwidth
+
+    def d2d_time(self, nbytes: int) -> float:
+        """Seconds to copy ``nbytes`` between two devices."""
+        return self.latency_s + nbytes / self.d2d_bandwidth

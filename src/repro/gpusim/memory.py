@@ -1,0 +1,150 @@
+"""Per-device memory pool with pluggable eviction policy (LRU default).
+
+Models the behaviour MICCO's memory-eviction-sensitive policy reacts
+to: when a device is oversubscribed, allocating a new tensor forces
+resident tensors out (they must be re-fetched from the host if needed
+again).  Tensors participating in the current contraction are
+*protected* and never evicted mid-kernel.
+
+Eviction policies (the ablation bench compares them):
+
+* ``"lru"`` — least recently used first (production default),
+* ``"fifo"`` — oldest allocation first, recency ignored,
+* ``"largest"`` — biggest tensor first (frees space fastest).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import CapacityError
+from repro.utils.validation import check_in, check_positive
+
+EVICTION_POLICIES = ("lru", "fifo", "largest")
+
+
+@dataclass(frozen=True)
+class Residency:
+    """One resident tensor: identity plus footprint."""
+
+    uid: int
+    nbytes: int
+
+
+class MemoryPool:
+    """Policy-managed device memory.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Usable capacity.  Allocations beyond it trigger evictions.
+    policy:
+        Victim-selection policy; one of :data:`EVICTION_POLICIES`.
+    """
+
+    def __init__(self, capacity_bytes: int, policy: str = "lru"):
+        check_positive("capacity_bytes", capacity_bytes)
+        check_in("policy", policy, EVICTION_POLICIES)
+        self.capacity_bytes = int(capacity_bytes)
+        self.policy = policy
+        self._resident: OrderedDict[int, int] = OrderedDict()  # uid -> nbytes, LRU first
+        self._used = 0
+        self._insertion: dict[int, int] = {}  # uid -> insertion counter (fifo)
+        self._clock = 0
+
+    # ------------------------------------------------------------------ reads
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def resident_uids(self) -> list[int]:
+        """Resident tensor uids, least recently used first."""
+        return list(self._resident)
+
+    def nbytes_of(self, uid: int) -> int:
+        return self._resident[uid]
+
+    def would_evict(self, nbytes: int, protect: frozenset[int] | set[int] = frozenset()) -> bool:
+        """True if allocating ``nbytes`` now would force evictions."""
+        return nbytes > self.free_bytes and any(u not in protect for u in self._resident)
+
+    def fits(self, nbytes: int) -> bool:
+        """True if ``nbytes`` fits without any eviction."""
+        return nbytes <= self.free_bytes
+
+    # ----------------------------------------------------------------- writes
+    def touch(self, uid: int) -> None:
+        """Mark ``uid`` most-recently-used (a reuse hit)."""
+        self._resident.move_to_end(uid)
+
+    def _victim_order(self, protect) -> list[int]:
+        """Unprotected uids in eviction-preference order for the policy."""
+        candidates = [u for u in self._resident if u not in protect]
+        if self.policy == "lru":
+            return candidates  # OrderedDict iterates LRU first
+        if self.policy == "fifo":
+            return sorted(candidates, key=lambda u: self._insertion[u])
+        # "largest": biggest footprint first; ties oldest-first.
+        return sorted(candidates, key=lambda u: (-self._resident[u], self._insertion[u]))
+
+    def allocate(self, uid: int, nbytes: int, protect: set[int] | frozenset[int] = frozenset()) -> list[Residency]:
+        """Allocate ``nbytes`` for ``uid``, evicting victims if needed.
+
+        Returns the list of evicted residencies (possibly empty), in
+        eviction order.  Raises :class:`CapacityError` if the tensor
+        cannot fit even after evicting every unprotected tensor.
+        """
+        if uid in self._resident:
+            # Idempotent: already resident, just refresh recency.
+            self.touch(uid)
+            return []
+        if nbytes > self.capacity_bytes:
+            raise CapacityError(
+                f"tensor of {nbytes} bytes exceeds device capacity {self.capacity_bytes}"
+            )
+        evicted: list[Residency] = []
+        if nbytes > self.free_bytes:
+            for victim in self._victim_order(protect):
+                vb = self._resident.pop(victim)
+                self._insertion.pop(victim, None)
+                self._used -= vb
+                evicted.append(Residency(uid=victim, nbytes=vb))
+                if nbytes <= self.free_bytes:
+                    break
+            if nbytes > self.free_bytes:
+                # Roll back is unnecessary: evictions already happened on the
+                # simulated device; report the capacity failure.
+                raise CapacityError(
+                    f"cannot fit {nbytes} bytes: only {self.free_bytes} free after "
+                    f"evicting all unprotected tensors (capacity {self.capacity_bytes})"
+                )
+        self._resident[uid] = nbytes
+        self._insertion[uid] = self._clock
+        self._clock += 1
+        self._used += nbytes
+        return evicted
+
+    def free(self, uid: int) -> int:
+        """Explicitly release a tensor; returns its size (0 if absent)."""
+        nbytes = self._resident.pop(uid, None)
+        if nbytes is None:
+            return 0
+        self._insertion.pop(uid, None)
+        self._used -= nbytes
+        return nbytes
+
+    def clear(self) -> None:
+        self._resident.clear()
+        self._insertion.clear()
+        self._used = 0

@@ -1,0 +1,102 @@
+"""Execution tracing: per-event records and Chrome-trace export.
+
+Attach a :class:`TraceRecorder` to an :class:`ExecutionEngine` to
+capture every simulated event (fetches, evictions, kernels) with its
+device placement and simulated timestamps.  ``to_chrome_trace`` writes
+the standard ``chrome://tracing`` / Perfetto JSON so schedules can be
+inspected visually; ``summary_by_device`` gives quick aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Event kinds emitted by the engine.
+EVENT_KINDS = ("h2d", "d2d", "alloc", "evict", "kernel", "drain")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulated device event."""
+
+    kind: str
+    device: int
+    start_s: float
+    duration_s: float
+    uid: int = -1
+    nbytes: int = 0
+    label: str = ""
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records during a run.
+
+    The engine clocks each device independently (events on one device
+    are serialized; devices run in parallel), matching how the
+    simulator accumulates time.
+    """
+
+    def __init__(self):
+        self.events: list[TraceEvent] = []
+        self._device_clock: dict[int, float] = {}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def record(self, kind: str, device: int, duration_s: float, *, uid: int = -1, nbytes: int = 0, label: str = "") -> None:
+        """Append an event at the device's current simulated time."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}; expected one of {EVENT_KINDS}")
+        start = self._device_clock.get(device, 0.0)
+        self.events.append(
+            TraceEvent(kind=kind, device=device, start_s=start, duration_s=duration_s, uid=uid, nbytes=nbytes, label=label)
+        )
+        self._device_clock[device] = start + duration_s
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._device_clock.clear()
+
+    # ------------------------------------------------------------- summaries
+    def events_of(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def summary_by_device(self) -> dict[int, dict[str, float]]:
+        """Per-device totals: seconds per event kind plus event count."""
+        out: dict[int, dict[str, float]] = {}
+        for e in self.events:
+            dev = out.setdefault(e.device, {k: 0.0 for k in EVENT_KINDS} | {"events": 0})
+            dev[e.kind] += e.duration_s
+            dev["events"] += 1
+        return out
+
+    # -------------------------------------------------------------- exports
+    def to_chrome_trace(self) -> list[dict]:
+        """Chrome-tracing 'X' (complete) events, microsecond timestamps."""
+        return [
+            {
+                "name": f"{e.kind}" + (f" {e.label}" if e.label else ""),
+                "cat": e.kind,
+                "ph": "X",
+                "ts": e.start_s * 1e6,
+                "dur": e.duration_s * 1e6,
+                "pid": 0,
+                "tid": e.device,
+                "args": {"uid": e.uid, "nbytes": e.nbytes},
+            }
+            for e in self.events
+        ]
+
+    def save_chrome_trace(self, path: str | Path) -> None:
+        """Write a ``chrome://tracing``-loadable JSON file."""
+        Path(path).write_text(json.dumps({"traceEvents": self.to_chrome_trace()}))
+
+    def to_records(self) -> list[dict]:
+        """Plain dict records (e.g. for DataFrame construction)."""
+        return [asdict(e) for e in self.events]

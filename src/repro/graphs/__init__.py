@@ -1,0 +1,26 @@
+"""Contraction-graph substrate (the structure Redstar computes on).
+
+A quark propagation diagram is an undirected multigraph whose nodes are
+hadrons (with quarks as internal slots) and whose edges are quark
+propagations.  *Graph contraction* reduces edges one after another —
+each reduction is one hadron contraction (a tensor pair) — until two
+nodes remain.  Dependency analysis partitions the hadron contractions
+of many graphs into sequential *stages* of independent pairs, which
+become the scheduler's input vectors.
+"""
+
+from repro.graphs.hadron import HadronNode, meson, baryon
+from repro.graphs.contraction_graph import ContractionGraph, ContractionStep, contract_graph
+from repro.graphs.stages import StagePlan, build_stage_plan, stages_to_vectors
+
+__all__ = [
+    "HadronNode",
+    "meson",
+    "baryon",
+    "ContractionGraph",
+    "ContractionStep",
+    "contract_graph",
+    "StagePlan",
+    "build_stage_plan",
+    "stages_to_vectors",
+]

@@ -1,0 +1,73 @@
+"""Hadron nodes: quark content plus the batched tensor that represents them.
+
+A hadron node is the graph-level identity (which hadron, which side of
+the correlator, which time slice); the attached
+:class:`~repro.tensor.spec.TensorSpec` is the data the schedulers move.
+The same hadron node appearing in many diagrams carries the *same*
+tensor — that identity sharing is the paper's source of data reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.tensor.spec import TensorSpec, next_uid
+
+#: Quark flavors used by the analog datasets.
+FLAVORS = ("u", "d", "s", "ubar", "dbar", "sbar")
+
+
+@dataclass(frozen=True)
+class HadronNode:
+    """One hadron in a correlator.
+
+    Parameters
+    ----------
+    name:
+        Human-readable id, e.g. ``"src:pi+0@t3"``.
+    quarks:
+        Quark flavor content; 2 slots for a meson (quark + antiquark),
+        3 for a baryon.
+    tensor:
+        The batched tensor attached to this hadron.
+    """
+
+    name: str
+    quarks: tuple[str, ...]
+    tensor: TensorSpec
+
+    def __post_init__(self):
+        if len(self.quarks) not in (2, 3):
+            raise GraphError(
+                f"hadron {self.name!r} must have 2 (meson) or 3 (baryon) quarks, got {len(self.quarks)}"
+            )
+        for q in self.quarks:
+            if q not in FLAVORS:
+                raise GraphError(f"unknown quark flavor {q!r} in hadron {self.name!r}")
+        expected_rank = len(self.quarks)
+        if self.tensor.rank != expected_rank:
+            raise GraphError(
+                f"hadron {self.name!r} with {len(self.quarks)} quarks needs a rank-{expected_rank} "
+                f"tensor, got rank {self.tensor.rank}"
+            )
+
+    @property
+    def is_meson(self) -> bool:
+        return len(self.quarks) == 2
+
+    @property
+    def is_baryon(self) -> bool:
+        return len(self.quarks) == 3
+
+
+def meson(name: str, quark: str, antiquark: str, *, size: int, batch: int = 32, dtype_bytes: int = 8) -> HadronNode:
+    """Build a meson node with a fresh rank-2 tensor."""
+    spec = TensorSpec(uid=next_uid(), size=size, batch=batch, rank=2, dtype_bytes=dtype_bytes, label=name)
+    return HadronNode(name=name, quarks=(quark, antiquark), tensor=spec)
+
+
+def baryon(name: str, q1: str, q2: str, q3: str, *, size: int, batch: int = 32, dtype_bytes: int = 8) -> HadronNode:
+    """Build a baryon node with a fresh rank-3 tensor."""
+    spec = TensorSpec(uid=next_uid(), size=size, batch=batch, rank=3, dtype_bytes=dtype_bytes, label=name)
+    return HadronNode(name=name, quarks=(q1, q2, q3), tensor=spec)

@@ -1,0 +1,44 @@
+"""From-scratch regression models and the reuse-bound tuning pipeline.
+
+The paper trains a regression model mapping data characteristics
+(vector size, tensor size, distribution, repeated rate) to the optimal
+reuse-bound triple, comparing Linear Regression, Gradient Boosting and
+Random Forest (Table IV).  scikit-learn is unavailable offline, so the
+models are implemented here directly on NumPy:
+
+* :class:`DecisionTreeRegressor` — CART with variance-reduction splits,
+* :class:`RandomForestRegressor` — bagged trees with feature subsampling,
+* :class:`GradientBoostingRegressor` — boosted shallow trees, squared loss,
+* :class:`LinearRegression` — least squares via ``numpy.linalg.lstsq``.
+
+All are multi-output (the target is the 3-component bound triple).
+"""
+
+from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.linear import LinearRegression
+from repro.ml.metrics import r2_score, spearmanr, spearman_matrix
+from repro.ml.tuner import ReuseBoundTuner, TuningSample
+from repro.ml.dataset import build_training_set, TrainingSet, sample_characteristics_grid
+from repro.ml.predictor import ReuseBoundPredictor, train_default_predictor
+from repro.ml.importance import permutation_importance, rank_features
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "LinearRegression",
+    "r2_score",
+    "spearmanr",
+    "spearman_matrix",
+    "ReuseBoundTuner",
+    "TuningSample",
+    "build_training_set",
+    "TrainingSet",
+    "sample_characteristics_grid",
+    "ReuseBoundPredictor",
+    "train_default_predictor",
+    "permutation_importance",
+    "rank_features",
+]

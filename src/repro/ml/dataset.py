@@ -1,0 +1,124 @@
+"""Training-set construction for the reuse-bound regression model.
+
+The paper trains on 300 samples with a 20 % test split.  Each sample is
+one workload configuration: features are its measured data
+characteristics, the label is the grid-searched optimal bound triple.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import MiccoConfig
+from repro.ml.tuner import ReuseBoundTuner, TuningSample
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+from repro.workloads.synth import WorkloadParams
+
+#: Default sweep values mirroring the paper's evaluation ranges.
+VECTOR_SIZES = (8, 16, 32, 64)
+TENSOR_SIZES = (128, 256, 384, 768)
+REPEATED_RATES = (0.25, 0.5, 0.75, 1.0)
+DISTRIBUTIONS = ("uniform", "gaussian")
+
+
+@dataclass
+class TrainingSet:
+    """Feature matrix, label matrix, and per-sample tuning records."""
+
+    X: np.ndarray
+    Y: np.ndarray
+    gflops: np.ndarray
+    samples: list[TuningSample] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return self.X.shape[0]
+
+    def split(self, test_fraction: float = 0.2, seed=0):
+        """Shuffled train/test split: ``(X_tr, Y_tr, X_te, Y_te)``."""
+        if not 0 < test_fraction < 1:
+            raise ValueError(f"test_fraction must be in (0,1), got {test_fraction}")
+        rng = as_generator(seed)
+        n = len(self)
+        order = rng.permutation(n)
+        n_test = max(1, int(round(test_fraction * n)))
+        test = order[:n_test]
+        train = order[n_test:]
+        return self.X[train], self.Y[train], self.X[test], self.Y[test]
+
+
+def sample_characteristics_grid(n: int, seed=0, *, num_vectors: int = 6, batch: int = 8) -> list[WorkloadParams]:
+    """Draw ``n`` workload configurations from the evaluation grid.
+
+    Sampling is over the paper's *discrete* evaluation values (128
+    combinations), so a 300-sample set repeats configurations — exactly
+    the regime in which the paper's 80/20 split measures how well a
+    model interpolates the per-configuration optimum.
+
+    ``batch`` defaults small: training labels depend on *relative*
+    scheduler behaviour, which is batch-invariant (batch scales kernel
+    and transfer cost together), so small batches keep tuning cheap.
+    """
+    check_positive("n", n)
+    rng = as_generator(seed)
+    out = []
+    for _ in range(n):
+        out.append(
+            WorkloadParams(
+                vector_size=int(rng.choice(VECTOR_SIZES)),
+                tensor_size=int(rng.choice(TENSOR_SIZES)),
+                repeated_rate=float(rng.choice(REPEATED_RATES)),
+                distribution=str(rng.choice(DISTRIBUTIONS)),
+                num_vectors=num_vectors,
+                batch=batch,
+            )
+        )
+    return out
+
+
+def build_training_set(
+    n: int = 300,
+    config: MiccoConfig | None = None,
+    seed=0,
+    *,
+    fractions=(0.0, 0.25, 0.5, 1.0),
+    n_seeds: int = 3,
+    num_vectors: int = 6,
+    batch: int = 8,
+) -> TrainingSet:
+    """Tune ``n`` sampled workloads and assemble the training set.
+
+    Stream seeds are derived from the workload configuration itself, so
+    the optimal-bound label is a deterministic function of the feature
+    setting (as it is when measuring a fixed dataset on real hardware);
+    repeated configurations repeat their label, and tuned samples are
+    cached per configuration.
+    """
+    tuner = ReuseBoundTuner(config, fractions=fractions, n_seeds=n_seeds)
+    rng = as_generator(seed)
+    params_list = sample_characteristics_grid(n, rng, num_vectors=num_vectors, batch=batch)
+    cache: dict[WorkloadParams, TuningSample] = {}
+    samples = []
+    for params in params_list:
+        sample = cache.get(params)
+        if sample is None:
+            # Stable across processes (unlike hash(), which salts str).
+            key = (
+                params.vector_size,
+                params.tensor_size,
+                params.repeated_rate,
+                params.distribution,
+                params.num_vectors,
+                params.batch,
+            )
+            config_seed = zlib.crc32(repr(key).encode())
+            sample = tuner.tune(params, seed=config_seed)
+            cache[params] = sample
+        samples.append(sample)
+    X = np.stack([s.features for s in samples])
+    Y = np.stack([s.label for s in samples])
+    g = np.array([s.best_gflops for s in samples])
+    return TrainingSet(X=X, Y=Y, gflops=g, samples=samples)

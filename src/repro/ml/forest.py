@@ -1,0 +1,84 @@
+"""Random-forest regressor: bagged CART trees with feature subsampling.
+
+The paper's selected model (Table IV, R² ≈ 0.95, 150 trees).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.tree import DecisionTreeRegressor
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class RandomForestRegressor:
+    """Bootstrap-aggregated regression trees (multi-output).
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees (paper uses 150).
+    max_depth, min_samples_leaf:
+        Per-tree limits.
+    max_features:
+        Features per split; default all — the feature space is tiny
+        (4 features) and every one is load-bearing, so subsampling
+        splits only injects noise; tree diversity comes from the
+        bootstrap.
+    seed:
+        Reproducible bootstrap/feature sampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 150,
+        max_depth: int = 12,
+        min_samples_leaf: int = 1,
+        max_features=None,
+        seed=0,
+    ):
+        if n_estimators < 1:
+            raise ModelError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: list[DecisionTreeRegressor] = []
+        self.n_outputs_: int | None = None
+
+    def fit(self, X, y) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(y, dtype=np.float64)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if X.shape[0] != Y.shape[0]:
+            raise ModelError(f"shape mismatch: X {X.shape}, y {Y.shape}")
+        n = X.shape[0]
+        self.n_outputs_ = Y.shape[1]
+        self.trees_ = []
+        rngs = spawn_generators(self.seed, self.n_estimators)
+        for rng in rngs:
+            rows = rng.integers(0, n, size=n)  # bootstrap sample
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=rng,
+            )
+            tree.fit(X[rows], Y[rows])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self.trees_:
+            raise ModelError("predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        acc = self.trees_[0].predict(X).copy()
+        for tree in self.trees_[1:]:
+            acc += tree.predict(X)
+        acc /= len(self.trees_)
+        return acc

@@ -1,0 +1,95 @@
+"""Gradient-boosting regressor: shallow trees on squared-loss residuals.
+
+The paper's runner-up model (Table IV, R² ≈ 0.91, 150 stages,
+learning rate 0.1).  Multi-output: one boosted ensemble per target
+column, all trained in a single residual loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.tree import DecisionTreeRegressor
+from repro.utils.rng import spawn_generators
+
+
+class GradientBoostingRegressor:
+    """Boosted regression trees for (possibly multi-output) targets.
+
+    Parameters
+    ----------
+    n_estimators:
+        Boosting stages (paper: 150).
+    learning_rate:
+        Shrinkage per stage (paper: 0.1).
+    max_depth:
+        Depth of each weak learner.  The default (5) is deeper than
+        the textbook 3: the 4-feature bound-prediction target is
+        dominated by 3–4-way feature interactions.
+    subsample:
+        Row fraction per stage (stochastic gradient boosting).
+    seed:
+        Reproducible subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 150,
+        learning_rate: float = 0.1,
+        max_depth: int = 5,
+        min_samples_leaf: int = 2,
+        subsample: float = 1.0,
+        seed=0,
+    ):
+        if n_estimators < 1:
+            raise ModelError(f"n_estimators must be >= 1, got {n_estimators}")
+        if not 0 < learning_rate <= 1:
+            raise ModelError(f"learning_rate must be in (0, 1], got {learning_rate}")
+        if not 0 < subsample <= 1:
+            raise ModelError(f"subsample must be in (0, 1], got {subsample}")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.seed = seed
+        self.base_: np.ndarray | None = None
+        self.stages_: list[DecisionTreeRegressor] = []
+
+    def fit(self, X, y) -> "GradientBoostingRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(y, dtype=np.float64)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if X.shape[0] != Y.shape[0]:
+            raise ModelError(f"shape mismatch: X {X.shape}, y {Y.shape}")
+        n = X.shape[0]
+        self.base_ = Y.mean(axis=0)
+        pred = np.tile(self.base_, (n, 1))
+        self.stages_ = []
+        rngs = spawn_generators(self.seed, self.n_estimators)
+        for rng in rngs:
+            residual = Y - pred
+            if self.subsample < 1.0:
+                rows = rng.choice(n, size=max(2, int(self.subsample * n)), replace=False)
+            else:
+                rows = np.arange(n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+            )
+            tree.fit(X[rows], residual[rows])
+            pred += self.learning_rate * tree.predict(X)
+            self.stages_.append(tree)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self.base_ is None:
+            raise ModelError("predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        pred = np.tile(self.base_, (X.shape[0], 1))
+        for tree in self.stages_:
+            pred += self.learning_rate * tree.predict(X)
+        return pred

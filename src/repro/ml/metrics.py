@@ -1,0 +1,84 @@
+"""Model-quality and correlation metrics: R² and Spearman's rank.
+
+Both implemented directly (scipy's versions exist, but the paper's
+Fig. 5 heatmap needs a full pairwise matrix and the tests cross-check
+against :func:`scipy.stats.spearmanr`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination over all outputs jointly.
+
+    1.0 is a perfect fit; 0.0 matches predicting the mean; negative is
+    worse than the mean.
+    """
+    yt = np.asarray(y_true, dtype=np.float64)
+    yp = np.asarray(y_pred, dtype=np.float64)
+    if yt.shape != yp.shape:
+        raise ModelError(f"shape mismatch: y_true {yt.shape}, y_pred {yp.shape}")
+    if yt.ndim == 1:
+        yt = yt[:, None]
+        yp = yp[:, None]
+    ss_res = float(((yt - yp) ** 2).sum())
+    ss_tot = float(((yt - yt.mean(axis=0)) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def _rank(a: np.ndarray) -> np.ndarray:
+    """Fractional ranks (average ties), like scipy's rankdata."""
+    order = np.argsort(a, kind="stable")
+    ranks = np.empty(len(a), dtype=np.float64)
+    sorted_a = a[order]
+    i = 0
+    while i < len(a):
+        j = i
+        while j + 1 < len(a) and sorted_a[j + 1] == sorted_a[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearmanr(x, y) -> float:
+    """Spearman rank correlation between two 1-d samples.
+
+    Pearson correlation of the fractional ranks; ties averaged.
+    Returns 0.0 when either sample is constant.
+    """
+    xa = np.asarray(x, dtype=np.float64).ravel()
+    ya = np.asarray(y, dtype=np.float64).ravel()
+    if xa.shape != ya.shape:
+        raise ModelError(f"shape mismatch: x {xa.shape}, y {ya.shape}")
+    if xa.size < 2:
+        raise ModelError("spearmanr needs at least 2 observations")
+    rx = _rank(xa)
+    ry = _rank(ya)
+    sx = rx.std()
+    sy = ry.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(((rx - rx.mean()) * (ry - ry.mean())).mean() / (sx * sy))
+
+
+def spearman_matrix(columns: dict[str, np.ndarray]) -> tuple[list[str], np.ndarray]:
+    """Pairwise Spearman matrix over named columns (Fig. 5 heatmap).
+
+    Returns the column names (in input order) and the symmetric
+    correlation matrix with unit diagonal.
+    """
+    names = list(columns)
+    k = len(names)
+    mat = np.eye(k)
+    for i in range(k):
+        for j in range(i + 1, k):
+            rho = spearmanr(columns[names[i]], columns[names[j]])
+            mat[i, j] = mat[j, i] = rho
+    return names, mat

@@ -1,0 +1,131 @@
+"""JSON persistence for the from-scratch models.
+
+Training the reuse-bound model is an offline step (the paper trains
+once up front); these helpers let a trained model ship with an
+application and load in milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.linear import LinearRegression
+from repro.ml.predictor import ReuseBoundPredictor
+from repro.ml.tree import DecisionTreeRegressor, _Node
+
+
+# ------------------------------------------------------------------ tree <-> dict
+def _node_to_dict(node: _Node) -> dict:
+    if node.is_leaf:
+        return {"value": [float(v) for v in node.value]}
+    return {
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(d: dict) -> _Node:
+    if "value" in d:
+        return _Node(value=np.asarray(d["value"], dtype=np.float64))
+    return _Node(
+        feature=int(d["feature"]),
+        threshold=float(d["threshold"]),
+        left=_node_from_dict(d["left"]),
+        right=_node_from_dict(d["right"]),
+    )
+
+
+def tree_to_dict(tree: DecisionTreeRegressor) -> dict:
+    if tree._root is None:
+        raise ModelError("cannot serialize an unfitted tree")
+    return {
+        "kind": "tree",
+        "n_features": tree.n_features_,
+        "n_outputs": tree.n_outputs_,
+        "root": _node_to_dict(tree._root),
+    }
+
+
+def tree_from_dict(d: dict) -> DecisionTreeRegressor:
+    tree = DecisionTreeRegressor()
+    tree.n_features_ = int(d["n_features"])
+    tree.n_outputs_ = int(d["n_outputs"])
+    tree._root = _node_from_dict(d["root"])
+    return tree
+
+
+# ---------------------------------------------------------------- model <-> dict
+def model_to_dict(model) -> dict:
+    """Serialize any of the four regressors to a JSON-safe dict."""
+    if isinstance(model, DecisionTreeRegressor):
+        return tree_to_dict(model)
+    if isinstance(model, RandomForestRegressor):
+        return {
+            "kind": "forest",
+            "n_outputs": model.n_outputs_,
+            "trees": [tree_to_dict(t) for t in model.trees_],
+        }
+    if isinstance(model, GradientBoostingRegressor):
+        return {
+            "kind": "gbm",
+            "learning_rate": model.learning_rate,
+            "base": [float(v) for v in model.base_],
+            "stages": [tree_to_dict(t) for t in model.stages_],
+        }
+    if isinstance(model, LinearRegression):
+        return {
+            "kind": "linear",
+            "coef": np.asarray(model.coef_).tolist(),
+            "intercept": np.asarray(model.intercept_).tolist(),
+        }
+    raise ModelError(f"cannot serialize model of type {type(model).__name__}")
+
+
+def model_from_dict(d: dict):
+    """Inverse of :func:`model_to_dict`."""
+    kind = d.get("kind")
+    if kind == "tree":
+        return tree_from_dict(d)
+    if kind == "forest":
+        model = RandomForestRegressor()
+        model.trees_ = [tree_from_dict(t) for t in d["trees"]]
+        model.n_outputs_ = int(d["n_outputs"])
+        return model
+    if kind == "gbm":
+        model = GradientBoostingRegressor(learning_rate=float(d["learning_rate"]))
+        model.base_ = np.asarray(d["base"], dtype=np.float64)
+        model.stages_ = [tree_from_dict(t) for t in d["stages"]]
+        return model
+    if kind == "linear":
+        model = LinearRegression()
+        model.coef_ = np.asarray(d["coef"], dtype=np.float64)
+        model.intercept_ = np.asarray(d["intercept"], dtype=np.float64)
+        return model
+    raise ModelError(f"unknown serialized model kind {kind!r}")
+
+
+# -------------------------------------------------------------------- file I/O
+def save_predictor(predictor: ReuseBoundPredictor, path: str | Path) -> None:
+    """Write a predictor (model + clip ceiling) to a JSON file."""
+    payload = {
+        "clip_max": predictor.clip_max,
+        "model": model_to_dict(predictor.model),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_predictor(path: str | Path) -> ReuseBoundPredictor:
+    """Load a predictor saved by :func:`save_predictor`."""
+    payload = json.loads(Path(path).read_text())
+    return ReuseBoundPredictor(
+        model_from_dict(payload["model"]),
+        clip_max=payload.get("clip_max"),
+    )

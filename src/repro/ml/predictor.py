@@ -1,0 +1,72 @@
+"""Online reuse-bound predictor (the Fig. 6 "regression model" box).
+
+Wraps any fitted multi-output regressor and converts raw predictions
+into valid :class:`~repro.schedulers.bounds.ReuseBounds` (non-negative,
+rounded to integers — bounds are slot counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import MiccoConfig
+from repro.errors import ModelError
+from repro.ml.dataset import build_training_set, TrainingSet
+from repro.ml.forest import RandomForestRegressor
+from repro.schedulers.bounds import ReuseBounds
+from repro.workloads.characteristics import DataCharacteristics
+
+
+class ReuseBoundPredictor:
+    """Characteristics → bounds inference wrapper.
+
+    Parameters
+    ----------
+    model:
+        Fitted regressor with ``predict(X) -> (n, 3)``.
+    clip_max:
+        Optional ceiling applied to predicted bounds (the training grid
+        maximum; predictions outside it are extrapolation noise).
+    """
+
+    def __init__(self, model, clip_max: float | None = None):
+        self.model = model
+        self.clip_max = clip_max
+
+    def predict_bounds(self, chars: DataCharacteristics) -> ReuseBounds:
+        """Infer the bound triple for one vector's characteristics."""
+        raw = np.asarray(self.model.predict(chars.to_features()[None, :]))
+        if raw.ndim != 2 or raw.shape[1] != 3:
+            raise ModelError(f"bound model must predict 3 outputs, got shape {raw.shape}")
+        vals = np.rint(raw[0])
+        vals = np.clip(vals, 0.0, self.clip_max if self.clip_max is not None else np.inf)
+        return ReuseBounds.from_sequence(vals)
+
+
+def train_default_predictor(
+    config: MiccoConfig | None = None,
+    *,
+    n_samples: int = 300,
+    seed=0,
+    fractions=(0.0, 0.25, 0.5, 1.0),
+    n_seeds: int = 3,
+    num_vectors: int = 6,
+    batch: int = 8,
+    n_estimators: int = 150,
+) -> tuple[ReuseBoundPredictor, TrainingSet]:
+    """Offline training pipeline: tune → fit Random Forest → wrap.
+
+    Returns the predictor and the training set (for R² reporting).
+    """
+    ts = build_training_set(
+        n_samples,
+        config,
+        seed,
+        fractions=fractions,
+        n_seeds=n_seeds,
+        num_vectors=num_vectors,
+        batch=batch,
+    )
+    model = RandomForestRegressor(n_estimators=n_estimators, seed=seed)
+    model.fit(ts.X, ts.Y)
+    return ReuseBoundPredictor(model), ts

@@ -1,0 +1,197 @@
+"""CART regression tree (multi-output, variance-reduction splits).
+
+Implementation notes (per the HPC guides: vectorize, avoid per-row
+Python work): split search evaluates every threshold of a feature in
+one vectorized pass using prefix sums of the sorted targets, giving
+O(n_features · n · log n) per node instead of O(n_features · n²).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves carry the mean target vector."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+
+def _best_split(X: np.ndarray, Y: np.ndarray, feature_ids: np.ndarray, min_leaf: int):
+    """Find the (feature, threshold) minimizing summed child SSE.
+
+    Returns ``(feature, threshold, gain)`` or ``None`` if no valid
+    split exists.  SSE is computed over all output columns jointly.
+    """
+    n = X.shape[0]
+    total_sse = float(((Y - Y.mean(axis=0)) ** 2).sum())
+    best = None
+    best_sse = total_sse
+    for f in feature_ids:
+        order = np.argsort(X[:, f], kind="stable")
+        xs = X[order, f]
+        ys = Y[order]
+        # Prefix sums over sorted targets: child SSEs for every cut in O(n).
+        csum = np.cumsum(ys, axis=0)
+        csum2 = np.cumsum(ys**2, axis=0)
+        tot = csum[-1]
+        tot2 = csum2[-1]
+        counts = np.arange(1, n + 1, dtype=np.float64)
+        left_sse = (csum2 - csum**2 / counts[:, None]).sum(axis=1)
+        rc = n - counts
+        with np.errstate(divide="ignore", invalid="ignore"):
+            right_sse = ((tot2 - csum2) - (tot - csum) ** 2 / rc[:, None]).sum(axis=1)
+        # Valid cut positions: between distinct x values, leaves >= min_leaf.
+        cut = np.arange(1, n)  # left gets rows [0, cut), i.e. cut rows
+        valid = (xs[cut] > xs[cut - 1]) & (cut >= min_leaf) & ((n - cut) >= min_leaf)
+        if not valid.any():
+            continue
+        sse = left_sse[cut - 1] + right_sse[cut - 1]
+        sse = np.where(valid, sse, np.inf)
+        i = int(np.argmin(sse))
+        if sse[i] < best_sse - 1e-12:
+            best_sse = float(sse[i])
+            thr = 0.5 * (xs[cut[i]] + xs[cut[i] - 1])
+            best = (int(f), float(thr), total_sse - best_sse)
+    return best
+
+
+class DecisionTreeRegressor:
+    """Multi-output CART regressor.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0).
+    min_samples_leaf:
+        Minimum rows per leaf.
+    max_features:
+        Features considered per split: ``None`` (all), an int, or a
+        fraction in (0, 1].  Randomized subsets need ``rng``.
+    rng:
+        Generator for feature subsampling (random-forest use).
+    """
+
+    def __init__(self, max_depth: int = 8, min_samples_leaf: int = 2, max_features=None, rng=None):
+        if max_depth < 0:
+            raise ModelError(f"max_depth must be >= 0, got {max_depth}")
+        if min_samples_leaf < 1:
+            raise ModelError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+        self._root: _Node | None = None
+        self.n_outputs_: int | None = None
+        self.n_features_: int | None = None
+
+    def _n_split_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if isinstance(mf, float):
+            return max(1, int(round(mf * n_features)))
+        return max(1, min(int(mf), n_features))
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(y, dtype=np.float64)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        if X.ndim != 2 or X.shape[0] != Y.shape[0]:
+            raise ModelError(f"shape mismatch: X {X.shape}, y {Y.shape}")
+        if X.shape[0] == 0:
+            raise ModelError("cannot fit on an empty dataset")
+        self.n_features_ = X.shape[1]
+        self.n_outputs_ = Y.shape[1]
+        self._root = self._grow(X, Y, depth=0)
+        return self
+
+    def _grow(self, X: np.ndarray, Y: np.ndarray, depth: int) -> _Node:
+        n = X.shape[0]
+        if (
+            depth >= self.max_depth
+            or n < 2 * self.min_samples_leaf
+            or np.allclose(Y, Y[0])
+        ):
+            return _Node(value=Y.mean(axis=0))
+        k = self._n_split_features(X.shape[1])
+        if k < X.shape[1]:
+            if self.rng is None:
+                raise ModelError("max_features subsampling requires an rng")
+            feats = self.rng.choice(X.shape[1], size=k, replace=False)
+        else:
+            feats = np.arange(X.shape[1])
+        split = _best_split(X, Y, feats, self.min_samples_leaf)
+        if split is None:
+            return _Node(value=Y.mean(axis=0))
+        f, thr, _gain = split
+        mask = X[:, f] <= thr
+        return _Node(
+            feature=f,
+            threshold=thr,
+            left=self._grow(X[mask], Y[mask], depth + 1),
+            right=self._grow(X[~mask], Y[~mask], depth + 1),
+        )
+
+    def predict(self, X) -> np.ndarray:
+        if self._root is None:
+            raise ModelError("predict called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        if X.shape[1] != self.n_features_:
+            raise ModelError(f"expected {self.n_features_} features, got {X.shape[1]}")
+        out = np.empty((X.shape[0], self.n_outputs_))
+        # Route all rows through the tree level by level (vectorized
+        # masks instead of per-row descent).
+        idx = np.arange(X.shape[0])
+        stack = [(self._root, idx)]
+        while stack:
+            node, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            if node.is_leaf:
+                out[rows] = node.value
+                continue
+            mask = X[rows, node.feature] <= node.threshold
+            stack.append((node.left, rows[mask]))
+            stack.append((node.right, rows[~mask]))
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if self._root is None:
+            raise ModelError("depth() called before fit")
+
+        def d(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(d(node.left), d(node.right))
+
+        return d(self._root)
+
+    def node_count(self) -> int:
+        """Total nodes (internal + leaves) of the fitted tree."""
+        if self._root is None:
+            raise ModelError("node_count() called before fit")
+
+        def c(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            return 1 + c(node.left) + c(node.right)
+
+        return c(self._root)

@@ -1,0 +1,33 @@
+"""Redstar-analog pipeline: correlator → Wick diagrams → vector stream.
+
+Redstar (Chen/Edwards/Winter, Jefferson Lab) translates a correlation
+function into thousands of unique contraction graphs and emits hadron
+contractions stage by stage.  This package reproduces that front end:
+correlator specs with single- and two-particle operator constructions,
+a Wick-style diagram enumerator (flavor-conserving quark-line pairings
+across momentum combinations), graph contraction with interned
+intermediates, and stage partitioning into scheduler vectors.
+"""
+
+from repro.redstar.correlator import CorrelatorSpec, Operator, conjugate
+from repro.redstar.wick import enumerate_pairings, diagrams_for
+from repro.redstar.pipeline import RedstarPipeline
+from repro.redstar.datasets import a1_rhopi, f0d2, f0d4, nucleon_nn, REAL_WORLD_SPECS
+from repro.redstar.evaluate import correlator_values, effective_mass, batched_trace
+
+__all__ = [
+    "CorrelatorSpec",
+    "Operator",
+    "conjugate",
+    "enumerate_pairings",
+    "diagrams_for",
+    "RedstarPipeline",
+    "a1_rhopi",
+    "f0d2",
+    "f0d4",
+    "nucleon_nn",
+    "REAL_WORLD_SPECS",
+    "correlator_values",
+    "effective_mass",
+    "batched_trace",
+]

@@ -1,0 +1,102 @@
+"""Correlator specifications: operators, quark content, momenta.
+
+A correlator is a matrix between *operator constructions*: each
+operator is one or more hadrons (single-particle: one meson;
+two-particle: two mesons sharing the total momentum).  Sink operators
+are the conjugates of source operators (quark ↔ antiquark swapped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GraphError
+from repro.utils.validation import check_positive
+
+#: Flavor → conjugate flavor.
+_CONJ = {"u": "ubar", "d": "dbar", "s": "sbar", "ubar": "u", "dbar": "d", "sbar": "s"}
+
+
+def conjugate(quarks: tuple[str, ...]) -> tuple[str, ...]:
+    """Conjugate hadron content (sink side of a correlator)."""
+    try:
+        return tuple(_CONJ[q] for q in quarks)
+    except KeyError as e:
+        raise GraphError(f"unknown flavor {e.args[0]!r}") from None
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One interpolating-operator construction.
+
+    Parameters
+    ----------
+    name:
+        e.g. ``"a1"`` or ``"rho_pi"``.
+    hadrons:
+        Quark content per hadron; one entry = single-particle, two =
+        two-particle construction.
+    momenta:
+        Number of relative-momentum combinations summing to the total
+        momentum.  Single-particle operators have exactly 1; each
+        combination of a multi-particle operator yields distinct hadron
+        tensors, multiplying the diagram count (the "thousands of
+        graphs" regime).
+    """
+
+    name: str
+    hadrons: tuple[tuple[str, ...], ...]
+    momenta: int = 1
+
+    def __post_init__(self):
+        if not self.hadrons:
+            raise GraphError(f"operator {self.name!r} needs at least one hadron")
+        check_positive("momenta", self.momenta)
+        if len(self.hadrons) == 1 and self.momenta != 1:
+            raise GraphError(
+                f"single-particle operator {self.name!r} has a fixed momentum (momenta=1)"
+            )
+
+
+@dataclass(frozen=True)
+class CorrelatorSpec:
+    """A full correlation function to compute.
+
+    Parameters
+    ----------
+    name:
+        Correlator id (e.g. ``"a1_rhopi"``).
+    operators:
+        Source operator constructions; the sink side uses their
+        conjugates.  The correlator matrix spans all source × sink
+        operator pairs.
+    tensor_size:
+        Dimension length N of every hadron tensor.
+    batch:
+        Batch dimension (spin/distillation blocks per kernel).
+    time_slices:
+        Number of sink time slices (source tensors are shared across
+        all of them).
+    max_vector_size:
+        Tensor slots per scheduler vector.
+    max_diagrams:
+        Cap on diagrams per (source op, sink op, momenta) cell.
+    """
+
+    name: str
+    operators: tuple[Operator, ...]
+    tensor_size: int
+    batch: int = 32
+    time_slices: int = 16
+    max_vector_size: int = 64
+    max_diagrams: int = 64
+    dtype_bytes: int = 8
+
+    def __post_init__(self):
+        if not self.operators:
+            raise GraphError(f"correlator {self.name!r} needs at least one operator")
+        check_positive("tensor_size", self.tensor_size)
+        check_positive("batch", self.batch)
+        check_positive("time_slices", self.time_slices)
+        check_positive("max_vector_size", self.max_vector_size)
+        check_positive("max_diagrams", self.max_diagrams)

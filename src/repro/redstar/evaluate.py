@@ -1,0 +1,75 @@
+"""Correlator evaluation: from executed contractions to C(t).
+
+After the scheduler has run a pipeline's vectors with a
+:class:`~repro.tensor.storage.TensorStore` attached (real NumPy
+kernels), this module finishes the job host-side: for each sink time
+slice it takes the final-stage outputs, closes each with a batched
+trace, and averages — producing the correlation function C(t) that
+physicists actually fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.tensor.spec import VectorSpec
+from repro.tensor.storage import TensorStore
+
+
+def batched_trace(array: np.ndarray) -> complex:
+    """Mean over the batch of the matrix trace of a rank-2 output."""
+    if array.ndim != 3 or array.shape[1] != array.shape[2]:
+        raise GraphError(f"trace needs (batch, N, N) arrays, got shape {array.shape}")
+    return complex(np.trace(array, axis1=1, axis2=2).mean())
+
+
+def final_outputs_by_slice(vectors: list[VectorSpec]) -> dict[int, list]:
+    """Per time slice: the output specs of the deepest stage.
+
+    Vectors must carry ``meta['time_slice']`` and ``meta['stage']``
+    (the Redstar pipeline sets both).
+    """
+    by_slice: dict[int, dict[int, list]] = {}
+    for v in vectors:
+        t = v.meta.get("time_slice")
+        stage = v.meta.get("stage")
+        if t is None or stage is None:
+            raise GraphError(
+                "vector lacks time_slice/stage metadata; was it produced by RedstarPipeline?"
+            )
+        by_slice.setdefault(t, {}).setdefault(stage, []).extend(p.out for p in v.pairs)
+    return {t: stages[max(stages)] for t, stages in by_slice.items()}
+
+
+def correlator_values(vectors: list[VectorSpec], store: TensorStore) -> dict[int, complex]:
+    """C(t) per sink time slice.
+
+    Each slice's value is the average batched trace over its deepest
+    stage's (rank-2) outputs — the host-side finishing step after the
+    scheduled contractions.  Rank-3 outputs (mid-contraction baryon
+    intermediates) are excluded; a slice whose deepest stage has no
+    rank-2 output raises.
+    """
+    values: dict[int, complex] = {}
+    for t, outputs in final_outputs_by_slice(vectors).items():
+        traces = [batched_trace(store.get(o.uid)) for o in outputs if o.rank == 2]
+        if not traces:
+            raise GraphError(f"time slice {t} has no rank-2 final outputs to trace")
+        values[t] = complex(np.mean(traces))
+    return values
+
+
+def effective_mass(values: dict[int, complex]) -> dict[int, float]:
+    """Effective-mass curve ``m_eff(t) = log |C(t)/C(t+1)|``.
+
+    The standard first diagnostic plotted from any correlator; defined
+    for consecutive slices with non-zero magnitudes.
+    """
+    out: dict[int, float] = {}
+    ts = sorted(values)
+    for a, b in zip(ts, ts[1:]):
+        ca, cb = abs(values[a]), abs(values[b])
+        if ca > 0 and cb > 0 and b == a + 1:
+            out[a] = float(np.log(ca / cb))
+    return out

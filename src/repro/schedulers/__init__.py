@@ -1,0 +1,37 @@
+"""Multi-GPU schedulers: MICCO (Alg. 1 + Alg. 2) and baselines.
+
+* :class:`MiccoScheduler` — the paper's heuristic: local reuse patterns,
+  reuse bounds, candidate queue, three toggling policies.
+* :class:`GrouteScheduler` — earliest-available-device load balancing,
+  the paper's state-of-the-art baseline.
+* :class:`RoundRobinScheduler` — naive rotation.
+* :class:`ExhaustiveScheduler` — brute-force oracle for tiny vectors
+  (test/validation only).
+"""
+
+from repro.schedulers.base import Scheduler
+from repro.schedulers.bounds import ReuseBounds, THIRTEEN_SETTINGS, enumerate_bounds
+from repro.schedulers.reuse_patterns import ReusePattern, classify_pair, PairClassification
+from repro.schedulers.micco import MiccoScheduler
+from repro.schedulers.groute import GrouteScheduler
+from repro.schedulers.roundrobin import RoundRobinScheduler
+from repro.schedulers.locality import LocalityScheduler, RandomScheduler
+from repro.schedulers.costgreedy import CostGreedyScheduler
+from repro.schedulers.exhaustive import ExhaustiveScheduler
+
+__all__ = [
+    "Scheduler",
+    "ReuseBounds",
+    "THIRTEEN_SETTINGS",
+    "enumerate_bounds",
+    "ReusePattern",
+    "classify_pair",
+    "PairClassification",
+    "MiccoScheduler",
+    "GrouteScheduler",
+    "RoundRobinScheduler",
+    "LocalityScheduler",
+    "RandomScheduler",
+    "CostGreedyScheduler",
+    "ExhaustiveScheduler",
+]

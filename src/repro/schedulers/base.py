@@ -1,0 +1,36 @@
+"""Scheduler interface.
+
+Scheduling is *online* and interleaved with execution, matching the
+paper's dynamic setting: for each incoming pair the scheduler reads the
+live cluster state (residency, per-vector slot counters, accumulated
+compute) and returns a device id; the execution engine then applies the
+pair, so the next decision sees the true post-state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.gpusim.cluster import ClusterState
+from repro.tensor.spec import TensorPair, VectorSpec
+
+
+class Scheduler(ABC):
+    """Base class for pair→GPU schedulers."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "scheduler"
+
+    def begin_vector(self, vector: VectorSpec, cluster: ClusterState) -> None:
+        """Hook called once before a vector's pairs are scheduled.
+
+        The default is a no-op; stateful schedulers (e.g. round-robin
+        cursors, MICCO's per-vector reuse bounds) override it.
+        """
+
+    @abstractmethod
+    def choose(self, pair: TensorPair, cluster: ClusterState) -> int:
+        """Return the device id to run ``pair`` on."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,112 @@
+"""Reuse bounds (paper §III-B2, Table II).
+
+A reuse bound is the slack, in tensor slots, by which one GPU's share
+of the current vector may exceed the balanced share ``balanceNum`` when
+that lets it reuse resident data.  MICCO keeps three bounds, one per
+local-reuse tier:
+
+* ``bounds[0]`` — ``twoRepeatedSame`` pairs (mapping 1),
+* ``bounds[1]`` — ``twoRepeatedDiff`` / ``oneRepeated`` pairs (mappings 2–3),
+* ``bounds[2]`` — ``twoNew`` pairs (mappings 4–7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReuseBounds:
+    """Immutable triple of per-tier reuse bounds.
+
+    Index with the reuse tier (0–2): ``bounds[0]`` etc.
+    """
+
+    same: float = 0.0
+    partial: float = 0.0
+    new: float = 0.0
+
+    def __post_init__(self):
+        for name, v in (("same", self.same), ("partial", self.partial), ("new", self.new)):
+            if v < 0:
+                raise ConfigurationError(f"reuse bound {name!r} must be >= 0, got {v}")
+
+    def __getitem__(self, tier: int) -> float:
+        if tier == 0:
+            return self.same
+        if tier == 1:
+            return self.partial
+        if tier == 2:
+            return self.new
+        raise IndexError(f"reuse-bound tier must be 0, 1 or 2, got {tier}")
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.same, self.partial, self.new)
+
+    @classmethod
+    def zeros(cls) -> "ReuseBounds":
+        """MICCO-naive: no slack, pure balance-constrained reuse."""
+        return cls(0.0, 0.0, 0.0)
+
+    @classmethod
+    def from_sequence(cls, seq) -> "ReuseBounds":
+        vals = list(seq)
+        if len(vals) != 3:
+            raise ConfigurationError(f"reuse bounds need exactly 3 values, got {len(vals)}")
+        return cls(float(vals[0]), float(vals[1]), float(vals[2]))
+
+    def __str__(self) -> str:
+        def fmt(v: float) -> str:
+            return str(int(v)) if float(v).is_integer() else f"{v:g}"
+
+        return f"({fmt(self.same)},{fmt(self.partial)},{fmt(self.new)})"
+
+
+#: The thirteen bound triples measured in Fig. 8 (values 0–2).
+THIRTEEN_SETTINGS: tuple[ReuseBounds, ...] = tuple(
+    ReuseBounds.from_sequence(t)
+    for t in [
+        (0, 0, 0),
+        (1, 0, 0),
+        (2, 0, 0),
+        (0, 1, 0),
+        (0, 2, 0),
+        (0, 0, 1),
+        (0, 0, 2),
+        (1, 1, 0),
+        (0, 1, 1),
+        (1, 0, 1),
+        (1, 1, 1),
+        (0, 2, 2),
+        (2, 2, 2),
+    ]
+)
+
+
+def enumerate_bounds(max_value: int) -> list[ReuseBounds]:
+    """Every bound triple with components in ``0..max_value``.
+
+    The offline tuner grid-searches this space (the paper bounds each
+    component by ``numTensor - balanceNum``; in practice small values
+    suffice and the tuner caps the grid).
+    """
+    if max_value < 0:
+        raise ConfigurationError(f"max_value must be >= 0, got {max_value}")
+    return [ReuseBounds.from_sequence(t) for t in product(range(max_value + 1), repeat=3)]
+
+
+def bounds_grid(values=(0, 2, 4)) -> list[ReuseBounds]:
+    """Every triple over explicit per-component ``values``.
+
+    The tuner uses even values by default: availability counts tensor
+    *slots* and each pair adds two, so odd slack values collapse onto
+    their even neighbours (bound 1 admits exactly the states bound 2
+    does) and only produce degenerate label ties.
+    """
+    vals = sorted(set(float(v) for v in values))
+    if not vals:
+        raise ConfigurationError("bounds_grid needs at least one value")
+    return [ReuseBounds.from_sequence(t) for t in product(vals, repeat=3)]

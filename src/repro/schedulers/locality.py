@@ -1,0 +1,46 @@
+"""Locality-only baseline (CODA-style co-location, no balance).
+
+Always places a pair on the device already holding (most of) its data,
+regardless of load — the paper's Fig. 2 case ① taken to its logical
+conclusion, and a stand-in for data-placement-first schedulers like
+CODA [Kim et al. 2018] that "pay more attention to data locations".
+Useful as the opposite ablation pole to Groute: Groute is all balance
+and no locality; this is all locality and no balance.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.cluster import ClusterState
+from repro.schedulers.base import Scheduler
+from repro.schedulers.reuse_patterns import classify_pair
+from repro.tensor.spec import TensorPair
+
+
+class LocalityScheduler(Scheduler):
+    """Follow the data; break ties toward the least-loaded holder."""
+
+    name = "locality"
+
+    def choose(self, pair: TensorPair, cluster: ClusterState) -> int:
+        cls = classify_pair(pair, cluster)
+        candidates = cls.common_holders or cls.any_holders
+        if candidates:
+            compute = cluster.compute_s
+            return min(sorted(candidates), key=lambda g: (compute[g], g))
+        # Nothing resident anywhere: place by most free memory so the
+        # new tensors seed the roomiest device.
+        return max(range(cluster.num_devices), key=lambda g: (cluster.free_bytes(g), -g))
+
+
+class RandomScheduler(Scheduler):
+    """Seeded uniform-random placement — the statistical floor."""
+
+    name = "random"
+
+    def __init__(self, seed=0):
+        from repro.utils.rng import as_generator
+
+        self._rng = as_generator(seed)
+
+    def choose(self, pair: TensorPair, cluster: ClusterState) -> int:
+        return int(self._rng.integers(0, cluster.num_devices))

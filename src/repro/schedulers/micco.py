@@ -1,0 +1,151 @@
+"""MICCO's heuristic scheduling algorithm (paper Alg. 1 + Alg. 2).
+
+Step I–II (Alg. 1) build the candidate queue: first devices that hold
+*both* tensors (data-centric, tier-0 bound), then devices holding one
+tensor (tier-1), then any device (tier-2).  A device enters the queue
+only if it passes the availability test
+``assigned_slots[g] < reuseBd[tier] + balanceNum``.
+
+Step III (Alg. 2) picks from the queue: normally the least-loaded
+candidate (computation-centric policy); when assigning the pair would
+oversubscribe some candidate, the candidate with the most free memory
+(memory-eviction-sensitive policy).  Ties break on the secondary
+criterion and then on the lowest device id — deterministic where the
+paper uses ``random()``, so experiment runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.gpusim.cluster import ClusterState
+from repro.schedulers.base import Scheduler
+from repro.schedulers.bounds import ReuseBounds
+from repro.schedulers.reuse_patterns import ReusePattern, classify_pair
+from repro.tensor.spec import TensorPair, VectorSpec
+
+
+def incoming_bytes(pair: TensorPair, device_id: int, cluster: ClusterState) -> int:
+    """New device bytes needed to run ``pair`` on ``device_id``.
+
+    Counts each non-resident distinct input once plus the output.
+    """
+    total = pair.out.nbytes
+    seen: set[int] = set()
+    for spec in pair.inputs:
+        if spec.uid in seen:
+            continue
+        seen.add(spec.uid)
+        if not cluster.is_resident(spec.uid, device_id):
+            total += spec.nbytes
+    return total
+
+
+def would_evict(pair: TensorPair, device_id: int, cluster: ClusterState) -> bool:
+    """True if placing ``pair`` on ``device_id`` would trigger evictions."""
+    return incoming_bytes(pair, device_id, cluster) > cluster.free_bytes(device_id)
+
+
+class MiccoScheduler(Scheduler):
+    """The MICCO heuristic.
+
+    Parameters
+    ----------
+    bounds:
+        Initial reuse bounds.  ``ReuseBounds.zeros()`` gives the paper's
+        *MICCO-naive*; per-vector bounds from the regression model give
+        *MICCO-optimal* (set via :meth:`set_bounds`, typically by the
+        driving session before each vector).
+    pattern_aware:
+        Ablation switch: when False, steps I–II are skipped and every
+        pair is treated as ``twoNew`` (pure balance-constrained
+        placement) — isolates the contribution of the data-centric
+        policy.
+    eviction_sensitive:
+        Ablation switch: when False, Alg. 2 always uses the
+        computation-centric selection, even when a candidate would
+        evict — isolates the memory-eviction-sensitive policy.
+    """
+
+    name = "micco"
+
+    def __init__(
+        self,
+        bounds: ReuseBounds | None = None,
+        *,
+        pattern_aware: bool = True,
+        eviction_sensitive: bool = True,
+    ):
+        self.bounds = bounds if bounds is not None else ReuseBounds.zeros()
+        self.pattern_aware = pattern_aware
+        self.eviction_sensitive = eviction_sensitive
+        #: Pattern histogram, for introspection/experiments.
+        self.pattern_counts: dict[ReusePattern, int] = {p: 0 for p in ReusePattern}
+
+    def set_bounds(self, bounds: ReuseBounds) -> None:
+        """Install the reuse bounds for subsequent decisions."""
+        self.bounds = bounds
+
+    def begin_vector(self, vector: VectorSpec, cluster: ClusterState) -> None:
+        # Per-vector balance counters are reset by the engine via
+        # ``cluster.begin_vector``; nothing else to do here.
+        pass
+
+    # -------------------------------------------------------------- Alg. 1
+    def _available(self, device_id: int, tier: int, cluster: ClusterState) -> bool:
+        """The paper's availability test for reuse-bound ``tier``."""
+        return cluster.assigned_slots[device_id] < self.bounds[tier] + cluster.balance_num
+
+    def build_candidates(self, pair: TensorPair, cluster: ClusterState) -> list[int]:
+        """Alg. 1 steps I–II: the candidate queue for ``pair``.
+
+        Returned device ids are unique and in ascending order (the order
+        itself never matters — Alg. 2 selects by cost, ties by id).
+        """
+        cls = classify_pair(pair, cluster)
+        self.pattern_counts[cls.pattern] += 1
+
+        if self.pattern_aware:
+            # Step I: devices holding both tensors, under the tier-0 bound.
+            candi = [g for g in sorted(cls.common_holders) if self._available(g, 0, cluster)]
+            if candi:
+                return candi
+
+            # Step II: devices holding one tensor, under the tier-1 bound.
+            candi = [g for g in sorted(cls.any_holders) if self._available(g, 1, cluster)]
+            if candi:
+                return candi
+
+        # Fallback: any device under the tier-2 bound.
+        candi = [g for g in range(cluster.num_devices) if self._available(g, 2, cluster)]
+        if candi:
+            return candi
+
+        # Defensive: with bounds >= 0 some device is always below the
+        # balanced share mid-vector, but guard against degenerate
+        # configurations (e.g. externally mutated counters).
+        return list(range(cluster.num_devices))
+
+    # -------------------------------------------------------------- Alg. 2
+    def select(self, candidates: list[int], pair: TensorPair, cluster: ClusterState) -> int:
+        """Alg. 2: computation-centric vs memory-eviction-sensitive pick."""
+        if not candidates:
+            raise SchedulingError("empty candidate queue")
+        evict_flag = self.eviction_sensitive and any(
+            would_evict(pair, g, cluster) for g in candidates
+        )
+        compute = cluster.compute_s
+        if not evict_flag:
+            # Least computation; ties -> most free memory; ties -> lowest id.
+            key = lambda g: (compute[g], -cluster.free_bytes(g), g)
+        else:
+            # Most free memory; ties -> least computation; ties -> lowest id.
+            key = lambda g: (-cluster.free_bytes(g), compute[g], g)
+        return min(candidates, key=key)
+
+    def choose(self, pair: TensorPair, cluster: ClusterState) -> int:
+        return self.select(self.build_candidates(pair, cluster), pair, cluster)
+
+    def reset_stats(self) -> None:
+        self.pattern_counts = {p: 0 for p in ReusePattern}

@@ -1,0 +1,25 @@
+"""Round-robin baseline: rotate devices regardless of cost or residency."""
+
+from __future__ import annotations
+
+from repro.gpusim.cluster import ClusterState
+from repro.schedulers.base import Scheduler
+from repro.tensor.spec import TensorPair, VectorSpec
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cyclic assignment; the weakest sensible baseline."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._cursor = 0
+
+    def begin_vector(self, vector: VectorSpec, cluster: ClusterState) -> None:
+        # Keep the cursor rolling across vectors; nothing to reset.
+        pass
+
+    def choose(self, pair: TensorPair, cluster: ClusterState) -> int:
+        g = self._cursor % cluster.num_devices
+        self._cursor += 1
+        return g

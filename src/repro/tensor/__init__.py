@@ -1,0 +1,36 @@
+"""Tensor substrate: symbolic tensor metadata plus real numeric kernels.
+
+The scheduler layer works on :class:`TensorSpec` metadata (identity,
+shape, byte size).  The numeric layer (:mod:`repro.tensor.storage`,
+:mod:`repro.tensor.contraction`) holds actual NumPy-backed batched
+tensors and executes hadron contractions with ``einsum``/``matmul`` so
+correctness of the contraction math is real, while device timing comes
+from the multi-GPU simulator.
+"""
+
+from repro.tensor.spec import TensorSpec, TensorPair, VectorSpec, next_uid, reset_uid_counter
+from repro.tensor.flops import pair_flops, pair_bytes, vector_flops, contraction_flops
+from repro.tensor.storage import TensorStore
+from repro.tensor.contraction import (
+    contract_pair,
+    meson_contract,
+    baryon_contract,
+    output_spec,
+)
+
+__all__ = [
+    "TensorSpec",
+    "TensorPair",
+    "VectorSpec",
+    "next_uid",
+    "reset_uid_counter",
+    "pair_flops",
+    "pair_bytes",
+    "vector_flops",
+    "contraction_flops",
+    "TensorStore",
+    "contract_pair",
+    "meson_contract",
+    "baryon_contract",
+    "output_spec",
+]

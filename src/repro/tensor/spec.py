@@ -1,0 +1,204 @@
+"""Symbolic tensor metadata — the currency of the scheduling layer.
+
+A *tensor* here is what the paper attaches to a hadron node: a batched
+matrix (meson systems, rank 2) or a batched rank-3 tensor (baryon
+systems).  Identity matters more than value for scheduling: two pairs
+that reference the same :class:`TensorSpec` ``uid`` can reuse a single
+GPU-resident copy, which is exactly the data-reuse opportunity MICCO
+exploits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Bytes per element for single-precision complex (the Redstar default).
+COMPLEX64_BYTES = 8
+#: Bytes per element for double-precision complex.
+COMPLEX128_BYTES = 16
+
+_uid_lock = threading.Lock()
+_uid_counter = itertools.count()
+
+
+def next_uid() -> int:
+    """Return a process-unique tensor id (thread-safe, monotonic)."""
+    with _uid_lock:
+        return next(_uid_counter)
+
+
+def reset_uid_counter() -> None:
+    """Reset uid allocation — test isolation only."""
+    global _uid_counter
+    with _uid_lock:
+        _uid_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Metadata for one batched hadron tensor.
+
+    Parameters
+    ----------
+    uid:
+        Unique identity.  Reuse analysis is identity-based: the same
+        ``uid`` appearing in two pairs is the same physical tensor.
+    size:
+        Dimension length ``N`` of each mode (the paper's *tensor size*,
+        e.g. 128–768).
+    batch:
+        Leading batch dimension (number of time-slice / momentum
+        combinations contracted together in one kernel launch).
+    rank:
+        2 for mesons (matrices), 3 for baryons.
+    dtype_bytes:
+        Bytes per element; complex64 by default.
+    label:
+        Optional human-readable name (hadron node id).
+    """
+
+    uid: int
+    size: int
+    batch: int = 32
+    rank: int = 2
+    dtype_bytes: int = COMPLEX64_BYTES
+    label: str = ""
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ConfigurationError(f"tensor size must be > 0, got {self.size}")
+        if self.batch <= 0:
+            raise ConfigurationError(f"tensor batch must be > 0, got {self.batch}")
+        if self.rank not in (2, 3):
+            raise ConfigurationError(f"tensor rank must be 2 (meson) or 3 (baryon), got {self.rank}")
+        if self.dtype_bytes <= 0:
+            raise ConfigurationError(f"dtype_bytes must be > 0, got {self.dtype_bytes}")
+
+    @property
+    def elements(self) -> int:
+        """Total element count including the batch dimension."""
+        return self.batch * self.size**self.rank
+
+    @property
+    def nbytes(self) -> int:
+        """Device memory footprint in bytes."""
+        return self.elements * self.dtype_bytes
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """NumPy shape ``(batch, size, ..., size)``."""
+        return (self.batch,) + (self.size,) * self.rank
+
+    def derived(self, *, rank: int | None = None, label: str = "") -> "TensorSpec":
+        """A fresh tensor spec with the same size/batch but a new uid.
+
+        Used for contraction outputs.
+        """
+        return TensorSpec(
+            uid=next_uid(),
+            size=self.size,
+            batch=self.batch,
+            rank=self.rank if rank is None else rank,
+            dtype_bytes=self.dtype_bytes,
+            label=label,
+        )
+
+
+@dataclass(frozen=True)
+class TensorPair:
+    """One hadron contraction: two input tensors and one output.
+
+    The pair is the paper's scheduling unit — both inputs and the output
+    land on the same GPU (a contraction kernel runs on one device).
+    """
+
+    left: TensorSpec
+    right: TensorSpec
+    out: TensorSpec
+
+    def __post_init__(self):
+        if self.left.size != self.right.size:
+            raise ConfigurationError(
+                f"contraction requires equal tensor sizes, got {self.left.size} vs {self.right.size}"
+            )
+        if self.left.batch != self.right.batch:
+            raise ConfigurationError(
+                f"contraction requires equal batch sizes, got {self.left.batch} vs {self.right.batch}"
+            )
+
+    @property
+    def inputs(self) -> tuple[TensorSpec, TensorSpec]:
+        return (self.left, self.right)
+
+    @property
+    def input_uids(self) -> tuple[int, int]:
+        return (self.left.uid, self.right.uid)
+
+    @classmethod
+    def make(cls, left: TensorSpec, right: TensorSpec, label: str = "") -> "TensorPair":
+        """Build a pair, deriving the output spec from the inputs."""
+        from repro.tensor.contraction import output_spec
+
+        return cls(left=left, right=right, out=output_spec(left, right, label=label))
+
+
+@dataclass
+class VectorSpec:
+    """One *vector*: a batch of independent tensor pairs (one stage slice).
+
+    Mirrors the paper's input unit (Fig. 6): the scheduler receives one
+    vector at a time, extracts its data characteristics, obtains reuse
+    bounds, then assigns each pair to a GPU.
+
+    ``meta`` carries generator-declared characteristics (repeated rate,
+    distribution, ...) for experiment bookkeeping; schedulers must not
+    read it — they only see measured state.
+    """
+
+    pairs: list[TensorPair]
+    vector_id: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.pairs:
+            raise ConfigurationError("a vector must contain at least one tensor pair")
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    @property
+    def num_tensors(self) -> int:
+        """The paper's ``numTensor``: input-tensor slots (2 per pair)."""
+        return 2 * len(self.pairs)
+
+    @property
+    def tensor_size(self) -> int:
+        """Common dimension length of the vector's tensors."""
+        return self.pairs[0].left.size
+
+    def unique_input_uids(self) -> set[int]:
+        """Distinct input-tensor identities referenced by this vector."""
+        uids: set[int] = set()
+        for p in self.pairs:
+            uids.add(p.left.uid)
+            uids.add(p.right.uid)
+        return uids
+
+    def input_bytes_unique(self) -> int:
+        """Bytes of the distinct input tensors (working set, inputs only)."""
+        seen: dict[int, int] = {}
+        for p in self.pairs:
+            seen[p.left.uid] = p.left.nbytes
+            seen[p.right.uid] = p.right.nbytes
+        return sum(seen.values())
+
+    def output_bytes(self) -> int:
+        """Bytes of all contraction outputs of this vector."""
+        return sum(p.out.nbytes for p in self.pairs)

@@ -1,0 +1,90 @@
+"""Host-side tensor storage with lazy, deterministic materialization.
+
+:class:`TensorStore` plays the role of CPU (host) memory in the paper's
+setting: every input tensor lives on the host and is copied to a GPU on
+first use.  Data is materialized lazily from a per-uid seeded RNG so
+that (a) huge workloads can be scheduled without allocating numerics,
+and (b) when numerics *are* needed (correctness tests, examples), the
+values are reproducible functions of the tensor identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.tensor.spec import TensorPair, TensorSpec
+from repro.tensor.contraction import contract_pair
+
+
+class TensorStore:
+    """Maps :class:`TensorSpec` uids to NumPy arrays.
+
+    Parameters
+    ----------
+    seed:
+        Base seed mixed with each tensor uid for materialization.
+    dtype:
+        NumPy dtype of materialized data (complex64 by default,
+        matching :data:`repro.tensor.spec.COMPLEX64_BYTES`).
+    """
+
+    def __init__(self, seed: int = 0, dtype=np.complex64):
+        self._seed = int(seed)
+        self._dtype = np.dtype(dtype)
+        self._data: dict[int, np.ndarray] = {}
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def nbytes(self) -> int:
+        """Host bytes currently materialized."""
+        return sum(a.nbytes for a in self._data.values())
+
+    def materialize(self, spec: TensorSpec) -> np.ndarray:
+        """Return the array for ``spec``, generating it on first access.
+
+        Values are drawn from ``default_rng(seed ^ hash(uid))`` so the
+        same uid always yields the same data, independent of access
+        order.
+        """
+        arr = self._data.get(spec.uid)
+        if arr is None:
+            rng = np.random.default_rng((self._seed << 32) ^ (spec.uid * 0x9E3779B1 & 0xFFFFFFFF))
+            real = rng.standard_normal(spec.shape, dtype=np.float32)
+            imag = rng.standard_normal(spec.shape, dtype=np.float32)
+            arr = (real + 1j * imag).astype(self._dtype)
+            self._data[spec.uid] = arr
+        return arr
+
+    def put(self, spec: TensorSpec, array: np.ndarray) -> None:
+        """Store an explicit array (e.g. a contraction output)."""
+        if tuple(array.shape) != spec.shape:
+            raise ReproError(f"array shape {array.shape} does not match spec shape {spec.shape}")
+        self._data[spec.uid] = np.asarray(array, dtype=self._dtype)
+
+    def get(self, uid: int) -> np.ndarray:
+        """Return a previously materialized array; KeyError if absent."""
+        try:
+            return self._data[uid]
+        except KeyError:
+            raise ReproError(f"tensor uid {uid} has not been materialized") from None
+
+    def execute_pair(self, pair: TensorPair) -> np.ndarray:
+        """Materialize inputs, run the real contraction, store the output."""
+        a = self.materialize(pair.left)
+        b = self.materialize(pair.right)
+        out = contract_pair(a, b)
+        self._data[pair.out.uid] = out
+        return out
+
+    def evict(self, uid: int) -> None:
+        """Drop a materialized array to bound host memory."""
+        self._data.pop(uid, None)
+
+    def clear(self) -> None:
+        self._data.clear()

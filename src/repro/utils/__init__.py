@@ -1,0 +1,20 @@
+"""Shared utilities: RNG handling, validation helpers, timers."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_in,
+    check_fraction,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "Stopwatch",
+    "check_positive",
+    "check_non_negative",
+    "check_in",
+    "check_fraction",
+]

@@ -1,0 +1,40 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in this library takes either a seed or a
+:class:`numpy.random.Generator`.  Nothing touches NumPy's legacy global
+state, so two runs with the same seeds are bit-identical — a requirement
+for the scheduler-comparison experiments to be meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an existing generator (returned as-is), an integer, a
+    ``SeedSequence`` or ``None`` (OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent generators from one seed.
+
+    Used to give each parallel worker / each experiment cell its own
+    stream without correlations between them.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    if isinstance(seed, np.random.Generator):
+        # Child streams drawn through the parent's bit generator.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

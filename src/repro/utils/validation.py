@@ -1,0 +1,31 @@
+"""Small argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value) -> None:
+    """Raise :class:`ConfigurationError` unless ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value) -> None:
+    """Raise :class:`ConfigurationError` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_fraction(name: str, value, *, inclusive: bool = True) -> None:
+    """Raise unless ``value`` lies in ``[0, 1]`` (or ``(0, 1)``)."""
+    lo_ok = value >= 0 if inclusive else value > 0
+    hi_ok = value <= 1 if inclusive else value < 1
+    if not (lo_ok and hi_ok):
+        raise ConfigurationError(f"{name} must be a fraction in [0, 1], got {value!r}")
+
+
+def check_in(name: str, value, allowed) -> None:
+    """Raise unless ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {sorted(map(str, allowed))}, got {value!r}")

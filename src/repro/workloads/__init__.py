@@ -1,0 +1,34 @@
+"""Synthetic many-body-correlation workload generators.
+
+Produces streams of :class:`~repro.tensor.spec.VectorSpec` with the four
+controllable data characteristics the paper studies (Table I): tensor
+size, vector size, repeated rate, and data distribution (uniform vs
+Gaussian-biased selection of repeated tensors).
+"""
+
+from repro.workloads.distributions import UniformPicker, GaussianPicker, make_picker
+from repro.workloads.synth import SyntheticWorkload, WorkloadParams
+from repro.workloads.characteristics import (
+    DataCharacteristics,
+    CharacteristicsTracker,
+    judge_distribution,
+)
+from repro.workloads.oversub import capacity_for_oversubscription, workload_demand_bytes
+from repro.workloads.serialize import save_stream, load_stream, stream_to_dict, stream_from_dict
+
+__all__ = [
+    "UniformPicker",
+    "GaussianPicker",
+    "make_picker",
+    "SyntheticWorkload",
+    "WorkloadParams",
+    "DataCharacteristics",
+    "CharacteristicsTracker",
+    "judge_distribution",
+    "capacity_for_oversubscription",
+    "workload_demand_bytes",
+    "save_stream",
+    "load_stream",
+    "stream_to_dict",
+    "stream_from_dict",
+]

@@ -1,0 +1,97 @@
+"""Measured data characteristics — the regression model's features.
+
+The paper's model consumes four features per vector (Table I): vector
+size, tensor size, data distribution (judged uniform vs biased), and
+repeated rate (computed dynamically per vector).  This module measures
+them from the vector itself plus a running set of previously seen
+tensor uids; it never peeks at generator metadata, so the online path
+matches what a real Redstar integration could observe.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.spec import VectorSpec
+
+#: Feature-vector column order (stable; persisted models rely on it).
+FEATURE_NAMES = ("vector_size", "tensor_size", "distribution", "repeated_rate")
+
+#: Fraction of the uniform-expected distinct count below which the
+#: repeated picks are judged biased.
+BIAS_DISTINCT_RATIO = 0.75
+
+
+@dataclass(frozen=True)
+class DataCharacteristics:
+    """One vector's measured characteristics.
+
+    ``distribution`` is an indicator: 0.0 = uniform, 1.0 = biased.
+    """
+
+    vector_size: int
+    tensor_size: int
+    distribution: float
+    repeated_rate: float
+
+    def to_features(self) -> np.ndarray:
+        """Feature row in :data:`FEATURE_NAMES` order."""
+        return np.array(
+            [self.vector_size, self.tensor_size, self.distribution, self.repeated_rate],
+            dtype=np.float64,
+        )
+
+
+def judge_distribution(repeated_uids: list[int], pool_size: int) -> float:
+    """Judge repeated-pick bias from within-vector multiplicities.
+
+    A biased (Gaussian) picker lands many picks on the same tensors, so
+    the number of *distinct* repeated uids falls well below what uniform
+    sampling with replacement from a ``pool_size`` history would give
+    (``P·(1 − (1 − 1/P)^n)`` — uniform sampling collides too, by the
+    birthday effect, so a fixed distinct/total ratio misclassifies
+    high-rate uniform vectors).  Below :data:`BIAS_DISTINCT_RATIO` of
+    that expectation → biased (1.0), else uniform (0.0).  An empty or
+    tiny repeated set is judged uniform.
+    """
+    n = len(repeated_uids)
+    if n < 4 or pool_size < 1:
+        return 0.0
+    distinct = len(Counter(repeated_uids))
+    expected = pool_size * (1.0 - (1.0 - 1.0 / pool_size) ** n)
+    return 1.0 if distinct < BIAS_DISTINCT_RATIO * expected else 0.0
+
+
+def measure(vector: VectorSpec, seen_uids: set[int]) -> DataCharacteristics:
+    """Measure ``vector``'s characteristics against history ``seen_uids``."""
+    slots: list[int] = []
+    for p in vector.pairs:
+        slots.append(p.left.uid)
+        slots.append(p.right.uid)
+    repeated = [u for u in slots if u in seen_uids]
+    rate = len(repeated) / len(slots)
+    return DataCharacteristics(
+        vector_size=len(slots),
+        tensor_size=vector.tensor_size,
+        distribution=judge_distribution(repeated, len(seen_uids)),
+        repeated_rate=rate,
+    )
+
+
+class CharacteristicsTracker:
+    """Streaming measurement: feed vectors in order, get features out."""
+
+    def __init__(self):
+        self.seen_uids: set[int] = set()
+
+    def observe(self, vector: VectorSpec) -> DataCharacteristics:
+        """Measure ``vector`` then fold its tensors into the history."""
+        chars = measure(vector, self.seen_uids)
+        self.seen_uids.update(vector.unique_input_uids())
+        return chars
+
+    def reset(self) -> None:
+        self.seen_uids.clear()

@@ -1,0 +1,59 @@
+"""Memory-oversubscription helpers (Fig. 11 setup).
+
+The paper sweeps the oversubscription rate — working-set demand as a
+multiple of aggregate GPU capacity — from 125 % to 200 %.  These
+helpers compute a workload's demand and back out the per-device
+capacity that realises a target rate.
+
+Demand is the *stream* working set: every distinct input tensor (one
+resident copy each — cross-vector reuse needs them cached) plus the
+largest single vector's outputs (outputs drain to the host between
+vectors, so only one vector's worth is in flight).  Sizing from a
+single vector's peak instead would leave no room for cross-vector
+residency and silently disable the very reuse under study.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.tensor.spec import VectorSpec
+from repro.utils.validation import check_positive
+
+
+def vector_demand_bytes(vector: VectorSpec) -> int:
+    """Device bytes one vector needs in isolation: unique inputs plus
+    all outputs."""
+    return vector.input_bytes_unique() + vector.output_bytes()
+
+
+def workload_demand_bytes(vectors: list[VectorSpec]) -> int:
+    """Stream working set: distinct inputs + peak in-flight outputs."""
+    if not vectors:
+        raise ConfigurationError("workload has no vectors")
+    input_bytes: dict[int, int] = {}
+    peak_outputs = 0
+    for v in vectors:
+        for p in v.pairs:
+            input_bytes[p.left.uid] = p.left.nbytes
+            input_bytes[p.right.uid] = p.right.nbytes
+        peak_outputs = max(peak_outputs, v.output_bytes())
+    return sum(input_bytes.values()) + peak_outputs
+
+
+def capacity_for_oversubscription(vectors: list[VectorSpec], num_devices: int, rate: float) -> int:
+    """Per-device capacity such that demand = ``rate`` × total capacity.
+
+    ``rate`` > 1 oversubscribes (Fig. 11 uses 1.25–2.0); ``rate`` ≤ 1
+    gives headroom.  A floor of one vector's per-device share plus one
+    pair's working set is applied so execution always remains feasible.
+    """
+    check_positive("num_devices", num_devices)
+    check_positive("rate", rate)
+    demand = workload_demand_bytes(vectors)
+    capacity = int(demand / (num_devices * rate))
+    # A device must at least hold one pair's inputs + output.
+    floor = 0
+    for v in vectors:
+        for p in v.pairs:
+            floor = max(floor, p.left.nbytes + p.right.nbytes + p.out.nbytes)
+    return max(capacity, floor)

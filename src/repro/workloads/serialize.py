@@ -1,0 +1,94 @@
+"""Workload serialization: save/replay vector streams as JSON.
+
+Production runs want reproducible workload files: a stream captured
+from the Redstar pipeline (or synthesized once) can be stored, shared,
+and replayed against any scheduler/config without regenerating it.
+Tensor identity is preserved exactly — the reuse structure *is* the
+workload.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import WorkloadError
+from repro.tensor.spec import TensorPair, TensorSpec, VectorSpec
+
+#: Format version written into every file.
+FORMAT_VERSION = 1
+
+
+def _spec_to_dict(spec: TensorSpec) -> dict:
+    return {
+        "uid": spec.uid,
+        "size": spec.size,
+        "batch": spec.batch,
+        "rank": spec.rank,
+        "dtype_bytes": spec.dtype_bytes,
+        "label": spec.label,
+    }
+
+
+def _spec_from_dict(d: dict) -> TensorSpec:
+    return TensorSpec(
+        uid=int(d["uid"]),
+        size=int(d["size"]),
+        batch=int(d["batch"]),
+        rank=int(d["rank"]),
+        dtype_bytes=int(d["dtype_bytes"]),
+        label=d.get("label", ""),
+    )
+
+
+def stream_to_dict(vectors: list[VectorSpec]) -> dict:
+    """JSON-safe representation of a vector stream.
+
+    Tensors are stored once in a table; pairs reference uids.
+    """
+    tensors: dict[int, dict] = {}
+    vecs = []
+    for v in vectors:
+        pairs = []
+        for p in v.pairs:
+            for spec in (p.left, p.right, p.out):
+                tensors.setdefault(spec.uid, _spec_to_dict(spec))
+            pairs.append({"left": p.left.uid, "right": p.right.uid, "out": p.out.uid})
+        meta = {k: val for k, val in v.meta.items() if isinstance(val, (str, int, float, bool))}
+        vecs.append({"vector_id": v.vector_id, "pairs": pairs, "meta": meta})
+    return {"version": FORMAT_VERSION, "tensors": list(tensors.values()), "vectors": vecs}
+
+
+def stream_from_dict(payload: dict) -> list[VectorSpec]:
+    """Inverse of :func:`stream_to_dict`."""
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise WorkloadError(f"unsupported workload format version {version!r}")
+    table = {int(d["uid"]): _spec_from_dict(d) for d in payload["tensors"]}
+    vectors = []
+    for v in payload["vectors"]:
+        try:
+            pairs = [
+                TensorPair(left=table[p["left"]], right=table[p["right"]], out=table[p["out"]])
+                for p in v["pairs"]
+            ]
+        except KeyError as e:
+            raise WorkloadError(f"workload file references unknown tensor uid {e.args[0]}") from None
+        vectors.append(VectorSpec(pairs=pairs, vector_id=int(v["vector_id"]), meta=dict(v.get("meta", {}))))
+    return vectors
+
+
+def save_stream(vectors: list[VectorSpec], path: str | Path) -> None:
+    """Write a stream to a JSON workload file."""
+    Path(path).write_text(json.dumps(stream_to_dict(vectors)))
+
+
+def load_stream(path: str | Path) -> list[VectorSpec]:
+    """Load a stream saved by :func:`save_stream`.
+
+    Loaded tensor uids are the stored ones; they are disjoint from
+    freshly generated uids only if the current process has not already
+    produced overlapping ids — replay into a fresh process (or a reset
+    cluster) for exact reproduction.
+    """
+    return stream_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,151 @@
+"""Synthetic vector-stream generator.
+
+Each generated vector has ``vector_size`` input-tensor slots: a
+``repeated_rate`` fraction is drawn from the history of previously used
+tensors (via the configured distribution picker), the rest are fresh
+tensors.  Slots are shuffled and paired consecutively into contraction
+pairs — matching the paper's evaluation setup where vector size,
+tensor size, repeated rate and distribution are the swept knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.tensor.spec import TensorPair, TensorSpec, VectorSpec, next_uid
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_in, check_positive
+from repro.workloads.distributions import make_picker
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Knobs of the synthetic workload (the paper's Table I columns).
+
+    Parameters
+    ----------
+    vector_size:
+        Tensors per vector (paper sweeps 8–64).  Must be even: slots
+        pair up into contractions.
+    tensor_size:
+        Dimension length N (paper sweeps 128–768; default 384).
+    repeated_rate:
+        Fraction of slots drawn from previously seen tensors.
+    distribution:
+        ``'uniform'`` or ``'gaussian'`` selection of repeated tensors.
+    num_vectors:
+        Stream length.
+    batch, rank, dtype_bytes:
+        Forwarded to :class:`TensorSpec`.
+    sigma_frac:
+        Gaussian picker concentration.
+    """
+
+    vector_size: int = 64
+    tensor_size: int = 384
+    repeated_rate: float = 0.5
+    distribution: str = "uniform"
+    num_vectors: int = 10
+    batch: int = 32
+    rank: int = 2
+    dtype_bytes: int = 8
+    sigma_frac: float = 0.05
+
+    def __post_init__(self):
+        check_positive("vector_size", self.vector_size)
+        if self.vector_size % 2:
+            raise WorkloadError(f"vector_size must be even (slots pair up), got {self.vector_size}")
+        check_positive("tensor_size", self.tensor_size)
+        check_fraction("repeated_rate", self.repeated_rate)
+        check_in("distribution", self.distribution, ("uniform", "gaussian"))
+        check_positive("num_vectors", self.num_vectors)
+        check_positive("batch", self.batch)
+        check_in("rank", self.rank, (2, 3))
+
+    def with_(self, **kwargs) -> "WorkloadParams":
+        """Copy with overrides — convenient for experiment sweeps."""
+        return replace(self, **kwargs)
+
+
+class SyntheticWorkload:
+    """Deterministic stream of vectors with controlled characteristics.
+
+    Example
+    -------
+    >>> wl = SyntheticWorkload(WorkloadParams(vector_size=8, num_vectors=3), seed=0)
+    >>> vectors = list(wl)
+    >>> [len(v.pairs) for v in vectors]
+    [4, 4, 4]
+    """
+
+    def __init__(self, params: WorkloadParams, seed=0):
+        self.params = params
+        self._rng = as_generator(seed)
+        self._picker = make_picker(params.distribution, sigma_frac=params.sigma_frac)
+        #: History of every input tensor ever emitted (pick pool).
+        self.pool: list[TensorSpec] = []
+        self._emitted = 0
+
+    def _new_tensor(self) -> TensorSpec:
+        p = self.params
+        return TensorSpec(
+            uid=next_uid(),
+            size=p.tensor_size,
+            batch=p.batch,
+            rank=p.rank,
+            dtype_bytes=p.dtype_bytes,
+            label=f"t{len(self.pool)}",
+        )
+
+    def next_vector(self) -> VectorSpec:
+        """Generate the next vector in the stream."""
+        p = self.params
+        seen_before = {t.uid for t in self.pool}
+        n_slots = p.vector_size
+        n_repeat = int(round(p.repeated_rate * n_slots)) if self.pool else 0
+        n_new = n_slots - n_repeat
+
+        slots: list[TensorSpec] = []
+        if n_repeat:
+            idx = self._picker.pick(len(self.pool), n_repeat, self._rng)
+            slots.extend(self.pool[i] for i in idx)
+        for _ in range(n_new):
+            t = self._new_tensor()
+            self.pool.append(t)
+            slots.append(t)
+
+        order = self._rng.permutation(n_slots)
+        slots = [slots[i] for i in order]
+        pairs = [TensorPair.make(slots[2 * i], slots[2 * i + 1]) for i in range(n_slots // 2)]
+
+        measured_rate = sum(1 for s in slots if s.uid in seen_before) / n_slots
+        vec = VectorSpec(
+            pairs=pairs,
+            vector_id=self._emitted,
+            meta={
+                "declared_repeated_rate": p.repeated_rate,
+                "measured_repeated_rate": measured_rate,
+                "distribution": p.distribution,
+                "tensor_size": p.tensor_size,
+                "vector_size": n_slots,
+            },
+        )
+        self._emitted += 1
+        return vec
+
+    def vectors(self, n: int | None = None) -> list[VectorSpec]:
+        """Generate ``n`` vectors (default: ``params.num_vectors``)."""
+        n = self.params.num_vectors if n is None else n
+        return [self.next_vector() for _ in range(n)]
+
+    def __iter__(self):
+        for _ in range(self.params.num_vectors - self._emitted):
+            yield self.next_vector()
+
+
+def generate_stream(params: WorkloadParams, seed=0) -> list[VectorSpec]:
+    """One-shot helper: build a workload and materialize its stream."""
+    return SyntheticWorkload(params, seed=seed).vectors()

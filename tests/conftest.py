@@ -1,0 +1,58 @@
+"""Shared fixtures and builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim.cluster import ClusterState
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.engine import ExecutionEngine
+from repro.gpusim.interconnect import Interconnect
+from repro.tensor.spec import TensorPair, TensorSpec, VectorSpec, next_uid
+
+MIB = 1024**2
+
+
+def make_tensor(size: int = 16, batch: int = 2, rank: int = 2, label: str = "") -> TensorSpec:
+    """Fresh small tensor spec."""
+    return TensorSpec(uid=next_uid(), size=size, batch=batch, rank=rank, label=label)
+
+
+def make_pair(size: int = 16, batch: int = 2, rank: int = 2, left=None, right=None) -> TensorPair:
+    """Pair of (optionally supplied) tensors with derived output."""
+    left = left if left is not None else make_tensor(size, batch, rank)
+    right = right if right is not None else make_tensor(size, batch, rank)
+    return TensorPair.make(left, right)
+
+
+def make_vector(n_pairs: int = 4, size: int = 16, batch: int = 2, vector_id: int = 0) -> VectorSpec:
+    """Vector of fresh independent pairs."""
+    return VectorSpec(pairs=[make_pair(size, batch) for _ in range(n_pairs)], vector_id=vector_id)
+
+
+def make_cluster(num_devices: int = 2, memory_bytes: int = 64 * MIB, peak_gflops: float = 1000.0) -> ClusterState:
+    return ClusterState(
+        [DeviceSpec(device_id=i, memory_bytes=memory_bytes, peak_gflops=peak_gflops) for i in range(num_devices)]
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster()
+
+
+@pytest.fixture
+def cost_model():
+    return CostModel(interconnect=Interconnect())
+
+
+@pytest.fixture
+def engine(cluster, cost_model):
+    return ExecutionEngine(cluster, cost_model)

@@ -1,0 +1,63 @@
+"""Unit tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_positional(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.experiment == "fig7"
+        assert not args.full
+
+    def test_full_flag(self):
+        args = build_parser().parse_args(["tab4", "--full"])
+        assert args.full
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig5", "fig7", "tab6"):
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_runs_experiment(self, capsys, monkeypatch):
+        import repro.experiments as ex
+
+        monkeypatch.setitem(ex.EXPERIMENTS, "fig7", type("M", (), {"main": staticmethod(lambda quick: f"ran quick={quick}")}))
+        assert main(["fig7"]) == 0
+        assert "ran quick=True" in capsys.readouterr().out
+
+    def test_full_propagates(self, capsys, monkeypatch):
+        import repro.experiments as ex
+
+        monkeypatch.setitem(ex.EXPERIMENTS, "fig7", type("M", (), {"main": staticmethod(lambda quick: f"ran quick={quick}")}))
+        assert main(["fig7", "--full"]) == 0
+        assert "ran quick=False" in capsys.readouterr().out
+
+    def test_all_with_json(self, capsys, monkeypatch, tmp_path):
+        import repro.experiments as ex
+        from repro.experiments.report import Table
+
+        class FakeResult:
+            rows = [{"v": 2}]
+
+            def table(self):
+                t = Table("fake-table", ["v"])
+                t.add_row(2)
+                return t
+
+        fake = type("M", (), {"run": staticmethod(lambda quick: FakeResult())})
+        monkeypatch.setattr(ex, "EXPERIMENTS", {"fig7": fake})
+        out_path = tmp_path / "results.json"
+        assert main(["all", "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "===== fig7 =====" in out
+        assert "fake-table" in out
+        assert out_path.exists()

@@ -1,0 +1,56 @@
+"""Unit tests for the compare() convenience and pattern reporting."""
+
+import pytest
+
+from repro.core.config import MiccoConfig
+from repro.core.framework import Micco, compare
+from repro.schedulers.groute import GrouteScheduler
+from repro.workloads.synth import SyntheticWorkload, WorkloadParams
+
+
+def stream():
+    params = WorkloadParams(vector_size=8, tensor_size=16, batch=2, num_vectors=3, repeated_rate=0.5)
+    return SyntheticWorkload(params, seed=0).vectors()
+
+
+class TestCompare:
+    def test_table_rows_per_system(self):
+        cfg = MiccoConfig(num_devices=2)
+        table = compare(stream(), {
+            "groute": Micco.baseline(GrouteScheduler(), cfg),
+            "micco": Micco.naive(cfg),
+        })
+        text = table.to_text()
+        assert "groute" in text and "micco" in text
+        assert len(table.rows) == 2
+        # Baseline speedup is exactly 1.
+        assert table.rows[0][2] == pytest.approx(1.0)
+
+    def test_explicit_baseline(self):
+        cfg = MiccoConfig(num_devices=2)
+        table = compare(
+            stream(),
+            {"a": Micco.naive(cfg), "b": Micco.naive(cfg)},
+            baseline="b",
+        )
+        assert table.rows[1][2] == pytest.approx(1.0)
+
+    def test_empty_systems_rejected(self):
+        with pytest.raises(ValueError):
+            compare(stream(), {})
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            compare(stream(), {"a": Micco.naive(MiccoConfig(num_devices=2))}, baseline="zz")
+
+
+class TestPatternReporting:
+    def test_micco_run_reports_patterns(self):
+        result = Micco.naive(MiccoConfig(num_devices=2)).run(stream())
+        assert result.pattern_counts
+        assert sum(result.pattern_counts.values()) >= 12  # one per pair
+        assert "twoNew" in result.pattern_counts
+
+    def test_groute_run_has_no_patterns(self):
+        result = Micco.baseline(GrouteScheduler(), MiccoConfig(num_devices=2)).run(stream())
+        assert result.pattern_counts == {}

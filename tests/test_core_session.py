@@ -1,0 +1,122 @@
+"""Unit tests for the run-session driver and the Micco facade."""
+
+import pytest
+
+from repro.core.config import MiccoConfig
+from repro.core.framework import Micco
+from repro.core.session import run_stream
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.engine import ExecutionEngine
+from repro.schedulers.bounds import ReuseBounds
+from repro.schedulers.groute import GrouteScheduler
+from repro.schedulers.micco import MiccoScheduler
+from repro.schedulers.roundrobin import RoundRobinScheduler
+from repro.workloads.synth import SyntheticWorkload, WorkloadParams
+from tests.conftest import MIB, make_cluster, make_vector
+
+
+def small_stream(n=4):
+    params = WorkloadParams(vector_size=8, tensor_size=16, batch=2, num_vectors=n, repeated_rate=0.5)
+    return SyntheticWorkload(params, seed=0).vectors()
+
+
+class TestRunStream:
+    def test_executes_all_pairs(self):
+        cl = make_cluster()
+        engine = ExecutionEngine(cl, CostModel())
+        vectors = small_stream()
+        result = run_stream(vectors, MiccoScheduler(), cl, engine)
+        assert result.metrics.pairs_executed == sum(len(v.pairs) for v in vectors)
+
+    def test_per_vector_records(self):
+        cl = make_cluster()
+        engine = ExecutionEngine(cl, CostModel())
+        vectors = small_stream(3)
+        result = run_stream(vectors, GrouteScheduler(), cl, engine)
+        assert len(result.per_vector) == 3
+        for rec in result.per_vector:
+            assert len(rec["assignment"]) == 4
+            assert "characteristics" in rec
+
+    def test_schedule_overhead_measured(self):
+        cl = make_cluster()
+        engine = ExecutionEngine(cl, CostModel())
+        result = run_stream(small_stream(), MiccoScheduler(), cl, engine)
+        assert result.schedule_overhead_s > 0
+        assert result.inference_overhead_s == 0  # no predictor attached
+
+    def test_predictor_applied_per_vector(self):
+        calls = []
+
+        class StubPredictor:
+            def predict_bounds(self, chars):
+                calls.append(chars)
+                return ReuseBounds(2, 2, 2)
+
+        cl = make_cluster()
+        engine = ExecutionEngine(cl, CostModel())
+        sched = MiccoScheduler()
+        vectors = small_stream(3)
+        result = run_stream(vectors, sched, cl, engine, predictor=StubPredictor())
+        assert len(calls) == 3
+        assert sched.bounds.as_tuple() == (2.0, 2.0, 2.0)
+        assert result.inference_overhead_s > 0
+        assert result.per_vector[0]["bounds"] == (2.0, 2.0, 2.0)
+
+    def test_predictor_ignored_for_boundless_scheduler(self):
+        class ExplodingPredictor:
+            def predict_bounds(self, chars):  # pragma: no cover
+                raise AssertionError("must not be called")
+
+        cl = make_cluster()
+        engine = ExecutionEngine(cl, CostModel())
+        run_stream(small_stream(1), GrouteScheduler(), cl, engine, predictor=ExplodingPredictor())
+
+    def test_reset_cluster_flag(self):
+        cl = make_cluster()
+        engine = ExecutionEngine(cl, CostModel())
+        run_stream(small_stream(1), GrouteScheduler(), cl, engine)
+        resident_before = cl.total_resident_tensors()
+        assert resident_before > 0
+        run_stream(small_stream(1), GrouteScheduler(), cl, engine, reset_cluster=False)
+        assert cl.total_resident_tensors() >= resident_before
+
+
+class TestMiccoFacade:
+    def test_naive_has_zero_bounds(self):
+        m = Micco.naive(MiccoConfig(num_devices=2))
+        assert m.scheduler.bounds.as_tuple() == (0.0, 0.0, 0.0)
+
+    def test_with_bounds(self):
+        m = Micco.with_bounds(ReuseBounds(1, 2, 3), MiccoConfig(num_devices=2))
+        assert m.scheduler.bounds.as_tuple() == (1.0, 2.0, 3.0)
+
+    def test_baseline_default_is_groute(self):
+        m = Micco.baseline(config=MiccoConfig(num_devices=2))
+        assert isinstance(m.scheduler, GrouteScheduler)
+
+    def test_custom_baseline(self):
+        m = Micco.baseline(RoundRobinScheduler(), MiccoConfig(num_devices=2))
+        assert isinstance(m.scheduler, RoundRobinScheduler)
+
+    def test_run_returns_result(self):
+        m = Micco.naive(MiccoConfig(num_devices=2))
+        result = m.run(small_stream(2))
+        assert result.gflops > 0
+        assert result.makespan_s > 0
+
+    def test_run_resets_by_default(self):
+        m = Micco.naive(MiccoConfig(num_devices=2))
+        a = m.run(small_stream(2)).gflops
+        b = m.run(small_stream(2)).gflops
+        assert a == pytest.approx(b)
+
+    def test_config_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MiccoConfig(num_devices=0)
+
+    def test_config_with_override(self):
+        cfg = MiccoConfig().with_(num_devices=3)
+        assert cfg.num_devices == 3

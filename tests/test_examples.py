@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion.
+
+``reuse_bound_tuning`` is exercised at reduced scale elsewhere
+(integration tests); running its 60-sample tuning here would dominate
+the suite, so it only gets an import/compile check.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "meson_spectroscopy.py",
+    "oversubscription_study.py",
+    "multinode_cluster.py",
+    "baryon_workload_replay.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_examples_all_present():
+    found = {p.name for p in EXAMPLES.glob("*.py")}
+    assert set(FAST_EXAMPLES) <= found
+    assert "reuse_bound_tuning.py" in found
+
+
+def test_tuning_example_compiles():
+    src = (EXAMPLES / "reuse_bound_tuning.py").read_text()
+    compile(src, "reuse_bound_tuning.py", "exec")
+
+
+def test_quickstart_output_shape(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "groute" in out and "micco" in out
+    assert "GFLOPS" in out

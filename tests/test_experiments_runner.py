@@ -1,0 +1,84 @@
+"""Unit tests for the run-all driver and JSON export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import _jsonable, result_to_dict, run_all, save_results
+
+
+class TestJsonable:
+    def test_scalars_pass_through(self):
+        assert _jsonable(3) == 3
+        assert _jsonable("x") == "x"
+        assert _jsonable(None) is None
+
+    def test_numpy_converted(self):
+        assert _jsonable(np.float64(1.5)) == 1.5
+        assert _jsonable(np.array([1, 2])) == [1, 2]
+
+    def test_complex_split(self):
+        assert _jsonable(1 + 2j) == {"real": 1.0, "imag": 2.0}
+
+    def test_nested_containers(self):
+        out = _jsonable({"a": [np.int64(1), (2, 3)]})
+        assert out == {"a": [1, [2, 3]]}
+        json.dumps(out)
+
+
+class TestResultToDict:
+    def test_rows_result(self):
+        class R:
+            rows = [{"x": np.float64(1.0)}]
+
+        d = result_to_dict(R())
+        assert d["rows"] == [{"x": 1.0}]
+        assert d["type"] == "R"
+
+    def test_matrix_result(self):
+        class R:
+            names = ["a", "b"]
+            matrix = np.eye(2)
+
+        d = result_to_dict(R())
+        assert d["matrix"] == [[1.0, 0.0], [0.0, 1.0]]
+
+    def test_list_result(self):
+        class R:
+            rows = []
+            title = "t"
+
+        d = result_to_dict([R(), R()])
+        assert len(d["ablations"]) == 2
+        assert d["ablations"][0]["title"] == "t"
+
+
+class TestRunAll:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_all(include=["nope"], progress=None)
+
+    def test_selected_subset_runs(self, monkeypatch, tmp_path):
+        import repro.experiments as ex
+
+        class FakeResult:
+            rows = [{"v": 1}]
+
+            def table(self):
+                from repro.experiments.report import Table
+
+                t = Table("fake", ["v"])
+                t.add_row(1)
+                return t
+
+        fake = type("M", (), {"run": staticmethod(lambda quick: FakeResult())})
+        monkeypatch.setitem(ex.EXPERIMENTS, "fig7", fake)
+        results = run_all(include=["fig7"], progress=None)
+        assert "fake" in results["fig7"]["text"]
+        assert results["fig7"]["data"]["rows"] == [{"v": 1}]
+
+        path = tmp_path / "out.json"
+        save_results(results, path)
+        payload = json.loads(path.read_text())
+        assert payload["fig7"]["rows"] == [{"v": 1}]

@@ -1,0 +1,36 @@
+"""Unit tests for the sensitivity experiment."""
+
+import pytest
+
+from repro.experiments import sensitivity
+from repro.experiments.sensitivity import SCALES, _variants
+
+
+class TestVariants:
+    def test_grid_covers_four_parameters_three_scales(self):
+        variants = _variants()
+        assert len(variants) == 4 * len(SCALES)
+        names = {name for name, *_ in variants}
+        assert names == {"link bandwidth", "device peak", "efficiency knee", "alloc cost"}
+
+    def test_scales_applied(self):
+        for name, scale, cm, peak in _variants():
+            if name == "link bandwidth":
+                assert cm.interconnect.h2d_bandwidth == pytest.approx(16e9 * scale)
+            if name == "device peak":
+                assert peak == pytest.approx(23_000.0 * scale)
+            if name == "efficiency knee":
+                assert cm.efficiency_half_size == int(256 * scale)
+
+
+class TestRun:
+    def test_tiny_run_shape(self):
+        res = sensitivity.run(
+            vector_size=8, tensor_size=16, num_devices=2,
+            num_vectors=2, batch=2, seed=0,
+        )
+        assert len(res.rows) == 12
+        for r in res.rows:
+            assert r["groute"] > 0 and r["micco"] > 0
+        assert res.table().to_text()
+        assert len(res.speedups()) == 12

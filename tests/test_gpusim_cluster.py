@@ -1,0 +1,131 @@
+"""Unit tests for ClusterState (the scheduler-visible maps)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.gpusim.cluster import ClusterState
+from repro.gpusim.device import DeviceSpec
+from tests.conftest import MIB, make_cluster, make_tensor
+
+
+class TestConstruction:
+    def test_requires_devices(self):
+        with pytest.raises(SchedulingError):
+            ClusterState([])
+
+    def test_requires_ordered_ids(self):
+        with pytest.raises(SchedulingError):
+            ClusterState([DeviceSpec(device_id=1), DeviceSpec(device_id=0)])
+
+    def test_homogeneous_factory(self):
+        cl = ClusterState.homogeneous(3, memory_bytes=MIB)
+        assert cl.num_devices == 3
+        assert all(p.capacity_bytes == MIB for p in cl.pools)
+
+
+class TestResidency:
+    def test_register_and_find(self):
+        cl = make_cluster()
+        t = make_tensor()
+        cl.register(t, 0)
+        assert cl.devices_holding(t.uid) == {0}
+        assert cl.is_resident(t.uid, 0)
+        assert not cl.is_resident(t.uid, 1)
+
+    def test_multi_device_copies(self):
+        cl = make_cluster()
+        t = make_tensor()
+        cl.register(t, 0)
+        cl.register(t, 1)
+        assert cl.devices_holding(t.uid) == {0, 1}
+
+    def test_drop_one_copy(self):
+        cl = make_cluster()
+        t = make_tensor()
+        cl.register(t, 0)
+        cl.register(t, 1)
+        freed = cl.drop(t.uid, 0)
+        assert freed == t.nbytes
+        assert cl.devices_holding(t.uid) == {1}
+
+    def test_drop_everywhere(self):
+        cl = make_cluster()
+        t = make_tensor()
+        cl.register(t, 0)
+        cl.register(t, 1)
+        assert cl.drop_everywhere(t.uid) == 2 * t.nbytes
+        assert cl.devices_holding(t.uid) == frozenset()
+
+    def test_eviction_updates_holders(self):
+        cl = make_cluster(memory_bytes=2 * make_tensor(size=64, batch=8).nbytes)
+        big = [make_tensor(size=64, batch=8) for _ in range(3)]
+        cl.register(big[0], 0)
+        cl.register(big[1], 0)
+        cl.register(big[2], 0)  # evicts big[0]
+        assert cl.devices_holding(big[0].uid) == frozenset()
+        assert cl.resident_count(0) == 2
+
+    def test_used_and_free_bytes(self):
+        cl = make_cluster(memory_bytes=MIB)
+        t = make_tensor(size=16, batch=1)
+        cl.register(t, 1)
+        assert cl.used_bytes(1) == t.nbytes
+        assert cl.free_bytes(1) == MIB - t.nbytes
+        assert cl.used_bytes(0) == 0
+
+
+class TestVectorCounters:
+    def test_begin_vector_sets_balance(self):
+        cl = make_cluster(num_devices=4)
+        cl.begin_vector(64)
+        assert cl.balance_num == 16.0
+        assert cl.assigned_slots.sum() == 0
+
+    def test_record_assignment(self):
+        cl = make_cluster()
+        cl.begin_vector(8)
+        cl.record_assignment(1)
+        cl.record_assignment(1)
+        assert cl.assigned_slots[1] == 4
+
+    def test_begin_vector_rejects_zero(self):
+        with pytest.raises(SchedulingError):
+            make_cluster().begin_vector(0)
+
+
+class TestBusyAndClone:
+    def test_busy_is_compute_plus_memop(self):
+        cl = make_cluster()
+        cl.add_compute(0, 1.0)
+        cl.add_memop(0, 0.5)
+        assert cl.busy_s[0] == pytest.approx(1.5)
+
+    def test_reset(self):
+        cl = make_cluster()
+        cl.register(make_tensor(), 0)
+        cl.add_compute(0, 1.0)
+        cl.reset()
+        assert cl.total_resident_tensors() == 0
+        assert cl.busy_s.sum() == 0
+
+    def test_clone_is_independent(self):
+        cl = make_cluster()
+        t = make_tensor()
+        cl.register(t, 0)
+        cl.add_compute(0, 2.0)
+        other = cl.clone()
+        other.drop(t.uid, 0)
+        other.add_compute(0, 5.0)
+        assert cl.is_resident(t.uid, 0)
+        assert cl.compute_s[0] == pytest.approx(2.0)
+
+    def test_clone_preserves_state(self):
+        cl = make_cluster()
+        t = make_tensor()
+        cl.register(t, 1)
+        cl.begin_vector(10)
+        cl.record_assignment(1)
+        other = cl.clone()
+        assert other.is_resident(t.uid, 1)
+        assert other.balance_num == cl.balance_num
+        assert other.assigned_slots[1] == 2

@@ -1,0 +1,93 @@
+"""Unit tests for Interconnect and CostModel."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import DeviceSpec, mi100_like
+from repro.gpusim.interconnect import Interconnect
+from repro.tensor.flops import pair_flops
+from tests.conftest import make_pair
+
+
+class TestInterconnect:
+    def test_h2d_alpha_beta(self):
+        ic = Interconnect(h2d_bandwidth=1e9, latency_s=1e-6)
+        assert ic.h2d_time(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_d2d_uses_d2d_bandwidth(self):
+        ic = Interconnect(h2d_bandwidth=1e9, d2d_bandwidth=2e9, latency_s=0.0)
+        assert ic.d2d_time(2e9) == pytest.approx(1.0)
+
+    def test_d2h_symmetric_with_h2d(self):
+        ic = Interconnect()
+        assert ic.d2h_time(12345) == ic.h2d_time(12345)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            Interconnect(h2d_bandwidth=0)
+
+
+class TestDeviceSpec:
+    def test_mi100_like_builds_homogeneous(self):
+        devs = mi100_like(4)
+        assert [d.device_id for d in devs] == [0, 1, 2, 3]
+        assert len({d.memory_bytes for d in devs}) == 1
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(device_id=-1)
+
+
+class TestKernelTime:
+    def test_efficiency_monotone_in_size(self):
+        cm = CostModel()
+        effs = [cm.kernel_efficiency(n) for n in (64, 128, 384, 768)]
+        assert effs == sorted(effs)
+        assert all(0 < e < 1 for e in effs)
+
+    def test_half_size_gives_half_peak(self):
+        cm = CostModel(efficiency_half_size=256)
+        assert cm.kernel_efficiency(256) == pytest.approx(0.5)
+
+    def test_kernel_time_includes_launch_overhead(self):
+        cm = CostModel(kernel_launch_s=1.0)
+        dev = DeviceSpec(device_id=0, peak_gflops=1e6)
+        assert cm.kernel_time(make_pair(), dev) > 1.0
+
+    def test_kernel_time_scales_with_flops(self):
+        cm = CostModel(kernel_launch_s=0.0)
+        dev = DeviceSpec(device_id=0)
+        small, big = make_pair(size=16, batch=2), make_pair(size=16, batch=4)
+        t_small = cm.kernel_time(small, dev)
+        t_big = cm.kernel_time(big, dev)
+        # Same size -> same efficiency -> time proportional to flops.
+        assert t_big / t_small == pytest.approx(pair_flops(big) / pair_flops(small))
+
+    def test_faster_device_is_faster(self):
+        cm = CostModel(kernel_launch_s=0.0)
+        slow = DeviceSpec(device_id=0, peak_gflops=1000.0)
+        fast = DeviceSpec(device_id=0, peak_gflops=2000.0)
+        p = make_pair()
+        assert cm.kernel_time(p, fast) == pytest.approx(cm.kernel_time(p, slow) / 2)
+
+
+class TestMemoryOps:
+    def test_alloc_time_alpha_beta(self):
+        cm = CostModel(alloc_latency_s=1e-3, alloc_bandwidth=1e9)
+        assert cm.alloc_time(1e9) == pytest.approx(1.0 + 1e-3)
+
+    def test_eviction_writeback_toggle(self):
+        with_wb = CostModel(eviction_writeback=True)
+        without = CostModel(eviction_writeback=False)
+        assert with_wb.eviction_time(10**6) > without.eviction_time(10**6)
+
+    def test_fetch_time_prefers_fast_link(self):
+        ic = Interconnect(h2d_bandwidth=1e9, d2d_bandwidth=4e9)
+        cm = CostModel(interconnect=ic)
+        spec = make_pair().left
+        assert cm.fetch_time(spec, from_device=True) < cm.fetch_time(spec, from_device=False)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(kernel_launch_s=-1.0)

@@ -1,0 +1,197 @@
+"""Unit tests for the ExecutionEngine: counters, residency, costs."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.engine import ExecutionEngine
+from repro.gpusim.metrics import ExecutionMetrics
+from repro.tensor.flops import pair_flops
+from repro.tensor.spec import TensorPair, VectorSpec
+from repro.tensor.storage import TensorStore
+from tests.conftest import make_cluster, make_pair, make_tensor, make_vector
+
+
+def fresh(num_devices=2, memory_mib=64, **cm_kwargs):
+    cluster = make_cluster(num_devices=num_devices, memory_bytes=memory_mib * 1024**2)
+    engine = ExecutionEngine(cluster, CostModel(**cm_kwargs))
+    return cluster, engine
+
+
+class TestSinglePair:
+    def test_new_pair_two_h2d_three_allocs(self):
+        cluster, engine = fresh()
+        m = ExecutionMetrics(num_devices=2)
+        cluster.begin_vector(2)
+        engine.execute_pair(make_pair(), 0, m)
+        assert m.counts.h2d_transfers == 2
+        assert m.counts.d2d_transfers == 0
+        assert m.counts.allocations == 3  # two inputs + output
+        assert m.counts.reuse_hits == 0
+
+    def test_resident_input_is_reuse_hit(self):
+        cluster, engine = fresh()
+        m = ExecutionMetrics(num_devices=2)
+        p = make_pair()
+        cluster.register(p.left, 0)
+        cluster.begin_vector(2)
+        engine.execute_pair(p, 0, m)
+        assert m.counts.reuse_hits == 1
+        assert m.counts.h2d_transfers == 1
+
+    def test_remote_input_is_d2d(self):
+        cluster, engine = fresh()
+        m = ExecutionMetrics(num_devices=2)
+        p = make_pair()
+        cluster.register(p.left, 1)
+        cluster.begin_vector(2)
+        engine.execute_pair(p, 0, m)
+        assert m.counts.d2d_transfers == 1
+        assert m.counts.h2d_transfers == 1
+
+    def test_d2d_moves_source_copy(self):
+        cluster, engine = fresh()  # default cost model: d2d_moves=True
+        m = ExecutionMetrics(num_devices=2)
+        p = make_pair()
+        cluster.register(p.left, 1)
+        cluster.begin_vector(2)
+        engine.execute_pair(p, 0, m)
+        assert cluster.devices_holding(p.left.uid) == {0}
+
+    def test_d2d_copy_semantics_keeps_source(self):
+        cluster, engine = fresh(d2d_moves=False)
+        m = ExecutionMetrics(num_devices=2)
+        p = make_pair()
+        cluster.register(p.left, 1)
+        cluster.begin_vector(2)
+        engine.execute_pair(p, 0, m)
+        assert cluster.devices_holding(p.left.uid) == {0, 1}
+
+    def test_duplicate_input_fetched_once(self):
+        cluster, engine = fresh()
+        m = ExecutionMetrics(num_devices=2)
+        t = make_tensor()
+        p = TensorPair.make(t, t)
+        cluster.begin_vector(2)
+        engine.execute_pair(p, 0, m)
+        assert m.counts.h2d_transfers == 1
+        assert m.counts.reuse_hits == 1
+
+    def test_output_registered_on_device(self):
+        cluster, engine = fresh()
+        m = ExecutionMetrics(num_devices=2)
+        p = make_pair()
+        cluster.begin_vector(2)
+        engine.execute_pair(p, 1, m)
+        assert cluster.is_resident(p.out.uid, 1)
+
+    def test_flops_and_compute_time(self):
+        cluster, engine = fresh()
+        m = ExecutionMetrics(num_devices=2)
+        p = make_pair()
+        cluster.begin_vector(2)
+        engine.execute_pair(p, 0, m)
+        assert m.total_flops == pair_flops(p)
+        assert m.compute_s[0] > 0
+        assert m.compute_s[1] == 0
+
+    def test_invalid_device_raises(self):
+        cluster, engine = fresh()
+        with pytest.raises(SchedulingError):
+            engine.execute_pair(make_pair(), 5, ExecutionMetrics(num_devices=2))
+
+    def test_slot_accounting(self):
+        cluster, engine = fresh()
+        m = ExecutionMetrics(num_devices=2)
+        cluster.begin_vector(4)
+        engine.execute_pair(make_pair(), 0, m)
+        engine.execute_pair(make_pair(), 0, m)
+        assert cluster.assigned_slots[0] == 4
+
+
+class TestEvictions:
+    def test_oversubscription_triggers_eviction(self):
+        t = make_tensor(size=64, batch=8)
+        cluster, engine = fresh(memory_mib=int(3.2 * t.nbytes / 1024**2) or 1)
+        # Capacity ~3 tensors; a pair needs 3 (two inputs + output).
+        m = ExecutionMetrics(num_devices=2)
+        cluster.begin_vector(4)
+        p1 = make_pair(size=64, batch=8)
+        p2 = make_pair(size=64, batch=8)
+        engine.execute_pair(p1, 0, m)
+        engine.execute_pair(p2, 0, m)
+        assert m.counts.evictions > 0
+        assert m.counts.eviction_bytes > 0
+
+    def test_current_pair_tensors_protected(self):
+        t = make_tensor(size=64, batch=8)
+        cluster, engine = fresh(memory_mib=max(1, int(3.2 * t.nbytes / 1024**2)))
+        m = ExecutionMetrics(num_devices=2)
+        cluster.begin_vector(2)
+        p = make_pair(size=64, batch=8)
+        engine.execute_pair(p, 0, m)
+        # All three tensors of the pair survived its own execution.
+        assert cluster.is_resident(p.left.uid, 0)
+        assert cluster.is_resident(p.right.uid, 0)
+        assert cluster.is_resident(p.out.uid, 0)
+
+
+class TestVectorExecution:
+    def test_counter_invariant(self):
+        """Every input slot is exactly one of: reuse hit, h2d, d2d."""
+        cluster, engine = fresh()
+        v = make_vector(n_pairs=6)
+        m = engine.execute_vector(v, [0, 1, 0, 1, 0, 1])
+        c = m.counts
+        assert c.reuse_hits + c.h2d_transfers + c.d2d_transfers == v.num_tensors
+
+    def test_assignment_length_checked(self):
+        cluster, engine = fresh()
+        with pytest.raises(SchedulingError):
+            engine.execute_vector(make_vector(n_pairs=3), [0, 1])
+
+    def test_outputs_drained_by_default(self):
+        cluster, engine = fresh()
+        v = make_vector(n_pairs=2)
+        engine.execute_vector(v, [0, 0])
+        for p in v.pairs:
+            assert cluster.devices_holding(p.out.uid) == frozenset()
+
+    def test_keep_outputs(self):
+        cluster, engine = fresh()
+        v = make_vector(n_pairs=2)
+        engine.execute_vector(v, [0, 1], keep_outputs=True)
+        assert cluster.is_resident(v.pairs[0].out.uid, 0)
+        assert cluster.is_resident(v.pairs[1].out.uid, 1)
+
+    def test_pairs_per_device(self):
+        cluster, engine = fresh()
+        v = make_vector(n_pairs=4)
+        m = engine.execute_vector(v, [0, 0, 0, 1])
+        assert list(m.pairs_per_device) == [3, 1]
+
+    def test_reuse_across_vectors(self):
+        """A tensor left resident by vector 1 is a reuse hit in vector 2."""
+        cluster, engine = fresh()
+        t1, t2 = make_tensor(), make_tensor()
+        v1 = VectorSpec(pairs=[TensorPair.make(t1, t2)], vector_id=0)
+        v2 = VectorSpec(pairs=[TensorPair.make(t1, make_tensor())], vector_id=1)
+        engine.execute_vector(v1, [0])
+        m = engine.execute_vector(v2, [0])
+        assert m.counts.reuse_hits == 1
+
+    def test_numeric_validation_via_store(self):
+        store = TensorStore(seed=0)
+        cluster = make_cluster()
+        engine = ExecutionEngine(cluster, CostModel(), store=store)
+        v = make_vector(n_pairs=2, size=6)
+        engine.execute_vector(v, [0, 1])
+        for p in v.pairs:
+            assert p.out.uid in store
+
+    def test_makespan_is_max_device_time(self):
+        cluster, engine = fresh()
+        v = make_vector(n_pairs=4)
+        m = engine.execute_vector(v, [0, 0, 0, 0])
+        assert m.makespan_s == pytest.approx(float(m.device_time_s[0]))
+        assert m.device_time_s[1] == 0

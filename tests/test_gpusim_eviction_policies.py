@@ -1,0 +1,82 @@
+"""Unit tests for the pluggable eviction policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.memory import EVICTION_POLICIES, MemoryPool
+from tests.conftest import make_cluster, make_tensor
+
+
+class TestPolicySelection:
+    def test_known_policies(self):
+        assert set(EVICTION_POLICIES) == {"lru", "fifo", "largest"}
+        for policy in EVICTION_POLICIES:
+            MemoryPool(100, policy=policy)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryPool(100, policy="random")
+
+
+class TestFifo:
+    def test_ignores_recency(self):
+        pool = MemoryPool(100, policy="fifo")
+        pool.allocate(1, 40)
+        pool.allocate(2, 40)
+        pool.touch(1)  # LRU would now evict 2; FIFO still evicts 1.
+        evicted = pool.allocate(3, 40)
+        assert [r.uid for r in evicted] == [1]
+
+    def test_order_is_insertion(self):
+        pool = MemoryPool(100, policy="fifo")
+        for uid in (5, 3, 9):
+            pool.allocate(uid, 30)
+        evicted = pool.allocate(10, 90)
+        assert [r.uid for r in evicted] == [5, 3, 9]
+
+
+class TestLargest:
+    def test_biggest_victim_first(self):
+        pool = MemoryPool(100, policy="largest")
+        pool.allocate(1, 10)
+        pool.allocate(2, 60)
+        pool.allocate(3, 20)
+        evicted = pool.allocate(4, 50)
+        assert [r.uid for r in evicted] == [2]
+        assert 1 in pool and 3 in pool
+
+    def test_tie_breaks_oldest(self):
+        pool = MemoryPool(100, policy="largest")
+        pool.allocate(1, 40)
+        pool.allocate(2, 40)
+        evicted = pool.allocate(3, 30)
+        assert [r.uid for r in evicted] == [1]
+
+
+class TestPolicyRespectsProtection:
+    @pytest.mark.parametrize("policy", EVICTION_POLICIES)
+    def test_protected_never_victim(self, policy):
+        pool = MemoryPool(100, policy=policy)
+        pool.allocate(1, 50)
+        pool.allocate(2, 40)
+        evicted = pool.allocate(3, 50, protect={1})
+        assert all(r.uid != 1 for r in evicted)
+
+
+class TestClusterIntegration:
+    def test_cluster_propagates_policy(self):
+        cl = make_cluster()
+        assert cl.eviction_policy == "lru"
+        from repro.gpusim.cluster import ClusterState
+        from repro.gpusim.device import mi100_like
+
+        cl2 = ClusterState(mi100_like(2, memory_bytes=1024**2), eviction_policy="fifo")
+        assert all(p.policy == "fifo" for p in cl2.pools)
+        assert cl2.clone().eviction_policy == "fifo"
+
+    def test_config_propagates_policy(self):
+        from repro.core.config import MiccoConfig
+        from repro.core.framework import Micco
+
+        m = Micco.naive(MiccoConfig(num_devices=2, eviction_policy="largest"))
+        assert all(p.policy == "largest" for p in m.cluster.pools)

@@ -1,0 +1,121 @@
+"""Unit tests for the LRU MemoryPool."""
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.gpusim.memory import MemoryPool
+
+
+class TestAllocate:
+    def test_basic_accounting(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 40)
+        assert pool.used_bytes == 40
+        assert pool.free_bytes == 60
+        assert 1 in pool
+
+    def test_idempotent_allocate(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 40)
+        evicted = pool.allocate(1, 40)
+        assert evicted == []
+        assert pool.used_bytes == 40
+
+    def test_evicts_lru_first(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 40)
+        pool.allocate(2, 40)
+        evicted = pool.allocate(3, 40)
+        assert [r.uid for r in evicted] == [1]
+        assert 1 not in pool and 2 in pool and 3 in pool
+
+    def test_touch_refreshes_recency(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 40)
+        pool.allocate(2, 40)
+        pool.touch(1)
+        evicted = pool.allocate(3, 40)
+        assert [r.uid for r in evicted] == [2]
+
+    def test_protect_skips_victims(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 40)
+        pool.allocate(2, 40)
+        evicted = pool.allocate(3, 40, protect={1})
+        assert [r.uid for r in evicted] == [2]
+        assert 1 in pool
+
+    def test_multiple_evictions_for_large_alloc(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 30)
+        pool.allocate(2, 30)
+        pool.allocate(3, 30)
+        evicted = pool.allocate(4, 80)
+        assert [r.uid for r in evicted] == [1, 2, 3]
+
+    def test_oversized_tensor_raises(self):
+        pool = MemoryPool(100)
+        with pytest.raises(CapacityError):
+            pool.allocate(1, 101)
+
+    def test_all_protected_raises(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 60)
+        with pytest.raises(CapacityError):
+            pool.allocate(2, 60, protect={1})
+
+    def test_eviction_reports_bytes(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 70)
+        (evicted,) = pool.allocate(2, 70)
+        assert evicted.nbytes == 70
+
+
+class TestQueries:
+    def test_resident_uids_lru_order(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 10)
+        pool.allocate(2, 10)
+        pool.touch(1)
+        assert pool.resident_uids() == [2, 1]
+
+    def test_fits(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 60)
+        assert pool.fits(40)
+        assert not pool.fits(41)
+
+    def test_would_evict(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 60)
+        assert pool.would_evict(50)
+        assert not pool.would_evict(50, protect={1})  # nothing evictable
+        assert not pool.would_evict(40)
+
+    def test_nbytes_of(self):
+        pool = MemoryPool(100)
+        pool.allocate(7, 33)
+        assert pool.nbytes_of(7) == 33
+
+
+class TestFreeClear:
+    def test_free_returns_size(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 25)
+        assert pool.free(1) == 25
+        assert pool.used_bytes == 0
+
+    def test_free_missing_returns_zero(self):
+        assert MemoryPool(100).free(42) == 0
+
+    def test_clear(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 25)
+        pool.clear()
+        assert len(pool) == 0 and pool.used_bytes == 0
+
+    def test_rejects_nonpositive_capacity(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MemoryPool(0)

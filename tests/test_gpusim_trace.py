@@ -1,0 +1,79 @@
+"""Unit tests for the trace recorder."""
+
+import json
+
+import pytest
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.engine import ExecutionEngine
+from repro.gpusim.trace import TraceRecorder
+from tests.conftest import make_cluster, make_vector
+
+
+def traced_run(n_pairs=4, assignment=None):
+    cluster = make_cluster()
+    trace = TraceRecorder()
+    engine = ExecutionEngine(cluster, CostModel(), trace=trace)
+    v = make_vector(n_pairs=n_pairs)
+    engine.execute_vector(v, assignment or [i % 2 for i in range(n_pairs)])
+    return trace, v
+
+
+class TestRecorder:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record("dma", 0, 1.0)
+
+    def test_device_clock_serializes_events(self):
+        tr = TraceRecorder()
+        tr.record("alloc", 0, 1.0)
+        tr.record("kernel", 0, 2.0)
+        tr.record("alloc", 1, 5.0)
+        a, k, other = tr.events
+        assert a.end_s == k.start_s
+        assert other.start_s == 0.0  # devices have independent clocks
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.record("alloc", 0, 1.0)
+        tr.clear()
+        assert len(tr) == 0
+        tr.record("alloc", 0, 1.0)
+        assert tr.events[0].start_s == 0.0
+
+
+class TestEngineIntegration:
+    def test_kernel_per_pair(self):
+        trace, v = traced_run(n_pairs=4)
+        assert len(trace.events_of("kernel")) == 4
+
+    def test_fetch_events_match_counters(self):
+        trace, v = traced_run(n_pairs=3)
+        h2d = trace.events_of("h2d")
+        assert len(h2d) == 6  # all inputs fresh
+
+    def test_summary_by_device(self):
+        trace, _ = traced_run(n_pairs=4)
+        summary = trace.summary_by_device()
+        assert set(summary) == {0, 1}
+        for dev in summary.values():
+            assert dev["kernel"] > 0
+            assert dev["events"] > 0
+
+    def test_chrome_trace_schema(self, tmp_path):
+        trace, _ = traced_run(n_pairs=2)
+        path = tmp_path / "trace.json"
+        trace.save_chrome_trace(path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["dur"] >= 0
+            assert e["tid"] in (0, 1)
+
+    def test_records_roundtrip(self):
+        trace, _ = traced_run(n_pairs=2)
+        recs = trace.to_records()
+        assert len(recs) == len(trace)
+        assert {"kind", "device", "start_s", "duration_s"} <= set(recs[0])

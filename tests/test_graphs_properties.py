@@ -1,0 +1,79 @@
+"""Property-based tests on graph contraction invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.contraction_graph import ContractionGraph, InternTable, contract_graph
+from repro.graphs.stages import build_stage_plan, stages_to_vectors
+from tests.conftest import make_tensor
+
+
+@st.composite
+def random_graphs(draw):
+    """Connected-ish random multigraphs of 3-8 hadron nodes."""
+    n = draw(st.integers(3, 8))
+    nodes = {f"h{i}": make_tensor(size=8, label=f"h{i}") for i in range(n)}
+    names = list(nodes)
+    # Spanning path guarantees one connected component...
+    edges = [(names[i], names[i + 1]) for i in range(n - 1)]
+    # ...plus random extra edges (parallel edges allowed).
+    extra = draw(st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)), max_size=8))
+    for a, b in extra:
+        if a != b:
+            edges.append((names[a], names[b]))
+    return ContractionGraph(nodes=nodes, edges=edges)
+
+
+class TestContractionProperties:
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_connected_graph_needs_n_minus_2_steps(self, graph):
+        steps = contract_graph(graph, InternTable())
+        assert len(steps) == graph.num_nodes - 2
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_every_step_consumes_known_tensors(self, graph):
+        """Step inputs are original nodes or earlier outputs."""
+        steps = contract_graph(graph, InternTable())
+        known = {t.uid for t in graph.nodes.values()}
+        for step in steps:
+            assert step.left.uid in known
+            assert step.right.uid in known
+            known.add(step.out.uid)
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_depths_respect_dependencies(self, graph):
+        depths: dict[int, int] = {}
+        steps = contract_graph(graph, InternTable(), depths)
+        for step in steps:
+            left_d = depths.get(step.left.uid, 0) if step.left.uid in depths else 0
+            assert step.depth >= 1
+            # The output's recorded depth is at least this step's depth.
+            assert depths[step.out.uid] >= step.depth
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_stage_plan_round_trip(self, graph):
+        """Plan validates and chunks losslessly into vectors."""
+        steps = contract_graph(graph, InternTable())
+        if not steps:
+            return
+        plan = build_stage_plan(steps)
+        plan.validate()
+        vectors = stages_to_vectors(plan, max_vector_size=4)
+        assert sum(len(v.pairs) for v in vectors) == plan.total_steps
+
+    @given(random_graphs(), random_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_intern_table_shared_across_graphs(self, g1, g2):
+        """Interning never produces two outputs for one input pair."""
+        table = InternTable()
+        depths: dict[int, int] = {}
+        steps = contract_graph(g1, table, depths) + contract_graph(g2, table, depths)
+        by_inputs: dict[tuple[int, int], int] = {}
+        for s in steps:
+            key = tuple(sorted((s.left.uid, s.right.uid)))
+            if key in by_inputs:
+                assert by_inputs[key] == s.out.uid
+            by_inputs[key] = s.out.uid

@@ -1,0 +1,71 @@
+"""Unit tests for dependency-analysis stage partitioning."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.contraction_graph import ContractionGraph, InternTable, contract_graph
+from repro.graphs.stages import StagePlan, build_stage_plan, stages_to_vectors
+from tests.conftest import make_tensor
+
+
+def chain_steps(n_nodes=6):
+    """Steps from contracting a path graph (chain): depths grow."""
+    nodes = {f"h{i}": make_tensor(label=f"h{i}") for i in range(n_nodes)}
+    names = list(nodes)
+    edges = [(names[i], names[i + 1]) for i in range(n_nodes - 1)]
+    g = ContractionGraph(nodes=nodes, edges=edges)
+    return contract_graph(g, InternTable())
+
+
+class TestBuildStagePlan:
+    def test_groups_by_depth(self):
+        steps = chain_steps()
+        plan = build_stage_plan(steps)
+        assert plan.total_steps == len(steps)
+        for k, stage in enumerate(plan.stages):
+            assert stage  # no empty stages
+
+    def test_dedups_interned_outputs(self):
+        steps = chain_steps()
+        plan = build_stage_plan(steps + steps)  # duplicated stream
+        assert plan.total_steps == len(steps)
+
+    def test_validate_catches_inversion(self):
+        steps = chain_steps()
+        plan = build_stage_plan(steps)
+        # Manually break the invariant: move a late step to stage 0.
+        if len(plan.stages) > 1:
+            bad = StagePlan(stages=[plan.stages[-1], plan.stages[0]])
+            with pytest.raises(GraphError):
+                bad.validate()
+
+    def test_stage_inputs_precede_outputs(self):
+        plan = build_stage_plan(chain_steps(8))
+        plan.validate()  # must not raise
+
+
+class TestStagesToVectors:
+    def test_chunking_respects_max_size(self):
+        steps = chain_steps(10)
+        plan = build_stage_plan(steps)
+        vectors = stages_to_vectors(plan, max_vector_size=4)  # 2 pairs per vector
+        assert all(len(v.pairs) <= 2 for v in vectors)
+        assert sum(len(v.pairs) for v in vectors) == plan.total_steps
+
+    def test_stage_annotation(self):
+        plan = build_stage_plan(chain_steps(6))
+        vectors = stages_to_vectors(plan, max_vector_size=64)
+        assert all("stage" in v.meta for v in vectors)
+        stages = [v.meta["stage"] for v in vectors]
+        assert stages == sorted(stages)
+
+    def test_vector_ids_offset(self):
+        plan = build_stage_plan(chain_steps(6))
+        vectors = stages_to_vectors(plan, max_vector_size=2, start_id=100)
+        assert vectors[0].vector_id == 100
+        assert [v.vector_id for v in vectors] == list(range(100, 100 + len(vectors)))
+
+    def test_minimum_one_pair_per_vector(self):
+        plan = build_stage_plan(chain_steps(4))
+        vectors = stages_to_vectors(plan, max_vector_size=1)
+        assert all(len(v.pairs) == 1 for v in vectors)

@@ -1,0 +1,57 @@
+"""Unit tests for permutation feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.importance import permutation_importance, rank_features
+from repro.ml.linear import LinearRegression
+
+
+class TestPermutationImportance:
+    def test_identifies_informative_feature(self, rng):
+        X = rng.uniform(-1, 1, size=(200, 3))
+        y = 5 * X[:, 1] + 0.01 * rng.standard_normal(200)  # only feature 1
+        model = LinearRegression().fit(X, y)
+        imp = permutation_importance(model, X, y, seed=0)
+        assert imp[1] > 10 * max(abs(imp[0]), abs(imp[2]), 1e-9)
+
+    def test_irrelevant_feature_near_zero(self, rng):
+        X = rng.uniform(-1, 1, size=(300, 2))
+        y = X[:, 0]
+        model = LinearRegression().fit(X, y)
+        imp = permutation_importance(model, X, y, n_repeats=20, seed=0)
+        assert abs(imp[1]) < 0.05
+
+    def test_works_with_forest_multi_output(self, rng):
+        X = rng.uniform(-1, 1, size=(150, 3))
+        Y = np.stack([np.sign(X[:, 0]), np.sign(X[:, 2])], axis=1)
+        model = RandomForestRegressor(n_estimators=10, seed=0).fit(X, Y)
+        imp = permutation_importance(model, X, Y, seed=0)
+        assert imp[0] > imp[1] and imp[2] > imp[1]
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.uniform(size=(80, 2))
+        y = X[:, 0]
+        model = LinearRegression().fit(X, y)
+        a = permutation_importance(model, X, y, seed=7)
+        b = permutation_importance(model, X, y, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self, rng):
+        model = LinearRegression().fit(rng.uniform(size=(10, 2)), rng.uniform(size=10))
+        with pytest.raises(ModelError):
+            permutation_importance(model, np.zeros((5, 2)), np.zeros(4))
+        with pytest.raises(ModelError):
+            permutation_importance(model, np.zeros((5, 2)), np.zeros(5), n_repeats=0)
+
+
+class TestRankFeatures:
+    def test_sorted_descending(self):
+        ranked = rank_features(["a", "b", "c"], np.array([0.1, 0.9, 0.5]))
+        assert [n for n, _ in ranked] == ["b", "c", "a"]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ModelError):
+            rank_features(["a"], np.array([0.1, 0.2]))

@@ -1,0 +1,88 @@
+"""Unit tests for R² and Spearman, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.errors import ModelError
+from repro.ml.metrics import r2_score, spearman_matrix, spearmanr
+
+
+class TestR2:
+    def test_perfect_fit(self, rng):
+        y = rng.standard_normal(50)
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_zero(self, rng):
+        y = rng.standard_normal(50)
+        assert r2_score(y, np.full(50, y.mean())) == pytest.approx(0.0)
+
+    def test_worse_than_mean_negative(self, rng):
+        y = rng.standard_normal(50)
+        assert r2_score(y, -3 * y) < 0
+
+    def test_multi_output_joint(self, rng):
+        Y = rng.standard_normal((50, 3))
+        P = Y.copy()
+        P[:, 0] = Y[:, 0].mean()  # one column predicted by its mean
+        score = r2_score(Y, P)
+        assert 0.5 < score < 1.0
+
+    def test_constant_target(self):
+        y = np.ones(10)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            r2_score(np.zeros(5), np.zeros(6))
+
+
+class TestSpearman:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_scipy(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(60)
+        y = 0.4 * x + rng.standard_normal(60)
+        ours = spearmanr(x, y)
+        ref = float(stats.spearmanr(x, y).statistic)
+        assert ours == pytest.approx(ref, abs=1e-12)
+
+    def test_handles_ties_like_scipy(self):
+        x = np.array([1, 1, 2, 2, 3, 3, 4, 4], dtype=float)
+        y = np.array([2, 1, 2, 3, 3, 5, 4, 4], dtype=float)
+        assert spearmanr(x, y) == pytest.approx(float(stats.spearmanr(x, y).statistic), abs=1e-12)
+
+    def test_monotone_is_one(self):
+        x = np.arange(20.0)
+        assert spearmanr(x, np.exp(x / 5)) == pytest.approx(1.0)
+
+    def test_reversed_is_minus_one(self):
+        x = np.arange(20.0)
+        assert spearmanr(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert spearmanr(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ModelError):
+            spearmanr([1.0], [2.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            spearmanr(np.zeros(4), np.zeros(5))
+
+
+class TestSpearmanMatrix:
+    def test_symmetric_unit_diagonal(self, rng):
+        cols = {k: rng.standard_normal(30) for k in "abc"}
+        names, mat = spearman_matrix(cols)
+        assert names == ["a", "b", "c"]
+        np.testing.assert_allclose(mat, mat.T)
+        np.testing.assert_allclose(np.diag(mat), 1.0)
+
+    def test_entries_match_pairwise(self, rng):
+        a = rng.standard_normal(40)
+        b = a + 0.5 * rng.standard_normal(40)
+        names, mat = spearman_matrix({"a": a, "b": b})
+        assert mat[0, 1] == pytest.approx(spearmanr(a, b))

@@ -1,0 +1,97 @@
+"""Unit tests for the predictor wrapper and JSON persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbm import GradientBoostingRegressor
+from repro.ml.linear import LinearRegression
+from repro.ml.persistence import (
+    load_predictor,
+    model_from_dict,
+    model_to_dict,
+    save_predictor,
+)
+from repro.ml.predictor import ReuseBoundPredictor
+from repro.ml.tree import DecisionTreeRegressor
+from repro.schedulers.bounds import ReuseBounds
+from repro.workloads.characteristics import DataCharacteristics
+
+CHARS = DataCharacteristics(vector_size=16, tensor_size=128, distribution=0.0, repeated_rate=0.5)
+
+
+def fitted_models(rng):
+    X = rng.uniform(0, 10, size=(60, 4))
+    Y = np.stack([X[:, 0] % 3, X[:, 1] % 2, np.zeros(60)], axis=1)
+    return X, Y, [
+        DecisionTreeRegressor(max_depth=4).fit(X, Y),
+        RandomForestRegressor(n_estimators=4, seed=0).fit(X, Y),
+        GradientBoostingRegressor(n_estimators=4, seed=0).fit(X, Y),
+        LinearRegression().fit(X, Y),
+    ]
+
+
+class TestPredictor:
+    def test_rounds_and_clips(self):
+        class Stub:
+            def predict(self, X):
+                return np.array([[1.4, -0.3, 7.9]])
+
+        pred = ReuseBoundPredictor(Stub(), clip_max=4.0)
+        b = pred.predict_bounds(CHARS)
+        assert b.as_tuple() == (1.0, 0.0, 4.0)
+
+    def test_no_clip(self):
+        class Stub:
+            def predict(self, X):
+                return np.array([[10.0, 0.0, 0.0]])
+
+        assert ReuseBoundPredictor(Stub()).predict_bounds(CHARS)[0] == 10.0
+
+    def test_wrong_output_arity_rejected(self):
+        class Stub:
+            def predict(self, X):
+                return np.array([[1.0, 2.0]])
+
+        with pytest.raises(ModelError):
+            ReuseBoundPredictor(Stub()).predict_bounds(CHARS)
+
+    def test_returns_reuse_bounds(self):
+        class Stub:
+            def predict(self, X):
+                return np.zeros((1, 3))
+
+        assert isinstance(ReuseBoundPredictor(Stub()).predict_bounds(CHARS), ReuseBounds)
+
+
+class TestPersistence:
+    def test_roundtrip_all_model_kinds(self, rng):
+        X, Y, models = fitted_models(rng)
+        probe = rng.uniform(0, 10, size=(20, 4))
+        for model in models:
+            clone = model_from_dict(model_to_dict(model))
+            np.testing.assert_allclose(clone.predict(probe), model.predict(probe), atol=1e-12)
+
+    def test_unfitted_tree_rejected(self):
+        with pytest.raises(ModelError):
+            model_to_dict(DecisionTreeRegressor())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_dict({"kind": "svm"})
+
+    def test_unknown_model_type_rejected(self):
+        with pytest.raises(ModelError):
+            model_to_dict(object())
+
+    def test_file_roundtrip(self, rng, tmp_path):
+        X, Y, models = fitted_models(rng)
+        pred = ReuseBoundPredictor(models[1], clip_max=4.0)
+        path = tmp_path / "model.json"
+        save_predictor(pred, path)
+        loaded = load_predictor(path)
+        assert loaded.clip_max == 4.0
+        got = loaded.predict_bounds(CHARS)
+        want = pred.predict_bounds(CHARS)
+        assert got.as_tuple() == want.as_tuple()

@@ -1,0 +1,153 @@
+"""Unit tests for the reuse-bound tuner and training-set builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MiccoConfig
+from repro.ml.dataset import build_training_set, sample_characteristics_grid
+from repro.ml.tuner import (
+    ReuseBoundTuner,
+    canonical_best,
+    max_slack,
+    measured_features,
+    relative_grid,
+)
+from repro.workloads.synth import SyntheticWorkload, WorkloadParams
+
+QUICK = dict(num_vectors=3, batch=2)
+
+
+class TestGridHelpers:
+    def test_max_slack_formula(self):
+        assert max_slack(64, 8) == 64 - 8.0
+
+    def test_relative_grid_even_values(self):
+        grid = relative_grid(64, 8, fractions=(0.0, 0.1, 0.5))
+        vals = sorted({v for b in grid for v in b.as_tuple()})
+        assert vals[0] == 0.0
+        assert all(v % 2 == 0 for v in vals)
+
+    def test_relative_grid_is_cartesian(self):
+        grid = relative_grid(64, 8, fractions=(0.0, 0.5))
+        assert len(grid) == 8
+
+    def test_small_nonzero_fraction_stays_distinct(self):
+        grid = relative_grid(8, 4, fractions=(0.0, 0.01))
+        vals = sorted({v for b in grid for v in b.as_tuple()})
+        assert vals == [0.0, 2.0]
+
+
+class TestCanonicalBest:
+    def test_picks_max(self):
+        sweep = {(0.0, 0.0, 0.0): 10.0, (2.0, 0.0, 0.0): 20.0}
+        key, g = canonical_best(sweep, 0.01)
+        assert key == (2.0, 0.0, 0.0) and g == 20.0
+
+    def test_near_tie_prefers_smallest(self):
+        sweep = {(4.0, 0.0, 0.0): 100.0, (0.0, 0.0, 0.0): 99.8, (2.0, 0.0, 0.0): 99.9}
+        key, g = canonical_best(sweep, 0.005)
+        assert key == (0.0, 0.0, 0.0)
+        assert g == 100.0  # reported gflops is the true max
+
+    def test_tolerance_zero_exact_argmax(self):
+        sweep = {(0.0, 0.0, 0.0): 99.99, (2.0, 0.0, 0.0): 100.0}
+        key, _ = canonical_best(sweep, 0.0)
+        assert key == (2.0, 0.0, 0.0)
+
+
+class TestMeasuredFeatures:
+    def test_skips_first_vector(self):
+        params = WorkloadParams(vector_size=16, repeated_rate=0.5, num_vectors=4)
+        vecs = SyntheticWorkload(params, seed=0).vectors()
+        feats = measured_features(vecs)
+        assert feats[3] == pytest.approx(0.5, abs=0.05)  # not diluted by vec 0
+
+    def test_single_vector_fallback(self):
+        params = WorkloadParams(vector_size=16, num_vectors=1)
+        vecs = SyntheticWorkload(params, seed=0).vectors()
+        assert measured_features(vecs)[3] == 0.0
+
+
+class TestTuner:
+    def test_sweep_covers_grid(self):
+        tuner = ReuseBoundTuner(MiccoConfig(num_devices=2), fractions=(0.0, 0.5), n_seeds=1)
+        params = WorkloadParams(vector_size=8, tensor_size=32, **QUICK)
+        sample = tuner.tune(params, seed=0)
+        assert len(sample.sweep) == 8
+        assert sample.best_gflops == max(sample.sweep.values())
+        assert sample.sweep[sample.best_bounds.as_tuple()] >= sample.best_gflops * 0.99
+
+    def test_label_matches_best_bounds(self):
+        tuner = ReuseBoundTuner(MiccoConfig(num_devices=2), fractions=(0.0, 0.5), n_seeds=1)
+        sample = tuner.tune(WorkloadParams(vector_size=8, tensor_size=32, **QUICK), seed=0)
+        assert list(sample.label) == list(sample.best_bounds.as_tuple())
+
+    def test_features_are_declared_values(self):
+        tuner = ReuseBoundTuner(MiccoConfig(num_devices=2), fractions=(0.0,), n_seeds=1)
+        params = WorkloadParams(
+            vector_size=8, tensor_size=32, repeated_rate=0.75, distribution="gaussian", **QUICK
+        )
+        sample = tuner.tune(params, seed=0)
+        assert list(sample.features) == [8.0, 32.0, 1.0, 0.75]
+
+    def test_deterministic(self):
+        tuner = ReuseBoundTuner(MiccoConfig(num_devices=2), fractions=(0.0, 0.5), n_seeds=1)
+        params = WorkloadParams(vector_size=8, tensor_size=32, **QUICK)
+        a = tuner.tune(params, seed=5)
+        b = tuner.tune(params, seed=5)
+        assert a.sweep == b.sweep
+
+    def test_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ReuseBoundTuner(n_seeds=0)
+
+
+class TestDataset:
+    def test_sampled_params_on_grid(self):
+        from repro.ml.dataset import DISTRIBUTIONS, REPEATED_RATES, TENSOR_SIZES, VECTOR_SIZES
+
+        for p in sample_characteristics_grid(40, seed=0):
+            assert p.vector_size in VECTOR_SIZES
+            assert p.tensor_size in TENSOR_SIZES
+            assert p.repeated_rate in REPEATED_RATES
+            assert p.distribution in DISTRIBUTIONS
+
+    def test_build_training_set_shapes(self):
+        ts = build_training_set(
+            6, MiccoConfig(num_devices=2), seed=0,
+            fractions=(0.0, 0.5), n_seeds=1, num_vectors=3, batch=2,
+        )
+        assert ts.X.shape == (6, 4)
+        assert ts.Y.shape == (6, 3)
+        assert ts.gflops.shape == (6,)
+        assert len(ts) == 6
+
+    def test_repeated_configs_share_labels(self):
+        """Config-derived seeds: identical configs get identical labels."""
+        ts = build_training_set(
+            30, MiccoConfig(num_devices=2), seed=1,
+            fractions=(0.0, 0.5), n_seeds=1, num_vectors=3, batch=2,
+        )
+        by_config = {}
+        for x, y in zip(map(tuple, ts.X), map(tuple, ts.Y)):
+            by_config.setdefault(x, set()).add(y)
+        assert all(len(labels) == 1 for labels in by_config.values())
+
+    def test_split_partition(self):
+        ts = build_training_set(
+            8, MiccoConfig(num_devices=2), seed=0,
+            fractions=(0.0,), n_seeds=1, num_vectors=3, batch=2,
+        )
+        Xtr, Ytr, Xte, Yte = ts.split(0.25, seed=0)
+        assert Xtr.shape[0] + Xte.shape[0] == 8
+        assert Xte.shape[0] == 2
+
+    def test_split_fraction_validated(self):
+        ts = build_training_set(
+            4, MiccoConfig(num_devices=2), seed=0,
+            fractions=(0.0,), n_seeds=1, num_vectors=3, batch=2,
+        )
+        with pytest.raises(ValueError):
+            ts.split(1.5)

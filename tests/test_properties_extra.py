@@ -1,0 +1,106 @@
+"""Additional property-based tests for the extension modules."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.engine import ExecutionEngine
+from repro.gpusim.memory import EVICTION_POLICIES, MemoryPool
+from repro.gpusim.topology import Topology
+from repro.schedulers.costgreedy import CostGreedyScheduler
+from repro.core.session import run_stream
+from repro.workloads.serialize import stream_from_dict, stream_to_dict
+from repro.workloads.synth import SyntheticWorkload, WorkloadParams
+from tests.conftest import make_cluster
+
+
+@st.composite
+def small_streams(draw):
+    params = WorkloadParams(
+        vector_size=draw(st.sampled_from([4, 8])),
+        tensor_size=16,
+        repeated_rate=draw(st.sampled_from([0.0, 0.5, 1.0])),
+        distribution=draw(st.sampled_from(["uniform", "gaussian"])),
+        num_vectors=draw(st.integers(1, 3)),
+        batch=2,
+    )
+    return SyntheticWorkload(params, seed=draw(st.integers(0, 1000))).vectors()
+
+
+class TestSerializationProperties:
+    @given(small_streams())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_identity_structure(self, vectors):
+        loaded = stream_from_dict(stream_to_dict(vectors))
+        for a, b in zip(vectors, loaded):
+            assert [p.input_uids for p in a.pairs] == [p.input_uids for p in b.pairs]
+            assert a.num_tensors == b.num_tensors
+            assert a.input_bytes_unique() == b.input_bytes_unique()
+
+    @given(small_streams())
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_runs_identically(self, vectors):
+        from repro.schedulers.micco import MiccoScheduler
+
+        loaded = stream_from_dict(stream_to_dict(vectors))
+        results = []
+        for stream in (vectors, loaded):
+            cluster = make_cluster()
+            engine = ExecutionEngine(cluster, CostModel())
+            results.append(run_stream(stream, MiccoScheduler(), cluster, engine))
+        assert results[0].metrics.summary() == results[1].metrics.summary()
+
+
+class TestEvictionPolicyProperties:
+    @given(
+        st.sampled_from(EVICTION_POLICIES),
+        st.lists(st.tuples(st.integers(0, 8), st.integers(1, 40)), min_size=1, max_size=25),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_invariant_all_policies(self, policy, seq):
+        pool = MemoryPool(100, policy=policy)
+        for uid, nbytes in seq:
+            pool.allocate(uid, nbytes)
+            assert pool.used_bytes <= pool.capacity_bytes
+            assert pool.used_bytes == sum(pool.nbytes_of(u) for u in pool.resident_uids())
+
+
+class TestTopologyProperties:
+    @given(
+        st.integers(1, 4),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(1, 10**8),
+    )
+    @settings(max_examples=60)
+    def test_cross_node_never_faster(self, per_node, a, b, nbytes):
+        topo = Topology(num_devices=16, devices_per_node={1: 1, 2: 2, 3: 4, 4: 8}[per_node])
+        intra_ref = topo.d2d_time(0, 0, nbytes, 0.0)
+        t = topo.d2d_time(a, b, nbytes, 0.0)
+        if topo.same_node(a, b):
+            assert t == intra_ref
+        else:
+            assert t >= intra_ref
+
+
+class TestCostGreedyProperties:
+    @given(small_streams())
+    @settings(max_examples=20, deadline=None)
+    def test_estimates_are_positive_and_finite(self, vectors):
+        cluster = make_cluster()
+        sched = CostGreedyScheduler()
+        for v in vectors[:1]:
+            for p in v.pairs:
+                for g in range(cluster.num_devices):
+                    est = sched.estimate_added_time(p, g, cluster)
+                    assert np.isfinite(est) and est > 0
+
+    @given(small_streams())
+    @settings(max_examples=20, deadline=None)
+    def test_counter_conservation_under_costgreedy(self, vectors):
+        cluster = make_cluster()
+        engine = ExecutionEngine(cluster, CostModel())
+        result = run_stream(vectors, CostGreedyScheduler(), cluster, engine)
+        c = result.metrics.counts
+        slots = sum(v.num_tensors for v in vectors)
+        assert c.reuse_hits + c.h2d_transfers + c.d2d_transfers == slots

@@ -1,0 +1,102 @@
+"""Unit tests for correlator evaluation and the baryon (NN) dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MiccoConfig
+from repro.core.framework import Micco
+from repro.errors import GraphError
+from repro.redstar.datasets import nucleon_nn
+from repro.redstar.evaluate import (
+    batched_trace,
+    correlator_values,
+    effective_mass,
+    final_outputs_by_slice,
+)
+from repro.redstar.pipeline import RedstarPipeline
+from repro.schedulers.bounds import ReuseBounds
+from repro.tensor.storage import TensorStore
+from tests.conftest import make_vector
+from tests.test_redstar_pipeline import tiny_spec
+
+
+def executed_pipeline(spec, seed=0):
+    from repro.tensor.spec import reset_uid_counter
+
+    # Materialized values derive from tensor uids; reset the uid space
+    # so repeated constructions are numerically identical.
+    reset_uid_counter()
+    pipe = RedstarPipeline(spec, seed=seed)
+    vectors = pipe.vectors()
+    store = TensorStore(seed=1)
+    system = Micco.with_bounds(
+        ReuseBounds(0, 4, 0), MiccoConfig(num_devices=2, keep_outputs=True)
+    )
+    system.engine.store = store
+    system.run(vectors)
+    return vectors, store
+
+
+class TestBatchedTrace:
+    def test_identity_trace(self):
+        eye = np.broadcast_to(np.eye(5), (3, 5, 5)).copy()
+        assert batched_trace(eye) == pytest.approx(5.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(GraphError):
+            batched_trace(np.zeros((2, 3, 4)))
+
+
+class TestFinalOutputs:
+    def test_groups_by_slice_and_stage(self):
+        spec = tiny_spec(time_slices=2)
+        vectors = RedstarPipeline(spec, seed=0).vectors()
+        finals = final_outputs_by_slice(vectors)
+        assert set(finals) == {0, 1}
+        assert all(outs for outs in finals.values())
+
+    def test_missing_metadata_rejected(self):
+        with pytest.raises(GraphError):
+            final_outputs_by_slice([make_vector()])
+
+
+class TestCorrelatorValues:
+    def test_meson_correlator_per_slice(self):
+        spec = tiny_spec(time_slices=3)
+        vectors, store = executed_pipeline(spec)
+        values = correlator_values(vectors, store)
+        assert set(values) == {0, 1, 2}
+        assert all(np.isfinite([v.real, v.imag]).all() for v in values.values())
+
+    def test_values_deterministic(self):
+        spec = tiny_spec(time_slices=2)
+        a = correlator_values(*executed_pipeline(spec))
+        b = correlator_values(*executed_pipeline(spec))
+        assert a == b
+
+    def test_effective_mass_consecutive_slices(self):
+        values = {0: 8.0 + 0j, 1: 4.0 + 0j, 2: 2.0 + 0j}
+        m = effective_mass(values)
+        assert m[0] == pytest.approx(np.log(2))
+        assert m[1] == pytest.approx(np.log(2))
+
+    def test_effective_mass_skips_gaps(self):
+        assert effective_mass({0: 1.0 + 0j, 2: 1.0 + 0j}) == {}
+
+
+class TestNucleonNN:
+    def test_baryon_pipeline_structure(self):
+        spec = nucleon_nn(time_slices=2)
+        pipe = RedstarPipeline(spec, seed=0)
+        vectors = pipe.vectors()
+        assert pipe.stats.num_graphs > 10
+        assert pipe.stats.num_steps > 0
+        ranks = {p.left.rank for v in vectors for p in v.pairs}
+        assert 3 in ranks  # baryon tensors flow through the scheduler
+
+    def test_baryon_numerics_finite(self):
+        vectors, store = executed_pipeline(nucleon_nn(time_slices=2))
+        values = correlator_values(vectors, store)
+        assert values
+        for v in values.values():
+            assert np.isfinite([v.real, v.imag]).all()

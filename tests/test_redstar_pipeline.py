@@ -1,0 +1,108 @@
+"""Unit tests for the Redstar pipeline and real-world dataset analogs."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.redstar.correlator import CorrelatorSpec, Operator, conjugate
+from repro.redstar.datasets import GIB, REAL_WORLD_SPECS, a1_rhopi, f0d2, f0d4
+from repro.redstar.pipeline import RedstarPipeline
+
+
+def tiny_spec(time_slices=2, momenta=2):
+    return CorrelatorSpec(
+        name="tiny",
+        operators=(
+            Operator(name="a1", hadrons=(("u", "dbar"),)),
+            Operator(name="rho_pi", hadrons=(("u", "ubar"), ("u", "dbar")), momenta=momenta),
+        ),
+        tensor_size=16,
+        batch=2,
+        time_slices=time_slices,
+        max_vector_size=8,
+    )
+
+
+class TestCorrelatorSpec:
+    def test_conjugate_roundtrip(self):
+        content = ("u", "dbar", "s")
+        assert conjugate(conjugate(content)) == content
+
+    def test_conjugate_unknown_flavor(self):
+        with pytest.raises(GraphError):
+            conjugate(("x",))
+
+    def test_single_particle_momenta_fixed(self):
+        with pytest.raises(GraphError):
+            Operator(name="bad", hadrons=(("u", "dbar"),), momenta=3)
+
+    def test_empty_operators_rejected(self):
+        with pytest.raises(GraphError):
+            CorrelatorSpec(name="x", operators=(), tensor_size=16)
+
+
+class TestPipeline:
+    def test_diagrams_generated(self):
+        pipe = RedstarPipeline(tiny_spec(), seed=0)
+        graphs = pipe.diagrams(0)
+        assert len(graphs) > 4
+
+    def test_vectors_stream_structure(self):
+        spec = tiny_spec()
+        pipe = RedstarPipeline(spec, seed=0)
+        vectors = pipe.vectors()
+        assert vectors
+        assert all(v.num_tensors <= spec.max_vector_size for v in vectors)
+        assert pipe.stats.num_graphs > 0
+        assert pipe.stats.num_steps == sum(len(v.pairs) for v in vectors)
+
+    def test_source_tensors_shared_across_slices(self):
+        pipe = RedstarPipeline(tiny_spec(time_slices=3), seed=0)
+        pipe.vectors()
+        labels = [k for k in pipe._hadron_registry if k[0] == "src"]
+        # All source registry keys live on time slice 0.
+        assert all(key[4] == 0 for key in labels)
+
+    def test_sink_tensors_per_slice(self):
+        pipe = RedstarPipeline(tiny_spec(time_slices=3), seed=0)
+        pipe.vectors()
+        snk_slices = {key[4] for key in pipe._hadron_registry if key[0] == "snk"}
+        assert snk_slices == {0, 1, 2}
+
+    def test_repeated_steps_not_recomputed_across_slices(self):
+        """Source-source merges appear once, not once per slice."""
+        spec = tiny_spec(time_slices=3)
+        pipe = RedstarPipeline(spec, seed=0)
+        vectors = pipe.vectors()
+        out_uids = [p.out.uid for v in vectors for p in v.pairs]
+        assert len(out_uids) == len(set(out_uids))
+
+    def test_stats_bytes_positive(self):
+        pipe = RedstarPipeline(tiny_spec(), seed=0)
+        pipe.vectors()
+        assert pipe.stats.input_bytes > 0
+        assert pipe.stats.intermediate_bytes > 0
+        assert pipe.stats.total_bytes == pipe.stats.input_bytes + pipe.stats.intermediate_bytes
+
+    def test_deterministic(self):
+        a = RedstarPipeline(tiny_spec(), seed=0)
+        b = RedstarPipeline(tiny_spec(), seed=0)
+        assert [len(v.pairs) for v in a.vectors()] == [len(v.pairs) for v in b.vectors()]
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", ["a1_rhopi", "f0d2", "f0d4"])
+    def test_memory_matches_table6(self, name):
+        factory, paper_n, paper_mem, _ = REAL_WORLD_SPECS[name]
+        spec = factory()
+        pipe = RedstarPipeline(spec, seed=0)
+        pipe.vectors()
+        assert spec.tensor_size == paper_n
+        assert pipe.stats.total_bytes == pytest.approx(paper_mem, rel=0.05)
+
+    def test_thousands_of_graphs(self):
+        pipe = RedstarPipeline(a1_rhopi(), seed=0)
+        pipe.vectors()
+        assert pipe.stats.num_graphs > 1000
+
+    def test_f0_specs_differ(self):
+        assert f0d2().operators[1].momenta != f0d4().operators[1].momenta

@@ -1,0 +1,86 @@
+"""Unit tests for Wick-style diagram enumeration."""
+
+from repro.graphs.hadron import meson
+from repro.redstar.correlator import conjugate
+from repro.redstar.wick import diagrams_for, enumerate_pairings
+
+
+def hadrons_meson_pair():
+    """π+ source with conjugated sink: the minimal 2-point function."""
+    return [("src", ("u", "dbar")), ("snk", conjugate(("u", "dbar")))]
+
+
+class TestEnumeratePairings:
+    def test_minimal_two_point_function(self):
+        pairings = enumerate_pairings(hadrons_meson_pair())
+        assert len(pairings) == 1
+        (edges,) = pairings
+        assert sorted(edges) == [(0, 1), (0, 1)]  # two quark lines src<->snk
+
+    def test_unbalanced_flavors_give_nothing(self):
+        assert enumerate_pairings([("a", ("u", "dbar")), ("b", ("u", "dbar"))]) == []
+
+    def test_flavor_set_mismatch_gives_nothing(self):
+        assert enumerate_pairings([("a", ("u", "ubar")), ("b", ("s", "sbar"))]) == []
+
+    def test_excludes_internal_traces(self):
+        """f0-like (u, ubar) x conjugate: the identity pairing (each
+        quark with its own hadron's antiquark) is excluded."""
+        hadrons = [("src", ("u", "ubar")), ("snk", ("ubar", "u"))]
+        pairings = enumerate_pairings(hadrons)
+        for edges in pairings:
+            assert all(a != b for a, b in edges)
+
+    def test_four_hadron_cell_multiple_diagrams(self):
+        hadrons = [
+            ("s1", ("u", "dbar")),
+            ("s2", ("d", "ubar")),
+            ("k1", conjugate(("u", "dbar"))),
+            ("k2", conjugate(("d", "ubar"))),
+        ]
+        pairings = enumerate_pairings(hadrons)
+        assert len(pairings) >= 2
+        # No duplicates.
+        keys = [tuple(sorted(e)) for e in pairings]
+        assert len(keys) == len(set(keys))
+
+    def test_max_diagrams_cap(self):
+        hadrons = [
+            ("s1", ("u", "ubar")),
+            ("s2", ("u", "ubar")),
+            ("s3", ("u", "ubar")),
+            ("k1", ("ubar", "u")),
+            ("k2", ("ubar", "u")),
+            ("k3", ("ubar", "u")),
+        ]
+        assert len(enumerate_pairings(hadrons, max_diagrams=3)) <= 3
+
+    def test_deterministic_sampling(self):
+        hadrons = [(f"h{i}", ("u", "ubar")) for i in range(5)] + [
+            (f"k{i}", ("ubar", "u")) for i in range(5)
+        ]
+        a = enumerate_pairings(hadrons, max_diagrams=5, seed=1)
+        b = enumerate_pairings(hadrons, max_diagrams=5, seed=1)
+        assert a == b
+
+
+class TestDiagramsFor:
+    def test_builds_graphs_with_shared_tensors(self):
+        src = meson("src", "u", "dbar", size=8)
+        snk_content = conjugate(("u", "dbar"))
+        snk = meson("snk", *snk_content, size=8)
+        graphs = diagrams_for([src, snk])
+        assert len(graphs) == 1
+        g = graphs[0]
+        assert g.nodes["src"].uid == src.tensor.uid
+        assert g.num_edges == 2
+
+    def test_graph_ids_offset(self):
+        hadrons = [
+            meson("s1", "u", "dbar", size=8),
+            meson("s2", "d", "ubar", size=8),
+            meson("k1", "dbar", "u", size=8),
+            meson("k2", "ubar", "d", size=8),
+        ]
+        graphs = diagrams_for(hadrons, graph_id_base=10)
+        assert graphs[0].graph_id == 10

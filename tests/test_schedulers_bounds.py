@@ -1,0 +1,69 @@
+"""Unit tests for ReuseBounds and bound grids."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers.bounds import (
+    THIRTEEN_SETTINGS,
+    ReuseBounds,
+    bounds_grid,
+    enumerate_bounds,
+)
+
+
+class TestReuseBounds:
+    def test_indexing_matches_fields(self):
+        b = ReuseBounds(1.0, 2.0, 3.0)
+        assert (b[0], b[1], b[2]) == (1.0, 2.0, 3.0)
+
+    def test_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            ReuseBounds()[3]
+
+    def test_zeros(self):
+        assert ReuseBounds.zeros().as_tuple() == (0.0, 0.0, 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ReuseBounds(-1.0, 0.0, 0.0)
+
+    def test_from_sequence(self):
+        assert ReuseBounds.from_sequence([1, 2, 3]).as_tuple() == (1.0, 2.0, 3.0)
+
+    def test_from_sequence_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            ReuseBounds.from_sequence([1, 2])
+
+    def test_str_compact(self):
+        assert str(ReuseBounds(0, 2, 0)) == "(0,2,0)"
+        assert str(ReuseBounds(0.5, 0, 0)) == "(0.5,0,0)"
+
+    def test_frozen_and_hashable(self):
+        assert len({ReuseBounds(0, 0, 0), ReuseBounds(0, 0, 0), ReuseBounds(1, 0, 0)}) == 2
+
+
+class TestGrids:
+    def test_enumerate_bounds_size(self):
+        assert len(enumerate_bounds(2)) == 27
+
+    def test_enumerate_bounds_zero(self):
+        assert enumerate_bounds(0) == [ReuseBounds.zeros()]
+
+    def test_enumerate_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            enumerate_bounds(-1)
+
+    def test_bounds_grid_dedups_values(self):
+        grid = bounds_grid((0, 2, 2.0))
+        assert len(grid) == 8  # {0, 2}^3
+
+    def test_bounds_grid_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bounds_grid(())
+
+    def test_thirteen_settings(self):
+        assert len(THIRTEEN_SETTINGS) == 13
+        assert len(set(THIRTEEN_SETTINGS)) == 13
+        assert ReuseBounds(0, 0, 0) in THIRTEEN_SETTINGS
+        for b in THIRTEEN_SETTINGS:
+            assert all(0 <= v <= 2 for v in b.as_tuple())

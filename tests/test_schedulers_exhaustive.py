@@ -1,0 +1,80 @@
+"""Unit tests for the exhaustive oracle scheduler."""
+
+import pytest
+
+from repro.core.session import run_stream
+from repro.errors import SchedulingError
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.engine import ExecutionEngine
+from repro.schedulers.bounds import ReuseBounds
+from repro.schedulers.exhaustive import ExhaustiveScheduler
+from repro.schedulers.micco import MiccoScheduler
+from tests.conftest import make_cluster, make_pair, make_vector
+from repro.tensor.spec import TensorPair, VectorSpec
+from tests.conftest import make_tensor
+
+
+class TestSearch:
+    def test_plan_length_matches_pairs(self):
+        cl = make_cluster()
+        sched = ExhaustiveScheduler()
+        v = make_vector(n_pairs=3)
+        plan = sched.search(v, cl)
+        assert len(plan) == 3
+        assert all(0 <= g < 2 for g in plan)
+
+    def test_single_device_trivial(self):
+        cl = make_cluster(num_devices=1)
+        v = make_vector(n_pairs=2)
+        assert ExhaustiveScheduler().search(v, cl) == [0, 0]
+
+    def test_refuses_huge_space(self):
+        cl = make_cluster(num_devices=8)
+        v = make_vector(n_pairs=10)  # 8**10 assignments
+        with pytest.raises(SchedulingError):
+            ExhaustiveScheduler().search(v, cl)
+
+    def test_choose_without_begin_raises(self):
+        cl = make_cluster()
+        with pytest.raises(SchedulingError):
+            ExhaustiveScheduler().choose(make_pair(), cl)
+
+    def test_oracle_spreads_independent_pairs(self):
+        """With identical independent pairs, the optimum is balanced."""
+        cl = make_cluster(num_devices=2)
+        v = make_vector(n_pairs=4)
+        plan = ExhaustiveScheduler().search(v, cl)
+        assert sorted([plan.count(0), plan.count(1)]) == [2, 2]
+
+    def test_oracle_not_worse_than_manual_plans(self):
+        """The oracle's makespan is <= every hand-written assignment."""
+        t1, t2 = make_tensor(), make_tensor()
+        v = VectorSpec(pairs=[TensorPair.make(t1, t2), TensorPair.make(t1, t2)])
+        oracle_cl = make_cluster(num_devices=2)
+        oracle = ExhaustiveScheduler()
+        oracle.search(v, oracle_cl)
+        best = oracle.best_metrics.makespan_s
+        for manual in ([0, 0], [0, 1], [1, 0], [1, 1]):
+            cl = make_cluster(num_devices=2)
+            m = ExecutionEngine(cl, CostModel()).execute_vector(v, manual)
+            assert best <= m.makespan_s + 1e-12
+
+
+class TestHeuristicVsOracle:
+    @pytest.mark.parametrize("n_pairs", [2, 3, 4])
+    def test_micco_within_factor_of_optimal(self, n_pairs):
+        """The heuristic's makespan stays close to the brute-force optimum
+        on tiny fresh-cluster instances."""
+        v = make_vector(n_pairs=n_pairs)
+
+        oracle_cl = make_cluster(num_devices=2)
+        oracle = ExhaustiveScheduler()
+        plan = oracle.search(v, oracle_cl)
+        engine = ExecutionEngine(oracle_cl, CostModel())
+        best = engine.execute_vector(v, plan)
+
+        micco_cl = make_cluster(num_devices=2)
+        micco_engine = ExecutionEngine(micco_cl, CostModel())
+        result = run_stream([v], MiccoScheduler(ReuseBounds(2, 2, 2)), micco_cl, micco_engine)
+
+        assert result.metrics.makespan_s <= 1.3 * best.makespan_s

@@ -1,0 +1,67 @@
+"""Unit tests for local reuse-pattern classification (paper Fig. 4)."""
+
+from repro.schedulers.reuse_patterns import ReusePattern, classify_pair
+from repro.tensor.spec import TensorPair
+from tests.conftest import make_cluster, make_pair, make_tensor
+
+
+class TestClassification:
+    def test_two_new(self):
+        cl = make_cluster()
+        cls = classify_pair(make_pair(), cl)
+        assert cls.pattern is ReusePattern.TWO_NEW
+        assert cls.any_holders == frozenset()
+
+    def test_one_repeated(self):
+        cl = make_cluster()
+        p = make_pair()
+        cl.register(p.left, 0)
+        cls = classify_pair(p, cl)
+        assert cls.pattern is ReusePattern.ONE_REPEATED
+        assert cls.any_holders == {0}
+
+    def test_two_repeated_same(self):
+        cl = make_cluster()
+        p = make_pair()
+        cl.register(p.left, 1)
+        cl.register(p.right, 1)
+        cls = classify_pair(p, cl)
+        assert cls.pattern is ReusePattern.TWO_REPEATED_SAME
+        assert cls.common_holders == {1}
+
+    def test_two_repeated_diff(self):
+        cl = make_cluster()
+        p = make_pair()
+        cl.register(p.left, 0)
+        cl.register(p.right, 1)
+        cls = classify_pair(p, cl)
+        assert cls.pattern is ReusePattern.TWO_REPEATED_DIFF
+        assert cls.common_holders == frozenset()
+        assert cls.any_holders == {0, 1}
+
+    def test_same_wins_over_diff_with_replicas(self):
+        """left on {0,1}, right on {1}: device 1 holds both -> SAME."""
+        cl = make_cluster()
+        p = make_pair()
+        cl.register(p.left, 0)
+        cl.register(p.left, 1)
+        cl.register(p.right, 1)
+        cls = classify_pair(p, cl)
+        assert cls.pattern is ReusePattern.TWO_REPEATED_SAME
+        assert cls.common_holders == {1}
+
+    def test_self_pair_resident(self):
+        """A pair of the same tensor resident anywhere is SAME."""
+        cl = make_cluster()
+        t = make_tensor()
+        cl.register(t, 0)
+        cls = classify_pair(TensorPair.make(t, t), cl)
+        assert cls.pattern is ReusePattern.TWO_REPEATED_SAME
+
+
+class TestTiers:
+    def test_tier_mapping_matches_table2(self):
+        assert ReusePattern.TWO_REPEATED_SAME.tier == 0
+        assert ReusePattern.TWO_REPEATED_DIFF.tier == 1
+        assert ReusePattern.ONE_REPEATED.tier == 1
+        assert ReusePattern.TWO_NEW.tier == 2

@@ -1,0 +1,102 @@
+"""Unit tests for the numeric contraction kernels and flop accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tensor.contraction import baryon_contract, contract_pair, meson_contract, output_spec
+from repro.tensor.flops import COMPLEX_MAC_FLOPS, contraction_flops, pair_bytes, pair_flops, vector_flops
+from tests.conftest import make_pair, make_tensor, make_vector
+
+
+class TestMesonContract:
+    def test_matches_manual_matmul(self, rng):
+        a = rng.standard_normal((3, 8, 8)) + 1j * rng.standard_normal((3, 8, 8))
+        b = rng.standard_normal((3, 8, 8)) + 1j * rng.standard_normal((3, 8, 8))
+        out = meson_contract(a, b)
+        for k in range(3):
+            np.testing.assert_allclose(out[k], a[k] @ b[k], rtol=1e-12)
+
+    def test_identity_is_neutral(self, rng):
+        a = rng.standard_normal((2, 5, 5))
+        eye = np.broadcast_to(np.eye(5), (2, 5, 5)).copy()
+        np.testing.assert_allclose(meson_contract(a, eye), a)
+
+    def test_rejects_shape_mismatch(self, rng):
+        with pytest.raises(ConfigurationError):
+            meson_contract(np.zeros((2, 4, 4)), np.zeros((2, 5, 5)))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ConfigurationError):
+            meson_contract(np.zeros((4, 4)), np.zeros((4, 4)))
+
+
+class TestBaryonContract:
+    def test_matches_manual_einsum(self, rng):
+        a = rng.standard_normal((2, 4, 4, 4))
+        b = rng.standard_normal((2, 4, 4, 4))
+        out = baryon_contract(a, b)
+        ref = np.einsum("bxyz,bwyz->bxw", a, b)
+        np.testing.assert_allclose(out, ref, rtol=1e-12)
+
+    def test_output_shape(self, rng):
+        a = rng.standard_normal((3, 6, 6, 6))
+        assert baryon_contract(a, a).shape == (3, 6, 6)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ConfigurationError):
+            baryon_contract(np.zeros((2, 4, 4)), np.zeros((2, 4, 4)))
+
+
+class TestContractPair:
+    def test_dispatches_on_rank(self, rng):
+        m = rng.standard_normal((2, 4, 4))
+        b = rng.standard_normal((2, 4, 4, 4))
+        assert contract_pair(m, m).shape == (2, 4, 4)
+        assert contract_pair(b, b).shape == (2, 4, 4)
+
+    def test_rejects_vector_operands(self):
+        with pytest.raises(ConfigurationError):
+            contract_pair(np.zeros((4, 4)), np.zeros((4, 4)))
+
+
+class TestOutputSpec:
+    def test_meson_output_rank2(self):
+        out = output_spec(make_tensor(rank=2), make_tensor(rank=2))
+        assert out.rank == 2
+
+    def test_baryon_output_rank2(self):
+        out = output_spec(make_tensor(rank=3), make_tensor(rank=3))
+        assert out.rank == 2
+
+    def test_mixed_rank_output_rank3(self):
+        assert output_spec(make_tensor(rank=2), make_tensor(rank=3)).rank == 3
+        assert output_spec(make_tensor(rank=3), make_tensor(rank=2)).rank == 3
+
+    def test_fresh_uid(self):
+        a, b = make_tensor(), make_tensor()
+        assert output_spec(a, b).uid not in (a.uid, b.uid)
+
+
+class TestFlops:
+    def test_meson_formula(self):
+        assert contraction_flops(10, 3, 2) == 3 * COMPLEX_MAC_FLOPS * 1000
+
+    def test_baryon_formula(self):
+        assert contraction_flops(10, 3, 3) == 3 * COMPLEX_MAC_FLOPS * 10_000
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ConfigurationError):
+            contraction_flops(10, 1, 5)
+
+    def test_pair_flops_uses_left_geometry(self):
+        p = make_pair(size=12, batch=4)
+        assert pair_flops(p) == contraction_flops(12, 4, 2)
+
+    def test_pair_bytes_counts_all_three(self):
+        p = make_pair(size=8)
+        assert pair_bytes(p) == p.left.nbytes + p.right.nbytes + p.out.nbytes
+
+    def test_vector_flops_sums(self):
+        v = make_vector(n_pairs=3, size=8)
+        assert vector_flops(v) == 3 * pair_flops(v.pairs[0])

@@ -1,0 +1,130 @@
+"""Unit tests for repro.tensor.spec."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tensor.spec import (
+    COMPLEX64_BYTES,
+    TensorPair,
+    TensorSpec,
+    VectorSpec,
+    next_uid,
+)
+from tests.conftest import make_pair, make_tensor, make_vector
+
+
+class TestNextUid:
+    def test_monotonic(self):
+        a, b, c = next_uid(), next_uid(), next_uid()
+        assert a < b < c
+
+    def test_unique_across_many(self):
+        uids = [next_uid() for _ in range(1000)]
+        assert len(set(uids)) == 1000
+
+
+class TestTensorSpec:
+    def test_meson_shape(self):
+        t = TensorSpec(uid=next_uid(), size=384, batch=32, rank=2)
+        assert t.shape == (32, 384, 384)
+
+    def test_baryon_shape(self):
+        t = TensorSpec(uid=next_uid(), size=64, batch=4, rank=3)
+        assert t.shape == (4, 64, 64, 64)
+
+    def test_nbytes_meson(self):
+        t = TensorSpec(uid=next_uid(), size=100, batch=2, rank=2)
+        assert t.nbytes == 2 * 100 * 100 * COMPLEX64_BYTES
+
+    def test_nbytes_scales_with_dtype(self):
+        a = TensorSpec(uid=next_uid(), size=10, batch=1, rank=2, dtype_bytes=8)
+        b = TensorSpec(uid=next_uid(), size=10, batch=1, rank=2, dtype_bytes=16)
+        assert b.nbytes == 2 * a.nbytes
+
+    def test_elements(self):
+        t = TensorSpec(uid=next_uid(), size=8, batch=3, rank=3)
+        assert t.elements == 3 * 8**3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive_size(self, bad):
+        with pytest.raises(ConfigurationError):
+            TensorSpec(uid=next_uid(), size=bad, batch=1)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ConfigurationError):
+            TensorSpec(uid=next_uid(), size=4, batch=1, rank=4)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ConfigurationError):
+            TensorSpec(uid=next_uid(), size=4, batch=0)
+
+    def test_derived_gets_fresh_uid(self):
+        t = make_tensor()
+        d = t.derived()
+        assert d.uid != t.uid
+        assert d.size == t.size and d.batch == t.batch
+
+    def test_frozen(self):
+        t = make_tensor()
+        with pytest.raises(AttributeError):
+            t.size = 99
+
+
+class TestTensorPair:
+    def test_make_derives_output(self):
+        p = make_pair(size=8)
+        assert p.out.size == 8
+        assert p.out.uid not in (p.left.uid, p.right.uid)
+
+    def test_input_uids(self):
+        p = make_pair()
+        assert p.input_uids == (p.left.uid, p.right.uid)
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            TensorPair.make(make_tensor(size=8), make_tensor(size=16))
+
+    def test_rejects_batch_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            TensorPair.make(make_tensor(batch=2), make_tensor(batch=4))
+
+    def test_self_pair_allowed(self):
+        t = make_tensor()
+        p = TensorPair.make(t, t)
+        assert p.left.uid == p.right.uid
+
+
+class TestVectorSpec:
+    def test_num_tensors_counts_slots(self):
+        v = make_vector(n_pairs=5)
+        assert v.num_tensors == 10
+
+    def test_len_and_iter(self):
+        v = make_vector(n_pairs=3)
+        assert len(v) == 3
+        assert list(v) == v.pairs
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            VectorSpec(pairs=[])
+
+    def test_unique_input_uids_dedups(self):
+        t = make_tensor()
+        p1 = TensorPair.make(t, make_tensor())
+        p2 = TensorPair.make(t, make_tensor())
+        v = VectorSpec(pairs=[p1, p2])
+        assert len(v.unique_input_uids()) == 3
+
+    def test_input_bytes_unique_counts_shared_once(self):
+        t = make_tensor(size=8)
+        other = make_tensor(size=8)
+        v = VectorSpec(pairs=[TensorPair.make(t, other), TensorPair.make(t, make_tensor(size=8))])
+        assert v.input_bytes_unique() == 3 * t.nbytes
+
+    def test_output_bytes(self):
+        v = make_vector(n_pairs=2, size=8)
+        assert v.output_bytes() == sum(p.out.nbytes for p in v.pairs)
+
+    def test_tensor_size(self):
+        v = make_vector(size=24)
+        assert v.tensor_size == 24

@@ -1,0 +1,108 @@
+"""Unit tests for the host-side TensorStore."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tensor.storage import TensorStore
+from tests.conftest import make_pair, make_tensor
+
+
+class TestMaterialize:
+    def test_shape_matches_spec(self):
+        store = TensorStore(seed=0)
+        t = make_tensor(size=6, batch=3)
+        assert store.materialize(t).shape == (3, 6, 6)
+
+    def test_deterministic_per_uid(self):
+        t = make_tensor()
+        a = TensorStore(seed=5).materialize(t)
+        b = TensorStore(seed=5).materialize(t)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        t = make_tensor()
+        a = TensorStore(seed=1).materialize(t)
+        b = TensorStore(seed=2).materialize(t)
+        assert not np.array_equal(a, b)
+
+    def test_idempotent(self):
+        store = TensorStore()
+        t = make_tensor()
+        assert store.materialize(t) is store.materialize(t)
+
+    def test_contains_and_len(self):
+        store = TensorStore()
+        t = make_tensor()
+        assert t.uid not in store
+        store.materialize(t)
+        assert t.uid in store
+        assert len(store) == 1
+
+
+class TestPutGetEvict:
+    def test_put_then_get(self):
+        store = TensorStore()
+        t = make_tensor(size=4, batch=1)
+        arr = np.ones(t.shape, dtype=np.complex64)
+        store.put(t, arr)
+        np.testing.assert_array_equal(store.get(t.uid), arr)
+
+    def test_put_rejects_wrong_shape(self):
+        store = TensorStore()
+        with pytest.raises(ReproError):
+            store.put(make_tensor(size=4, batch=1), np.ones((2, 4, 4)))
+
+    def test_get_missing_raises(self):
+        with pytest.raises(ReproError):
+            TensorStore().get(10**9)
+
+    def test_evict_frees(self):
+        store = TensorStore()
+        t = make_tensor()
+        store.materialize(t)
+        store.evict(t.uid)
+        assert t.uid not in store
+
+    def test_evict_missing_is_noop(self):
+        TensorStore().evict(12345)
+
+    def test_clear(self):
+        store = TensorStore()
+        store.materialize(make_tensor())
+        store.clear()
+        assert len(store) == 0
+
+    def test_nbytes_tracks_content(self):
+        store = TensorStore()
+        t = make_tensor(size=4, batch=1)
+        assert store.nbytes == 0
+        store.materialize(t)
+        assert store.nbytes == t.shape[0] * t.shape[1] * t.shape[2] * 8
+
+
+class TestExecutePair:
+    def test_matches_direct_contraction(self):
+        store = TensorStore(seed=0)
+        p = make_pair(size=6, batch=2)
+        out = store.execute_pair(p)
+        a = store.get(p.left.uid)
+        b = store.get(p.right.uid)
+        np.testing.assert_allclose(out, np.matmul(a, b), rtol=1e-5)
+
+    def test_output_stored_under_out_uid(self):
+        store = TensorStore(seed=0)
+        p = make_pair()
+        store.execute_pair(p)
+        assert p.out.uid in store
+
+    def test_chained_contractions(self):
+        """Output of one pair usable as input of the next (stage flow)."""
+        from repro.tensor.spec import TensorPair
+
+        store = TensorStore(seed=0)
+        p1 = make_pair(size=5, batch=2)
+        store.execute_pair(p1)
+        p2 = TensorPair.make(p1.out, make_tensor(size=5, batch=2))
+        out = store.execute_pair(p2)
+        assert out.shape == (2, 5, 5)

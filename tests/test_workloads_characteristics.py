@@ -1,0 +1,127 @@
+"""Unit tests for characteristics measurement and oversubscription sizing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tensor.spec import TensorPair, VectorSpec
+from repro.workloads.characteristics import (
+    BIAS_DISTINCT_RATIO,
+    CharacteristicsTracker,
+    DataCharacteristics,
+    judge_distribution,
+    measure,
+)
+from repro.workloads.oversub import (
+    capacity_for_oversubscription,
+    vector_demand_bytes,
+    workload_demand_bytes,
+)
+from repro.workloads.synth import SyntheticWorkload, WorkloadParams
+from tests.conftest import make_tensor, make_vector
+
+
+class TestJudgeDistribution:
+    def test_tiny_sample_is_uniform(self):
+        assert judge_distribution([1, 1, 2], pool_size=100) == 0.0
+
+    def test_all_distinct_is_uniform(self):
+        assert judge_distribution(list(range(20)), pool_size=1000) == 0.0
+
+    def test_heavy_repeats_is_biased(self):
+        assert judge_distribution([5] * 10 + [7] * 10, pool_size=1000) == 1.0
+
+    def test_birthday_collisions_not_flagged(self):
+        """Uniform picks from a small pool collide too; the expected-
+        distinct correction must not flag them."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        picks = list(rng.integers(0, 64, size=58))
+        assert judge_distribution(picks, pool_size=64) == 0.0
+
+    def test_empty_pool_is_uniform(self):
+        assert judge_distribution([1] * 10, pool_size=0) == 0.0
+
+
+class TestMeasure:
+    def test_fresh_vector_zero_rate(self):
+        v = make_vector(n_pairs=4, size=8)
+        c = measure(v, set())
+        assert c.repeated_rate == 0.0
+        assert c.vector_size == 8
+        assert c.tensor_size == 8
+
+    def test_rate_counts_seen_slots(self):
+        t = make_tensor()
+        v = VectorSpec(pairs=[TensorPair.make(t, make_tensor())])
+        c = measure(v, {t.uid})
+        assert c.repeated_rate == 0.5
+
+    def test_to_features_order(self):
+        c = DataCharacteristics(vector_size=8, tensor_size=384, distribution=1.0, repeated_rate=0.25)
+        assert list(c.to_features()) == [8.0, 384.0, 1.0, 0.25]
+
+
+class TestTracker:
+    def test_accumulates_history(self):
+        params = WorkloadParams(vector_size=16, repeated_rate=0.5, num_vectors=3)
+        vecs = SyntheticWorkload(params, seed=0).vectors()
+        tracker = CharacteristicsTracker()
+        rates = [tracker.observe(v).repeated_rate for v in vecs]
+        assert rates[0] == 0.0
+        assert all(r > 0 for r in rates[1:])
+
+    def test_detects_gaussian_bias(self):
+        params = WorkloadParams(
+            vector_size=64, repeated_rate=0.9, distribution="gaussian",
+            num_vectors=4, sigma_frac=0.02,
+        )
+        vecs = SyntheticWorkload(params, seed=0).vectors()
+        tracker = CharacteristicsTracker()
+        flags = [tracker.observe(v).distribution for v in vecs]
+        assert any(f == 1.0 for f in flags[1:])
+
+    def test_uniform_not_flagged(self):
+        params = WorkloadParams(vector_size=64, repeated_rate=0.9, distribution="uniform", num_vectors=4)
+        vecs = SyntheticWorkload(params, seed=0).vectors()
+        tracker = CharacteristicsTracker()
+        flags = [tracker.observe(v).distribution for v in vecs]
+        # Uniform picks over a growing pool stay mostly distinct.
+        assert sum(flags) <= 1
+
+    def test_reset(self):
+        tracker = CharacteristicsTracker()
+        tracker.observe(make_vector())
+        tracker.reset()
+        assert not tracker.seen_uids
+
+
+class TestOversubscription:
+    def test_vector_demand(self):
+        v = make_vector(n_pairs=2, size=8)
+        expected = sum(p.left.nbytes + p.right.nbytes + p.out.nbytes for p in v.pairs)
+        assert vector_demand_bytes(v) == expected
+
+    def test_workload_demand_dedups_inputs(self):
+        t = make_tensor(size=8)
+        v1 = VectorSpec(pairs=[TensorPair.make(t, make_tensor(size=8))], vector_id=0)
+        v2 = VectorSpec(pairs=[TensorPair.make(t, make_tensor(size=8))], vector_id=1)
+        demand = workload_demand_bytes([v1, v2])
+        # 3 distinct inputs + one vector's outputs (all outputs equal here).
+        assert demand == 3 * t.nbytes + v1.pairs[0].out.nbytes
+
+    def test_capacity_inverse_in_rate(self):
+        vecs = [make_vector(n_pairs=8, size=32)]
+        c1 = capacity_for_oversubscription(vecs, 2, 1.0)
+        c2 = capacity_for_oversubscription(vecs, 2, 2.0)
+        assert c1 == pytest.approx(2 * c2, rel=0.01)
+
+    def test_capacity_floor_holds_one_pair(self):
+        vecs = [make_vector(n_pairs=2, size=64)]
+        cap = capacity_for_oversubscription(vecs, 8, 100.0)
+        p = vecs[0].pairs[0]
+        assert cap >= p.left.nbytes + p.right.nbytes + p.out.nbytes
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            workload_demand_bytes([])

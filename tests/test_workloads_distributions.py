@@ -1,0 +1,77 @@
+"""Unit tests for repeated-tensor selection distributions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.distributions import (
+    GaussianPicker,
+    UniformPicker,
+    make_picker,
+    sample_multiplicities,
+)
+
+
+class TestUniformPicker:
+    def test_indices_in_range(self, rng):
+        idx = UniformPicker().pick(100, 1000, rng)
+        assert idx.min() >= 0 and idx.max() < 100
+
+    def test_covers_pool_roughly_evenly(self, rng):
+        counts = np.bincount(UniformPicker().pick(10, 10_000, rng), minlength=10)
+        assert counts.min() > 800  # expectation 1000 each
+
+    def test_empty_pool_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            UniformPicker().pick(0, 5, rng)
+
+
+class TestGaussianPicker:
+    def test_indices_in_range(self, rng):
+        idx = GaussianPicker(0.05).pick(100, 1000, rng)
+        assert idx.min() >= 0 and idx.max() < 100
+
+    def test_more_concentrated_than_uniform(self):
+        """Top-decile mass of gaussian picks far exceeds uniform's."""
+        pool, n = 200, 4000
+        cu = np.sort(sample_multiplicities(UniformPicker(), pool, n, seed=7))[::-1]
+        cg = np.sort(sample_multiplicities(GaussianPicker(0.03), pool, n, seed=7))[::-1]
+        top = pool // 10
+        assert cg[:top].sum() > 2 * cu[:top].sum()
+
+    def test_smaller_sigma_is_more_biased(self):
+        pool, n = 200, 4000
+        tight = np.sort(sample_multiplicities(GaussianPicker(0.01), pool, n, seed=3))[::-1]
+        loose = np.sort(sample_multiplicities(GaussianPicker(0.2), pool, n, seed=3))[::-1]
+        assert tight[:10].sum() > loose[:10].sum()
+
+    def test_center_varies_between_calls(self):
+        """Per-call random centers: two draws cluster in different places."""
+        rng = np.random.default_rng(0)
+        p = GaussianPicker(0.02)
+        means = [p.pick(1000, 50, rng).mean() for _ in range(8)]
+        assert np.std(means) > 50
+
+    def test_sigma_frac_validated(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            GaussianPicker(0.0)
+
+    def test_empty_pool_rejected(self, rng):
+        with pytest.raises(WorkloadError):
+            GaussianPicker().pick(0, 5, rng)
+
+
+class TestFactory:
+    def test_uniform(self):
+        assert isinstance(make_picker("uniform"), UniformPicker)
+
+    def test_gaussian_passes_sigma(self):
+        p = make_picker("gaussian", sigma_frac=0.1)
+        assert isinstance(p, GaussianPicker)
+        assert p.sigma_frac == 0.1
+
+    def test_unknown_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_picker("zipf")

@@ -1,0 +1,94 @@
+"""Unit tests for workload serialization."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.serialize import (
+    load_stream,
+    save_stream,
+    stream_from_dict,
+    stream_to_dict,
+)
+from repro.workloads.synth import SyntheticWorkload, WorkloadParams
+
+
+def sample_stream(n=4, rate=0.5):
+    params = WorkloadParams(vector_size=8, tensor_size=16, batch=2, num_vectors=n, repeated_rate=rate)
+    return SyntheticWorkload(params, seed=0).vectors()
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self):
+        vectors = sample_stream()
+        loaded = stream_from_dict(stream_to_dict(vectors))
+        assert len(loaded) == len(vectors)
+        for a, b in zip(vectors, loaded):
+            assert a.vector_id == b.vector_id
+            assert [p.input_uids for p in a.pairs] == [p.input_uids for p in b.pairs]
+            assert [p.out.uid for p in a.pairs] == [p.out.uid for p in b.pairs]
+
+    def test_reuse_structure_preserved(self):
+        """Shared tensors stay shared — the whole point of the format."""
+        vectors = sample_stream(rate=1.0)
+        loaded = stream_from_dict(stream_to_dict(vectors))
+        orig_shared = set(vectors[0].unique_input_uids()) & set(vectors[1].unique_input_uids())
+        new_shared = set(loaded[0].unique_input_uids()) & set(loaded[1].unique_input_uids())
+        assert orig_shared == new_shared
+        assert orig_shared  # rate 1.0 must share something
+
+    def test_tensor_geometry_preserved(self):
+        vectors = sample_stream()
+        loaded = stream_from_dict(stream_to_dict(vectors))
+        t0, t1 = vectors[0].pairs[0].left, loaded[0].pairs[0].left
+        assert (t0.size, t0.batch, t0.rank, t0.dtype_bytes) == (t1.size, t1.batch, t1.rank, t1.dtype_bytes)
+
+    def test_meta_scalars_preserved(self):
+        vectors = sample_stream()
+        loaded = stream_from_dict(stream_to_dict(vectors))
+        assert loaded[1].meta["measured_repeated_rate"] == vectors[1].meta["measured_repeated_rate"]
+
+    def test_file_roundtrip(self, tmp_path):
+        vectors = sample_stream()
+        path = tmp_path / "workload.json"
+        save_stream(vectors, path)
+        loaded = load_stream(path)
+        assert len(loaded) == len(vectors)
+        json.loads(path.read_text())  # valid JSON on disk
+
+    def test_tensors_stored_once(self):
+        vectors = sample_stream(rate=1.0)
+        payload = stream_to_dict(vectors)
+        uids = [t["uid"] for t in payload["tensors"]]
+        assert len(uids) == len(set(uids))
+
+
+class TestErrors:
+    def test_version_checked(self):
+        payload = stream_to_dict(sample_stream())
+        payload["version"] = 99
+        with pytest.raises(WorkloadError):
+            stream_from_dict(payload)
+
+    def test_dangling_reference(self):
+        payload = stream_to_dict(sample_stream())
+        payload["vectors"][0]["pairs"][0]["left"] = 10**9
+        with pytest.raises(WorkloadError):
+            stream_from_dict(payload)
+
+
+class TestReplayEquivalence:
+    def test_scheduler_sees_identical_stream(self, tmp_path):
+        """A replayed stream produces identical metrics."""
+        from repro.core.config import MiccoConfig
+        from repro.core.framework import Micco
+
+        vectors = sample_stream()
+        path = tmp_path / "w.json"
+        save_stream(vectors, path)
+        loaded = load_stream(path)
+        cfg = MiccoConfig(num_devices=2)
+        a = Micco.naive(cfg).run(vectors)
+        b = Micco.naive(cfg).run(loaded)
+        assert a.metrics.summary() == b.metrics.summary()

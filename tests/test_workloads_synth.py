@@ -1,0 +1,99 @@
+"""Unit tests for the synthetic workload generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.synth import SyntheticWorkload, WorkloadParams, generate_stream
+
+
+class TestWorkloadParams:
+    def test_defaults_valid(self):
+        WorkloadParams()
+
+    def test_odd_vector_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            WorkloadParams(vector_size=7)
+
+    def test_bad_rate_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(repeated_rate=1.5)
+
+    def test_bad_distribution_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            WorkloadParams(distribution="zipf")
+
+    def test_with_overrides(self):
+        p = WorkloadParams().with_(tensor_size=128)
+        assert p.tensor_size == 128
+        assert p.vector_size == WorkloadParams().vector_size
+
+
+class TestGeneration:
+    def test_vector_shape(self):
+        wl = SyntheticWorkload(WorkloadParams(vector_size=16, num_vectors=3), seed=0)
+        vecs = wl.vectors()
+        assert len(vecs) == 3
+        assert all(len(v.pairs) == 8 for v in vecs)
+        assert all(v.num_tensors == 16 for v in vecs)
+
+    def test_first_vector_all_new(self):
+        wl = SyntheticWorkload(WorkloadParams(vector_size=8, repeated_rate=1.0), seed=0)
+        v = wl.next_vector()
+        assert v.meta["measured_repeated_rate"] == 0.0
+
+    def test_measured_rate_close_to_declared(self):
+        params = WorkloadParams(vector_size=64, repeated_rate=0.5, num_vectors=6)
+        vecs = SyntheticWorkload(params, seed=1).vectors()
+        for v in vecs[1:]:
+            assert v.meta["measured_repeated_rate"] == pytest.approx(0.5, abs=0.01)
+
+    def test_zero_rate_all_unique(self):
+        params = WorkloadParams(vector_size=16, repeated_rate=0.0, num_vectors=4)
+        vecs = SyntheticWorkload(params, seed=1).vectors()
+        uids = set()
+        for v in vecs:
+            new = v.unique_input_uids()
+            assert not (uids & new)
+            uids |= new
+
+    def test_full_rate_reuses_pool_only(self):
+        params = WorkloadParams(vector_size=16, repeated_rate=1.0, num_vectors=4)
+        wl = SyntheticWorkload(params, seed=1)
+        vecs = wl.vectors()
+        pool_uids = {t.uid for t in wl.pool}
+        assert len(pool_uids) == 16  # only the first vector created tensors
+        for v in vecs[1:]:
+            assert v.unique_input_uids() <= pool_uids
+
+    def test_deterministic_given_seed(self):
+        from repro.tensor.spec import reset_uid_counter
+
+        params = WorkloadParams(vector_size=8, num_vectors=3)
+        reset_uid_counter()
+        a = [v.unique_input_uids() for v in SyntheticWorkload(params, seed=9).vectors()]
+        reset_uid_counter()
+        b = [v.unique_input_uids() for v in SyntheticWorkload(params, seed=9).vectors()]
+        assert a == b
+
+    def test_meta_fields(self):
+        v = SyntheticWorkload(WorkloadParams(), seed=0).next_vector()
+        for key in ("declared_repeated_rate", "measured_repeated_rate", "distribution", "tensor_size", "vector_size"):
+            assert key in v.meta
+
+    def test_vector_ids_sequential(self):
+        vecs = generate_stream(WorkloadParams(num_vectors=4), seed=0)
+        assert [v.vector_id for v in vecs] == [0, 1, 2, 3]
+
+    def test_iter_protocol(self):
+        wl = SyntheticWorkload(WorkloadParams(num_vectors=5), seed=0)
+        assert len(list(wl)) == 5
+
+    def test_tensor_properties_propagate(self):
+        params = WorkloadParams(tensor_size=48, batch=4, rank=3)
+        v = SyntheticWorkload(params, seed=0).next_vector()
+        t = v.pairs[0].left
+        assert (t.size, t.batch, t.rank) == (48, 4, 3)
