@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Online serving walkthrough: live traffic against MICCO and Groute.
+
+The batch experiments replay a pre-collected vector stream; here the
+same vectors *arrive over simulated time* instead.  We sweep the
+Poisson arrival rate from light load to overload and watch the SLO
+metrics: queue wait and tail latency stay flat while the system keeps
+up, explode near saturation, and the bounded admission queue starts
+shedding load beyond it.  The faster scheduler (MICCO) sustains a
+higher rate before its tail lifts off.
+
+Run:  python examples/online_serving.py
+"""
+
+from repro import (
+    GrouteScheduler,
+    MiccoConfig,
+    MiccoScheduler,
+    MiccoServer,
+    PoissonArrivals,
+    ReuseBounds,
+    ServeConfig,
+    SyntheticWorkload,
+    WorkloadParams,
+)
+
+
+def main() -> None:
+    # A stream of 60 small vectors with heavy cross-vector reuse — the
+    # regime where MICCO's data-centric placement pays off.
+    params = WorkloadParams(
+        vector_size=16,
+        tensor_size=256,
+        repeated_rate=0.8,
+        num_vectors=60,
+        batch=8,
+    )
+    vectors = SyntheticWorkload(params, seed=3).vectors()
+    config = MiccoConfig(num_devices=4)
+    serve = ServeConfig(queue_capacity=16)
+
+    systems = {
+        "groute": lambda: GrouteScheduler(),
+        "micco": lambda: MiccoScheduler(ReuseBounds(0, 4, 0)),
+    }
+
+    print(f"workload: {len(vectors)} vectors x {len(vectors[0].pairs)} contractions, "
+          f"tensor size {params.tensor_size}; queue capacity {serve.queue_capacity}\n")
+    print(f"{'rate/s':>8s}  {'system':8s} {'p50 ms':>8s} {'p95 ms':>8s} {'p99 ms':>8s} "
+          f"{'thr/s':>7s} {'wait ms':>8s} {'shed':>5s}")
+    for rate in (50.0, 400.0, 800.0, 3000.0):
+        for name, make in systems.items():
+            server = MiccoServer(make(), config, serve)
+            result = server.run(vectors, PoissonArrivals(rate), seed=11)
+            s = result.summary()
+            print(
+                f"{rate:8.0f}  {name:8s} {s['p50_s'] * 1e3:8.2f} {s['p95_s'] * 1e3:8.2f} "
+                f"{s['p99_s'] * 1e3:8.2f} {s['throughput_vps']:7.1f} "
+                f"{s['mean_queue_wait_s'] * 1e3:8.2f} {s['dropped']:5d}"
+            )
+
+    print(
+        "\nAt low rates latency is pure service time; near saturation the"
+        "\nqueue dominates and MICCO's higher throughput becomes a tail-"
+        "\nlatency win; in overload the bounded queue sheds the excess."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,8 @@ Public API highlights
 * :class:`repro.WorkloadParams` / :class:`repro.SyntheticWorkload` —
   synthetic vector streams with the paper's data characteristics.
 * :mod:`repro.schedulers` — MICCO heuristic and baseline schedulers.
+* :mod:`repro.serve` — online serving simulator (:class:`repro.MiccoServer`):
+  arrival processes, admission control, latency SLO metrics.
 * :mod:`repro.ml` — from-scratch regression models + reuse-bound tuner.
 * :mod:`repro.redstar` — Redstar-analog contraction-graph pipeline.
 * :mod:`repro.experiments` — one runner per paper table/figure.
@@ -20,6 +22,15 @@ from repro.schedulers import (
     MiccoScheduler,
     ReuseBounds,
     RoundRobinScheduler,
+)
+from repro.serve import (
+    BurstyArrivals,
+    LatencyReport,
+    MiccoServer,
+    PoissonArrivals,
+    ServeConfig,
+    ServeResult,
+    TraceArrivals,
 )
 from repro.tensor import TensorPair, TensorSpec, VectorSpec
 from repro.workloads import SyntheticWorkload, WorkloadParams
@@ -40,6 +51,13 @@ __all__ = [
     "MiccoScheduler",
     "ReuseBounds",
     "RoundRobinScheduler",
+    "MiccoServer",
+    "ServeConfig",
+    "ServeResult",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "TraceArrivals",
+    "LatencyReport",
     "TensorPair",
     "TensorSpec",
     "VectorSpec",

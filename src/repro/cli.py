@@ -1,4 +1,4 @@
-"""Command-line entry point: run any paper experiment.
+"""Command-line entry point: run any paper experiment, or serve online.
 
 Examples
 --------
@@ -7,6 +7,7 @@ Examples
     micco list                 # show available experiments
     micco fig7                 # quick Fig. 7 sweep
     micco tab4 --full          # full-scale Table IV (300 samples)
+    micco serve --rate 500     # online serving under Poisson traffic
     python -m repro tab6       # same, via the module
 """
 
@@ -14,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -25,7 +27,8 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (fig5, fig7, fig8, fig9, fig10, fig11, tab4, tab5, "
-            "tab6, ablations), 'all', or 'list'"
+            "tab6, ablations), 'all', 'list', or 'serve' (online serving "
+            "simulator; see 'micco serve --help')"
         ),
     )
     parser.add_argument(
@@ -41,7 +44,142 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="micco serve",
+        description=(
+            "Online serving simulator: vectors arrive over simulated time, "
+            "wait in a bounded admission queue, and execute under the chosen "
+            "scheduler; reports latency SLO metrics (p50/p95/p99, throughput, "
+            "drop rate) and writes a JSON latency report."
+        ),
+    )
+    traffic = parser.add_argument_group("traffic")
+    traffic.add_argument("--rate", type=float, default=100.0, help="mean arrival rate in vectors/second (default 100)")
+    traffic.add_argument(
+        "--arrivals",
+        default="poisson",
+        help=(
+            "'poisson', 'bursty' (on/off phases at twice --rate, same mean), "
+            "or a path to a JSON arrival trace written by TraceArrivals.to_json"
+        ),
+    )
+    traffic.add_argument("--num-vectors", type=int, default=50, help="request-stream length (default 50)")
+    traffic.add_argument("--seed", type=int, default=0, help="seed for workload and arrivals (default 0)")
+
+    workload = parser.add_argument_group("workload")
+    workload.add_argument("--vector-size", type=int, default=16, help="tensor slots per vector (default 16)")
+    workload.add_argument("--tensor-size", type=int, default=256, help="tensor dimension length (default 256)")
+    workload.add_argument("--repeated-rate", type=float, default=0.8, help="fraction of repeated tensors (default 0.8)")
+    workload.add_argument("--batch", type=int, default=8, help="tensor batch dimension (default 8)")
+
+    system = parser.add_argument_group("system")
+    system.add_argument(
+        "--scheduler",
+        choices=("micco", "micco-naive", "groute", "roundrobin"),
+        default="micco",
+        help="pair->GPU scheduler under test (default micco)",
+    )
+    system.add_argument("--bounds", default="0,4,0", help="reuse-bound triple for --scheduler micco (default 0,4,0)")
+    system.add_argument("--num-devices", type=int, default=4, help="simulated GPUs (default 4)")
+    system.add_argument("--queue-capacity", type=int, default=64, help="admission-queue depth (default 64)")
+    system.add_argument("--queue-policy", choices=("fifo", "sjf"), default="fifo", help="dispatch order (default fifo)")
+    system.add_argument("--max-inflight", type=int, default=1, help="vectors dispatched but not complete (default 1)")
+
+    output = parser.add_argument_group("output")
+    output.add_argument("--json", metavar="PATH", default="serve_report.json", help="latency report path (default serve_report.json)")
+    output.add_argument("--trace", metavar="PATH", help="also write a Chrome-trace of per-vector lifecycles")
+    return parser
+
+
+def run_serve(argv: list[str]) -> int:
+    from repro.errors import ReproError
+
+    try:
+        return _run_serve(argv)
+    except ReproError as exc:
+        # Bad knob values (negative rate, odd vector size, ...) are user
+        # errors, not crashes: report them like argparse would.
+        print(f"micco serve: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_serve(argv: list[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    from repro.core.config import MiccoConfig
+    from repro.schedulers.bounds import ReuseBounds
+    from repro.schedulers.groute import GrouteScheduler
+    from repro.schedulers.micco import MiccoScheduler
+    from repro.schedulers.roundrobin import RoundRobinScheduler
+    from repro.serve import BurstyArrivals, MiccoServer, PoissonArrivals, ServeConfig, TraceArrivals
+    from repro.workloads import SyntheticWorkload, WorkloadParams
+
+    schedulers = {
+        "micco": lambda: MiccoScheduler(ReuseBounds.from_sequence(args.bounds.split(","))),
+        "micco-naive": lambda: MiccoScheduler(ReuseBounds.zeros()),
+        "groute": lambda: GrouteScheduler(),
+        "roundrobin": lambda: RoundRobinScheduler(),
+    }
+    if args.arrivals == "poisson":
+        arrivals = PoissonArrivals(args.rate)
+    elif args.arrivals == "bursty":
+        arrivals = BurstyArrivals(rate_on=2 * args.rate, rate_off=0.0, mean_on_s=0.5, mean_off_s=0.5)
+    else:
+        path = Path(args.arrivals)
+        if not path.exists():
+            print(f"unknown arrival process {args.arrivals!r}: not 'poisson', 'bursty' or an existing JSON trace", file=sys.stderr)
+            return 2
+        arrivals = TraceArrivals.from_json(path)
+
+    params = WorkloadParams(
+        vector_size=args.vector_size,
+        tensor_size=args.tensor_size,
+        repeated_rate=args.repeated_rate,
+        num_vectors=args.num_vectors,
+        batch=args.batch,
+    )
+    vectors = SyntheticWorkload(params, seed=args.seed).vectors()
+    server = MiccoServer(
+        schedulers[args.scheduler](),
+        MiccoConfig(num_devices=args.num_devices),
+        ServeConfig(
+            queue_capacity=args.queue_capacity,
+            queue_policy=args.queue_policy,
+            max_inflight=args.max_inflight,
+        ),
+    )
+    result = server.run(vectors, arrivals, seed=args.seed)
+
+    s = result.summary()
+    print(f"served {s['completed']}/{s['offered']} vectors with {args.scheduler} " f"({args.arrivals} arrivals, mean rate {args.rate:g}/s)")
+    print(f"  latency   p50 {s['p50_s'] * 1e3:8.3f} ms   p95 {s['p95_s'] * 1e3:8.3f} ms   p99 {s['p99_s'] * 1e3:8.3f} ms")
+    print(f"  throughput {s['throughput_vps']:8.1f} vectors/s   drop rate {s['drop_rate']:.1%} ({s['dropped']} shed)")
+    print(f"  queue      peak depth {s['queue']['peak_depth']} / capacity {s['queue']['capacity']} ({s['queue']['policy']})")
+
+    result.report.to_json(
+        args.json,
+        extra={
+            "config": {
+                "scheduler": args.scheduler,
+                "arrivals": args.arrivals,
+                "rate": args.rate,
+                "num_devices": args.num_devices,
+                "seed": args.seed,
+            },
+            "queue": s["queue"],
+        },
+    )
+    print(f"latency report written to {args.json}")
+    if args.trace:
+        result.report.to_trace().save_chrome_trace(args.trace)
+        print(f"chrome trace written to {args.trace}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return run_serve(argv[1:])
     args = build_parser().parse_args(argv)
     from repro.experiments import EXPERIMENTS
 
@@ -49,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         for name, module in EXPERIMENTS.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:9s} {doc}")
+        print("serve     Online serving simulator (see 'micco serve --help').")
         return 0
     if args.experiment == "all":
         from repro.experiments.runner import run_all, save_results

@@ -11,8 +11,13 @@ class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
 
 
-class ConfigurationError(ReproError):
-    """An invalid configuration value was supplied."""
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied.
+
+    Also a :class:`ValueError`: bad values passed at construction time
+    (negative reuse bounds, out-of-range fractions, ...) are caught by
+    plain ``except ValueError`` in generic callers.
+    """
 
 
 class SchedulingError(ReproError):

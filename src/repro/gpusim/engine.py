@@ -75,7 +75,10 @@ class ExecutionEngine:
                 continue
             holders = cl.devices_holding(spec.uid)
             if holders:
-                source = min(holders)
+                # Fetch from the cheapest holder (ties break on lowest
+                # id) — on a multi-node Topology an intra-node peer
+                # beats a remote one.
+                source = min(holders, key=lambda h: (cm.d2d_time(spec.nbytes, src=h, dst=device_id), h))
                 copy_t = cm.d2d_time(spec.nbytes, src=source, dst=device_id)
                 if cm.d2d_moves:
                     # Single-residency runtime: the source copy migrates.
@@ -88,20 +91,22 @@ class ExecutionEngine:
                 copy_kind = "h2d"
             evicted = cl.register(spec, device_id, protect=protect)
             pair_memop_s += self._charge_evictions(evicted, metrics, device_id)
-            pair_memop_s += cm.alloc_time(spec.nbytes) + copy_t
+            alloc_t = cm.alloc_time(spec.nbytes)
+            pair_memop_s += alloc_t + copy_t
             metrics.counts.allocations += 1
             metrics.counts.transferred_bytes += spec.nbytes
             if self.trace is not None:
-                self.trace.record("alloc", device_id, cm.alloc_time(spec.nbytes), uid=spec.uid, nbytes=spec.nbytes)
+                self.trace.record("alloc", device_id, alloc_t, uid=spec.uid, nbytes=spec.nbytes)
                 self.trace.record(copy_kind, device_id, copy_t, uid=spec.uid, nbytes=spec.nbytes, label=spec.label)
 
         # Allocate the output on the same device.
         evicted = cl.register(pair.out, device_id, protect=protect)
         pair_memop_s += self._charge_evictions(evicted, metrics, device_id)
-        pair_memop_s += cm.alloc_time(pair.out.nbytes)
+        out_alloc_t = cm.alloc_time(pair.out.nbytes)
+        pair_memop_s += out_alloc_t
         metrics.counts.allocations += 1
         if self.trace is not None:
-            self.trace.record("alloc", device_id, cm.alloc_time(pair.out.nbytes), uid=pair.out.uid, nbytes=pair.out.nbytes)
+            self.trace.record("alloc", device_id, out_alloc_t, uid=pair.out.uid, nbytes=pair.out.nbytes)
 
         # Kernel; memory ops may overlap it (async-copy model).
         kt = cm.kernel_time(pair, cl.devices[device_id])

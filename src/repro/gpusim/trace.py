@@ -13,8 +13,9 @@ import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-#: Event kinds emitted by the engine.
-EVENT_KINDS = ("h2d", "d2d", "alloc", "evict", "kernel", "drain")
+#: Event kinds emitted by the engine, plus the serving layer's
+#: per-vector lifecycle spans (wait → schedule → execute).
+EVENT_KINDS = ("h2d", "d2d", "alloc", "evict", "kernel", "drain", "wait", "schedule", "execute")
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,27 @@ class TraceRecorder:
             TraceEvent(kind=kind, device=device, start_s=start, duration_s=duration_s, uid=uid, nbytes=nbytes, label=label)
         )
         self._device_clock[device] = start + duration_s
+
+    def record_at(
+        self, kind: str, device: int, start_s: float, duration_s: float, *, uid: int = -1, nbytes: int = 0, label: str = ""
+    ) -> None:
+        """Append an event with an explicit start time.
+
+        Used by externally clocked producers (the serving simulator's
+        wall-clock spans) instead of the per-device running clock.  The
+        device clock is still advanced past the event's end so that
+        later :meth:`record` calls on the same lane never run backwards.
+        """
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}; expected one of {EVENT_KINDS}")
+        if duration_s < 0:
+            raise ValueError(f"event duration must be >= 0, got {duration_s}")
+        self.events.append(
+            TraceEvent(kind=kind, device=device, start_s=start_s, duration_s=duration_s, uid=uid, nbytes=nbytes, label=label)
+        )
+        end = start_s + duration_s
+        if end > self._device_clock.get(device, 0.0):
+            self._device_clock[device] = end
 
     def clear(self) -> None:
         self.events.clear()

@@ -12,6 +12,7 @@ local-reuse tier:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from itertools import product
 
@@ -31,6 +32,11 @@ class ReuseBounds:
 
     def __post_init__(self):
         for name, v in (("same", self.same), ("partial", self.partial), ("new", self.new)):
+            # NaN fails the finite check, not the sign check: ``nan < 0``
+            # is False, and a NaN bound would silently disable the
+            # availability test rather than erroring.
+            if not math.isfinite(v):
+                raise ConfigurationError(f"reuse bound {name!r} must be finite, got {v}")
             if v < 0:
                 raise ConfigurationError(f"reuse bound {name!r} must be >= 0, got {v}")
 

@@ -1,0 +1,51 @@
+"""Online serving layer: event-driven simulation of live vector traffic.
+
+The batch experiments replay a pre-collected vector stream; this
+package answers the operational question instead — how does a scheduler
+behave when vectors *arrive over time*?  It wires an arrival process
+(:mod:`repro.serve.arrivals`), a bounded admission queue
+(:mod:`repro.serve.queueing`), any existing scheduler and the execution
+engine into one deterministic discrete-event loop
+(:mod:`repro.serve.timeline`, :mod:`repro.serve.server`), and reports
+latency SLO metrics — tail percentiles, windowed throughput, drop rate
+(:mod:`repro.serve.slo`).
+"""
+
+from repro.serve.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.serve.queueing import QUEUE_POLICIES, AdmissionQueue
+from repro.serve.server import MiccoServer, ServeConfig, ServeResult
+from repro.serve.slo import DroppedVector, LatencyReport, VectorLatency
+from repro.serve.timeline import (
+    Event,
+    SchedulingDone,
+    Ticket,
+    Timeline,
+    VectorArrival,
+    VectorCompletion,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "TraceArrivals",
+    "AdmissionQueue",
+    "QUEUE_POLICIES",
+    "MiccoServer",
+    "ServeConfig",
+    "ServeResult",
+    "LatencyReport",
+    "VectorLatency",
+    "DroppedVector",
+    "Timeline",
+    "Ticket",
+    "Event",
+    "VectorArrival",
+    "SchedulingDone",
+    "VectorCompletion",
+]

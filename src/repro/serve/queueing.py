@@ -1,0 +1,94 @@
+"""Bounded admission queue with pluggable ordering and shed counters.
+
+The server holds arrived-but-not-yet-dispatched vectors here.  When
+the queue is full the offered vector is *shed* (dropped at admission,
+never executed) — the counters make overload visible to the SLO report
+and to backpressure-aware clients.
+
+Two orderings:
+
+* ``"fifo"`` — arrival order,
+* ``"sjf"``  — shortest-vector-first (fewest tensor slots dispatches
+  first; FIFO among equals), a classic tail-latency lever when vector
+  sizes are heterogeneous.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.errors import ConfigurationError
+from repro.serve.timeline import Ticket
+
+#: Supported queue disciplines.
+QUEUE_POLICIES = ("fifo", "sjf")
+
+
+class AdmissionQueue:
+    """Bounded buffer of :class:`~repro.serve.timeline.Ticket`\\ s.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued tickets; offers beyond it are shed.
+    policy:
+        ``"fifo"`` or ``"sjf"`` (see module docstring).
+    """
+
+    def __init__(self, capacity: int = 64, policy: str = "fifo"):
+        if capacity <= 0:
+            raise ConfigurationError(f"queue capacity must be > 0, got {capacity}")
+        if policy not in QUEUE_POLICIES:
+            raise ConfigurationError(
+                f"unknown queue policy {policy!r}; expected one of {QUEUE_POLICIES}"
+            )
+        self.capacity = capacity
+        self.policy = policy
+        self._heap: list[tuple] = []
+        self._seq = itertools.count()
+        #: Tickets accepted into the queue.
+        self.admitted = 0
+        #: Tickets shed because the queue was full.
+        self.dropped = 0
+        #: High-water mark of queue depth.
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self.capacity
+
+    def _key(self, ticket: Ticket, seq: int) -> tuple:
+        if self.policy == "sjf":
+            return (ticket.vector.num_tensors, seq)
+        return (seq,)
+
+    def offer(self, ticket: Ticket) -> bool:
+        """Try to enqueue; returns False (and counts a drop) when full."""
+        if self.is_full:
+            self.dropped += 1
+            return False
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (*self._key(ticket, seq), ticket))
+        self.admitted += 1
+        self.peak_depth = max(self.peak_depth, len(self._heap))
+        return True
+
+    def pop(self) -> Ticket | None:
+        """Remove and return the next ticket per policy; None when empty."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[-1]
+
+    def counters(self) -> dict:
+        """Snapshot of the admission counters for reports."""
+        return {
+            "capacity": self.capacity,
+            "policy": self.policy,
+            "admitted": self.admitted,
+            "dropped": self.dropped,
+            "peak_depth": self.peak_depth,
+        }

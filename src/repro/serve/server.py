@@ -1,0 +1,263 @@
+"""Online serving facade: arrivals → admission queue → scheduler → devices.
+
+:class:`MiccoServer` layers a discrete-event loop over the existing
+batch machinery (any :class:`~repro.schedulers.base.Scheduler` plus the
+:class:`~repro.gpusim.engine.ExecutionEngine`): vectors arrive over
+simulated time, wait in a bounded :class:`AdmissionQueue`, are
+dispatched one scheduling slot at a time, and execute on devices whose
+busy-until horizons are derived from the cost model — so device compute
+overlaps later arrivals exactly as on real hardware.
+
+Everything is simulated and seeded: a fixed seed reproduces the same
+arrival trace, the same scheduling decisions and the same latency
+percentiles, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.config import MiccoConfig
+from repro.errors import ConfigurationError
+from repro.gpusim.cluster import ClusterState
+from repro.gpusim.device import mi100_like
+from repro.gpusim.engine import ExecutionEngine
+from repro.gpusim.metrics import ExecutionMetrics
+from repro.schedulers.base import Scheduler
+from repro.schedulers.micco import MiccoScheduler
+from repro.serve.arrivals import ArrivalProcess, TraceArrivals
+from repro.serve.queueing import QUEUE_POLICIES, AdmissionQueue
+from repro.serve.slo import LatencyReport
+from repro.serve.timeline import (
+    SchedulingDone,
+    Ticket,
+    Timeline,
+    VectorArrival,
+    VectorCompletion,
+)
+from repro.tensor.spec import VectorSpec
+from repro.workloads.characteristics import CharacteristicsTracker
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the serving layer (cluster knobs live in MiccoConfig).
+
+    Parameters
+    ----------
+    queue_capacity:
+        Bounded admission-queue depth; arrivals beyond it are shed.
+    queue_policy:
+        ``"fifo"`` or ``"sjf"`` dispatch order.
+    max_inflight:
+        Vectors dispatched but not yet complete.  1 models the paper's
+        single sequential scheduling thread; higher values pipeline
+        scheduling of one vector under execution of the previous.
+    schedule_latency_per_pair_s:
+        Simulated scheduling cost per pair (Table V measures ~10µs-scale
+        per-pair decision overhead); deterministic by construction so
+        repeated runs produce identical latencies.
+    """
+
+    queue_capacity: int = 64
+    queue_policy: str = "fifo"
+    max_inflight: int = 1
+    schedule_latency_per_pair_s: float = 2e-5
+
+    def __post_init__(self):
+        if self.queue_capacity <= 0:
+            raise ConfigurationError(f"queue_capacity must be > 0, got {self.queue_capacity}")
+        if self.queue_policy not in QUEUE_POLICIES:
+            raise ConfigurationError(
+                f"unknown queue policy {self.queue_policy!r}; expected one of {QUEUE_POLICIES}"
+            )
+        if self.max_inflight < 1:
+            raise ConfigurationError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.schedule_latency_per_pair_s < 0:
+            raise ConfigurationError(
+                f"schedule_latency_per_pair_s must be >= 0, got {self.schedule_latency_per_pair_s}"
+            )
+
+    def with_(self, **kwargs) -> "ServeConfig":
+        """Copy with overrides (sweep convenience)."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one online serving run."""
+
+    report: LatencyReport
+    metrics: ExecutionMetrics
+    #: Admission-queue counter snapshot (admitted/dropped/peak depth).
+    queue: dict = field(default_factory=dict)
+    #: Absolute arrival timestamps actually offered.
+    arrival_s: list[float] = field(default_factory=list)
+
+    @property
+    def p99(self) -> float:
+        return self.report.p99
+
+    @property
+    def dropped(self) -> int:
+        return len(self.report.dropped)
+
+    def summary(self) -> dict:
+        """Headline SLO numbers plus engine counters."""
+        out = self.report.summary()
+        out["queue"] = dict(self.queue)
+        out["gflops"] = self.metrics.gflops
+        out["reuse_hits"] = self.metrics.counts.reuse_hits
+        out["transfers"] = self.metrics.counts.input_fetches
+        return out
+
+
+class MiccoServer:
+    """An online serving instance: one scheduler on one simulated node.
+
+    Parameters
+    ----------
+    scheduler:
+        Any pair→GPU scheduler (default: :class:`MiccoScheduler`).
+    config:
+        Cluster + cost-model configuration shared with the batch path.
+    serve:
+        Serving-layer knobs (queue, inflight window, dispatch latency).
+    predictor:
+        Optional reuse-bound predictor; consulted per vector when the
+        scheduler exposes ``set_bounds`` (MICCO-optimal serving).
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        config: MiccoConfig | None = None,
+        serve: ServeConfig | None = None,
+        predictor=None,
+    ):
+        self.config = config or MiccoConfig()
+        self.serve_config = serve or ServeConfig()
+        self.scheduler = scheduler if scheduler is not None else MiccoScheduler()
+        self.predictor = predictor
+        self.cluster = ClusterState(
+            mi100_like(
+                self.config.num_devices,
+                memory_bytes=self.config.memory_bytes,
+                peak_gflops=self.config.peak_gflops,
+            ),
+            eviction_policy=self.config.eviction_policy,
+        )
+        self.engine = ExecutionEngine(self.cluster, self.config.cost_model)
+
+    # ------------------------------------------------------------------- run
+    def run(self, vectors: list[VectorSpec], arrivals, *, seed=0, reset: bool = True) -> ServeResult:
+        """Serve ``vectors`` arriving per ``arrivals``; returns SLO metrics.
+
+        Parameters
+        ----------
+        vectors:
+            The request stream, in arrival order.
+        arrivals:
+            An :class:`~repro.serve.arrivals.ArrivalProcess` (sampled
+            with ``seed``) or an explicit sequence of absolute arrival
+            timestamps, one per vector.
+        reset:
+            Start from an empty cluster and idle devices (default).
+        """
+        if not vectors:
+            raise ConfigurationError("serving run needs at least one vector")
+        if isinstance(arrivals, ArrivalProcess):
+            times = arrivals.arrival_times(len(vectors), seed)
+        else:
+            # Explicit timestamps: validate through the trace process.
+            times = TraceArrivals(list(arrivals)).arrival_times(len(vectors))
+
+        if reset:
+            self.cluster.reset()
+            if hasattr(self.scheduler, "reset_stats"):
+                self.scheduler.reset_stats()
+
+        cfg = self.serve_config
+        timeline = Timeline()
+        queue = AdmissionQueue(cfg.queue_capacity, cfg.queue_policy)
+        report = LatencyReport()
+        tracker = CharacteristicsTracker()
+        total = ExecutionMetrics(num_devices=self.cluster.num_devices)
+        busy_until = np.zeros(self.cluster.num_devices)
+        inflight = 0
+        wants_bounds = self.predictor is not None and hasattr(self.scheduler, "set_bounds")
+
+        for t, v in zip(times, vectors):
+            timeline.push(VectorArrival(t, Ticket(vector=v, arrival_s=t)))
+
+        def dispatch(ticket: Ticket, now: float) -> None:
+            nonlocal inflight
+            inflight += 1
+            ticket.dispatch_s = now
+            latency = cfg.schedule_latency_per_pair_s * len(ticket.vector.pairs)
+            timeline.push(SchedulingDone(now + latency, ticket))
+
+        while timeline:
+            event = timeline.pop()
+            now = timeline.now
+            ticket = event.ticket
+
+            if isinstance(event, VectorArrival):
+                if inflight < cfg.max_inflight and not len(queue):
+                    dispatch(ticket, now)
+                elif not queue.offer(ticket):
+                    report.add_drop(ticket)
+
+            elif isinstance(event, SchedulingDone):
+                ticket.sched_done_s = now
+                vec_metrics, assignment = self._schedule_and_execute(
+                    ticket.vector, tracker, wants_bounds
+                )
+                ticket.devices = sorted(set(assignment))
+                # Per-device busy seconds this vector added.
+                delta = vec_metrics.compute_s + vec_metrics.memop_s
+                complete = now
+                for dev in ticket.devices:
+                    busy_until[dev] = max(busy_until[dev], now) + delta[dev]
+                    complete = max(complete, busy_until[dev])
+                total.merge(vec_metrics)
+                timeline.push(VectorCompletion(complete, ticket))
+
+            elif isinstance(event, VectorCompletion):
+                ticket.complete_s = now
+                report.add_completion(ticket)
+                inflight -= 1
+                while inflight < cfg.max_inflight:
+                    nxt = queue.pop()
+                    if nxt is None:
+                        break
+                    dispatch(nxt, now)
+
+        return ServeResult(
+            report=report,
+            metrics=total,
+            queue=queue.counters(),
+            arrival_s=times,
+        )
+
+    # ---------------------------------------------------------------- helpers
+    def _schedule_and_execute(
+        self, vector: VectorSpec, tracker: CharacteristicsTracker, wants_bounds: bool
+    ) -> tuple[ExecutionMetrics, list[int]]:
+        """One vector through the batch machinery; returns its metrics."""
+        chars = tracker.observe(vector)
+        if wants_bounds:
+            self.scheduler.set_bounds(self.predictor.predict_bounds(chars))
+        self.cluster.begin_vector(vector.num_tensors)
+        self.scheduler.begin_vector(vector, self.cluster)
+        vec_metrics = ExecutionMetrics(num_devices=self.cluster.num_devices)
+        assignment: list[int] = []
+        for pair in vector.pairs:
+            dev = self.scheduler.choose(pair, self.cluster)
+            self.engine.execute_pair(pair, dev, vec_metrics)
+            assignment.append(dev)
+        if not self.config.keep_outputs:
+            self.engine.drain_outputs(vector, assignment, vec_metrics)
+        return vec_metrics, assignment

@@ -1,0 +1,203 @@
+"""Latency accounting and SLO metrics for online serving runs.
+
+Each completed vector yields a :class:`VectorLatency` splitting its
+sojourn time into queue wait, scheduling and execution; shed vectors
+are recorded separately.  :class:`LatencyReport` aggregates them into
+tail percentiles (p50/p95/p99), windowed throughput and drop rate, and
+exports to JSON or to the existing Chrome-trace format
+(:class:`~repro.gpusim.trace.TraceRecorder`) where every vector is one
+lane showing its wait → schedule → execute spans.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.gpusim.trace import TraceRecorder
+from repro.serve.timeline import Ticket
+
+
+@dataclass(frozen=True)
+class VectorLatency:
+    """Latency breakdown of one served vector (simulated seconds)."""
+
+    vector_id: int
+    arrival_s: float
+    dispatch_s: float
+    sched_done_s: float
+    complete_s: float
+    pairs: int
+    devices: tuple[int, ...] = ()
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.dispatch_s - self.arrival_s
+
+    @property
+    def schedule_s(self) -> float:
+        return self.sched_done_s - self.dispatch_s
+
+    @property
+    def execute_s(self) -> float:
+        return self.complete_s - self.sched_done_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end sojourn time: arrival → completion."""
+        return self.complete_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class DroppedVector:
+    """A vector shed at admission (queue full); it never executed."""
+
+    vector_id: int
+    arrival_s: float
+    pairs: int
+
+
+class LatencyReport:
+    """Aggregated per-vector latency records of one serving run."""
+
+    def __init__(self):
+        self.completed: list[VectorLatency] = []
+        self.dropped: list[DroppedVector] = []
+
+    # ------------------------------------------------------------- recording
+    def add_completion(self, ticket: Ticket) -> VectorLatency:
+        rec = VectorLatency(
+            vector_id=ticket.vector.vector_id,
+            arrival_s=ticket.arrival_s,
+            dispatch_s=ticket.dispatch_s,
+            sched_done_s=ticket.sched_done_s,
+            complete_s=ticket.complete_s,
+            pairs=len(ticket.vector.pairs),
+            devices=tuple(ticket.devices),
+        )
+        self.completed.append(rec)
+        return rec
+
+    def add_drop(self, ticket: Ticket) -> DroppedVector:
+        rec = DroppedVector(
+            vector_id=ticket.vector.vector_id,
+            arrival_s=ticket.arrival_s,
+            pairs=len(ticket.vector.pairs),
+        )
+        self.dropped.append(rec)
+        return rec
+
+    # ------------------------------------------------------------ aggregates
+    @property
+    def offered(self) -> int:
+        """Vectors that arrived (completed + shed)."""
+        return len(self.completed) + len(self.dropped)
+
+    @property
+    def drop_rate(self) -> float:
+        return len(self.dropped) / self.offered if self.offered else 0.0
+
+    def latencies(self) -> np.ndarray:
+        return np.array([r.latency_s for r in self.completed])
+
+    def percentile(self, p: float) -> float:
+        """End-to-end latency percentile ``p`` (0–100); NaN when empty."""
+        if not 0 <= p <= 100:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {p}")
+        if not self.completed:
+            return float("nan")
+        return float(np.percentile(self.latencies(), p))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(self.latencies().mean()) if self.completed else float("nan")
+
+    @property
+    def makespan_s(self) -> float:
+        """Last completion timestamp (0 when nothing completed)."""
+        return max((r.complete_s for r in self.completed), default=0.0)
+
+    def throughput_timeline(self, window_s: float) -> list[dict]:
+        """Completions bucketed into ``window_s``-wide time windows.
+
+        Returns one record per window from t=0 through the makespan:
+        ``{"t_start_s", "t_end_s", "completions", "rate"}``.
+        """
+        if window_s <= 0:
+            raise ConfigurationError(f"window_s must be > 0, got {window_s}")
+        span = self.makespan_s
+        if span <= 0:
+            return []
+        n_windows = int(np.ceil(span / window_s))
+        counts = [0] * n_windows
+        for r in self.completed:
+            counts[min(int(r.complete_s // window_s), n_windows - 1)] += 1
+        return [
+            {
+                "t_start_s": i * window_s,
+                "t_end_s": (i + 1) * window_s,
+                "completions": c,
+                "rate": c / window_s,
+            }
+            for i, c in enumerate(counts)
+        ]
+
+    def summary(self) -> dict:
+        """Flat dict of the headline SLO numbers."""
+        span = self.makespan_s
+        return {
+            "offered": self.offered,
+            "completed": len(self.completed),
+            "dropped": len(self.dropped),
+            "drop_rate": self.drop_rate,
+            "p50_s": self.p50,
+            "p95_s": self.p95,
+            "p99_s": self.p99,
+            "mean_latency_s": self.mean_latency_s,
+            "mean_queue_wait_s": (
+                float(np.mean([r.queue_wait_s for r in self.completed]))
+                if self.completed
+                else float("nan")
+            ),
+            "makespan_s": span,
+            "throughput_vps": len(self.completed) / span if span > 0 else 0.0,
+        }
+
+    # --------------------------------------------------------------- exports
+    def to_json(self, path: str | Path, *, extra: dict | None = None) -> None:
+        """Write summary + per-vector records (and optional extras)."""
+        payload = {
+            "summary": self.summary(),
+            "completed": [asdict(r) for r in self.completed],
+            "dropped": [asdict(r) for r in self.dropped],
+        }
+        if extra:
+            payload.update(extra)
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+    def to_trace(self) -> TraceRecorder:
+        """Chrome-trace view: one lane per vector, wait→schedule→execute."""
+        trace = TraceRecorder()
+        for r in self.completed:
+            lane = r.vector_id
+            label = f"v{r.vector_id}"
+            trace.record_at("wait", lane, r.arrival_s, r.queue_wait_s, label=label)
+            trace.record_at("schedule", lane, r.dispatch_s, r.schedule_s, label=label)
+            trace.record_at("execute", lane, r.sched_done_s, r.execute_s, label=label)
+        return trace

@@ -1,0 +1,110 @@
+"""Discrete-event timeline for the online serving simulator.
+
+A :class:`Timeline` is a heap-ordered event queue that advances
+simulated wall-clock time.  Three event kinds drive a serving run
+(mirroring gym-sparksched's timeline structure):
+
+* :class:`VectorArrival` — a vector enters the system,
+* :class:`SchedulingDone` — the dispatcher finished assigning the
+  vector's pairs to devices,
+* :class:`VectorCompletion` — the last device finished the vector.
+
+Ties at the same timestamp resolve in push order (a monotonic sequence
+number), so event processing is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.tensor.spec import VectorSpec
+
+
+@dataclass
+class Ticket:
+    """Mutable per-vector lifecycle record threaded through events.
+
+    Timestamps are simulated seconds; ``None`` until the corresponding
+    stage happens.  ``devices`` lists the device ids the vector's pairs
+    ran on (filled at scheduling time).
+    """
+
+    vector: VectorSpec
+    arrival_s: float
+    dispatch_s: float | None = None
+    sched_done_s: float | None = None
+    complete_s: float | None = None
+    devices: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base timeline event: something happens at ``time_s``."""
+
+    time_s: float
+    ticket: Ticket
+
+    def __post_init__(self):
+        if self.time_s < 0:
+            raise ConfigurationError(f"event time must be >= 0, got {self.time_s}")
+
+
+@dataclass(frozen=True)
+class VectorArrival(Event):
+    """A vector arrives and requests admission."""
+
+
+@dataclass(frozen=True)
+class SchedulingDone(Event):
+    """The dispatcher finished the vector's pair→GPU assignment."""
+
+
+@dataclass(frozen=True)
+class VectorCompletion(Event):
+    """Every device involved in the vector finished its share."""
+
+
+class Timeline:
+    """Heap-based event loop state: pending events + current time.
+
+    ``pop`` never runs backwards — popping an event advances ``now`` to
+    the event's timestamp; pushing an event earlier than ``now`` is a
+    programming error and raises.
+    """
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        #: Current simulated time (timestamp of the last popped event).
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, event: Event) -> None:
+        """Schedule ``event``; must not be in the simulated past."""
+        if event.time_s < self.now:
+            raise ConfigurationError(
+                f"cannot schedule event at {event.time_s} before now={self.now}"
+            )
+        heapq.heappush(self._heap, (event.time_s, next(self._seq), event))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing ``now``."""
+        if not self._heap:
+            raise IndexError("pop from an empty timeline")
+        time_s, _, event = heapq.heappop(self._heap)
+        self.now = time_s
+        return event
+
+    def peek_time(self) -> float:
+        """Timestamp of the next event without popping it."""
+        if not self._heap:
+            raise IndexError("peek on an empty timeline")
+        return self._heap[0][0]

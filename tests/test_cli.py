@@ -61,3 +61,65 @@ class TestMain:
         assert "===== fig7 =====" in out
         assert "fake-table" in out
         assert out_path.exists()
+
+
+class TestServe:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.rate == 100.0
+        assert args.scheduler == "micco"
+        assert args.arrivals == "poisson"
+        assert args.json == "serve_report.json"
+
+    def test_serve_end_to_end(self, capsys, tmp_path):
+        report = tmp_path / "report.json"
+        rc = main([
+            "serve", "--rate", "200", "--scheduler", "micco",
+            "--num-vectors", "6", "--vector-size", "8", "--tensor-size", "64",
+            "--batch", "2", "--num-devices", "2", "--json", str(report),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "latency report written" in out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["summary"]["completed"] == 6
+        assert payload["config"]["scheduler"] == "micco"
+
+    def test_serve_groute_and_trace_export(self, capsys, tmp_path):
+        report = tmp_path / "report.json"
+        trace = tmp_path / "trace.json"
+        rc = main([
+            "serve", "--scheduler", "groute", "--num-vectors", "4",
+            "--vector-size", "8", "--tensor-size", "64", "--batch", "2",
+            "--num-devices", "2", "--json", str(report), "--trace", str(trace),
+        ])
+        assert rc == 0
+        import json
+
+        assert json.loads(trace.read_text())["traceEvents"]
+
+    def test_serve_trace_arrivals_from_json(self, capsys, tmp_path):
+        from repro.serve import TraceArrivals
+
+        arrivals = tmp_path / "arrivals.json"
+        TraceArrivals([0.0, 0.01, 0.02, 0.03]).to_json(arrivals)
+        report = tmp_path / "report.json"
+        rc = main([
+            "serve", "--arrivals", str(arrivals), "--num-vectors", "4",
+            "--vector-size", "8", "--tensor-size", "64", "--batch", "2",
+            "--num-devices", "2", "--json", str(report),
+        ])
+        assert rc == 0
+
+    def test_serve_unknown_arrivals(self, capsys, tmp_path):
+        rc = main(["serve", "--arrivals", "fractal", "--json", str(tmp_path / "r.json")])
+        assert rc == 2
+        assert "unknown arrival process" in capsys.readouterr().err
+
+    def test_list_mentions_serve(self, capsys):
+        assert main(["list"]) == 0
+        assert "serve" in capsys.readouterr().out

@@ -19,6 +19,7 @@ FAST_EXAMPLES = [
     "oversubscription_study.py",
     "multinode_cluster.py",
     "baryon_workload_replay.py",
+    "online_serving.py",
 ]
 
 

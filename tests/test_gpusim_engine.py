@@ -195,3 +195,83 @@ class TestVectorExecution:
         m = engine.execute_vector(v, [0, 0, 0, 0])
         assert m.makespan_s == pytest.approx(float(m.device_time_s[0]))
         assert m.device_time_s[1] == 0
+
+
+class TestD2DSourceSelection:
+    def test_cheapest_holder_wins_on_topology(self):
+        """With a multi-node topology the intra-node holder is the source."""
+        from repro.gpusim.topology import Topology
+
+        cluster, engine = fresh(num_devices=4, topology=Topology(num_devices=4, devices_per_node=2))
+        shared = make_tensor()
+        cluster.register(shared, 0)  # node 0 (remote to target)
+        cluster.register(shared, 3)  # node 1 (local to target)
+        p = make_pair(left=shared, right=make_tensor())
+        m = ExecutionMetrics(num_devices=4)
+        cluster.begin_vector(2)
+        engine.execute_pair(p, 2, m)
+        assert m.counts.d2d_transfers == 1
+        # Single-residency runtime: the chosen source (device 3) moved;
+        # the remote copy on device 0 is untouched.
+        assert cluster.devices_holding(shared.uid) == frozenset({0, 2})
+
+    def test_lowest_id_breaks_cost_ties(self):
+        """Without a topology all holders cost the same: lowest id wins."""
+        cluster, engine = fresh(num_devices=4)
+        shared = make_tensor()
+        cluster.register(shared, 3)
+        cluster.register(shared, 1)
+        p = make_pair(left=shared, right=make_tensor())
+        m = ExecutionMetrics(num_devices=4)
+        cluster.begin_vector(2)
+        engine.execute_pair(p, 0, m)
+        assert cluster.devices_holding(shared.uid) == frozenset({0, 3})
+
+
+class TestDrainOutputs:
+    def test_writeback_charged_exactly_once(self):
+        from repro.gpusim.trace import TraceRecorder
+
+        cluster = make_cluster()
+        trace = TraceRecorder()
+        engine = ExecutionEngine(cluster, CostModel(drain_writeback=True), trace=trace)
+        v = make_vector(n_pairs=3)
+        assignment = [0, 1, 0]
+        m = engine.execute_vector(v, assignment, keep_outputs=True)
+        memop_before = m.memop_s.copy()
+        engine.drain_outputs(v, assignment, m)
+        drains = trace.events_of("drain")
+        assert len(drains) == 3
+        expected = sum(
+            engine.cost_model.interconnect.d2h_time(p.out.nbytes) for p in v.pairs
+        )
+        assert float((m.memop_s - memop_before).sum()) == pytest.approx(expected)
+        # Outputs are gone; a second drain is a no-op.
+        engine.drain_outputs(v, assignment, m)
+        assert len(trace.events_of("drain")) == 3
+        assert float((m.memop_s - memop_before).sum()) == pytest.approx(expected)
+
+    def test_already_evicted_output_skipped(self):
+        from repro.gpusim.trace import TraceRecorder
+
+        cluster = make_cluster()
+        trace = TraceRecorder()
+        engine = ExecutionEngine(cluster, CostModel(drain_writeback=True), trace=trace)
+        v = make_vector(n_pairs=2)
+        assignment = [0, 0]
+        m = engine.execute_vector(v, assignment, keep_outputs=True)
+        cluster.drop(v.pairs[0].out.uid, 0)  # as if evicted under pressure
+        engine.drain_outputs(v, assignment, m)
+        drains = trace.events_of("drain")
+        assert len(drains) == 1
+        assert drains[0].uid == v.pairs[1].out.uid
+
+    def test_no_writeback_mode_only_frees(self):
+        cluster, engine = fresh()  # drain_writeback defaults to False
+        v = make_vector(n_pairs=2)
+        m = engine.execute_vector(v, [0, 1], keep_outputs=True)
+        memop_before = m.memop_s.copy()
+        engine.drain_outputs(v, [0, 1], m)
+        assert (m.memop_s == memop_before).all()
+        for p in v.pairs:
+            assert cluster.devices_holding(p.out.uid) == frozenset()

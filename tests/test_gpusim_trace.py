@@ -77,3 +77,53 @@ class TestEngineIntegration:
         recs = trace.to_records()
         assert len(recs) == len(trace)
         assert {"kind", "device", "start_s", "duration_s"} <= set(recs[0])
+
+
+class TestRecordAt:
+    def test_explicit_start_and_clock_advance(self):
+        tr = TraceRecorder()
+        tr.record_at("wait", 0, 5.0, 1.0)
+        tr.record("kernel", 0, 2.0)
+        wait, kernel = tr.events
+        assert wait.start_s == 5.0 and wait.end_s == 6.0
+        assert kernel.start_s == 6.0  # clock advanced past record_at's end
+
+    def test_does_not_rewind_clock(self):
+        tr = TraceRecorder()
+        tr.record("kernel", 0, 10.0)
+        tr.record_at("wait", 0, 1.0, 2.0)
+        tr.record("alloc", 0, 1.0)
+        assert tr.events[-1].start_s == 10.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record_at("dma", 0, 0.0, 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record_at("wait", 0, 0.0, -1.0)
+
+    def test_serve_kinds_accepted(self):
+        tr = TraceRecorder()
+        for kind in ("wait", "schedule", "execute"):
+            tr.record_at(kind, 1, 0.0, 0.5)
+        assert len(tr) == 3
+
+
+class TestEventOrdering:
+    def test_per_device_events_contiguous_and_monotonic(self):
+        """Engine events on one device tile the device's busy timeline."""
+        trace, _ = traced_run(n_pairs=4)
+        for dev in (0, 1):
+            events = [e for e in trace.events if e.device == dev]
+            assert events, "both devices ran pairs"
+            assert events[0].start_s == 0.0
+            for a, b in zip(events, events[1:]):
+                assert b.start_s == pytest.approx(a.end_s)
+
+    def test_order_preserved_in_exports(self):
+        trace, _ = traced_run(n_pairs=3)
+        records = trace.to_records()
+        chrome = trace.to_chrome_trace()
+        assert [r["kind"] for r in records] == [e.kind for e in trace.events]
+        assert [c["ts"] for c in chrome] == [e.start_s * 1e6 for e in trace.events]

@@ -67,3 +67,20 @@ class TestGrids:
         assert ReuseBounds(0, 0, 0) in THIRTEEN_SETTINGS
         for b in THIRTEEN_SETTINGS:
             assert all(0 <= v <= 2 for v in b.as_tuple())
+
+
+class TestConstructionValidation:
+    def test_negative_is_a_value_error(self):
+        """ConfigurationError doubles as ValueError for generic callers."""
+        with pytest.raises(ValueError):
+            ReuseBounds(0.0, -2.0, 0.0)
+        with pytest.raises(ValueError):
+            ReuseBounds.from_sequence([0, 0, -1])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReuseBounds(float("nan"), 0.0, 0.0)
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReuseBounds(0.0, float("inf"), 0.0)

@@ -1,0 +1,86 @@
+"""Unit tests for the bounded admission queue."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.queueing import QUEUE_POLICIES, AdmissionQueue
+from repro.serve.timeline import Ticket
+from tests.conftest import make_vector
+
+
+def ticket(n_pairs=2, vector_id=0, arrival_s=0.0):
+    return Ticket(vector=make_vector(n_pairs=n_pairs, vector_id=vector_id), arrival_s=arrival_s)
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        q = AdmissionQueue(capacity=4)
+        tickets = [ticket(vector_id=i) for i in range(3)]
+        for t in tickets:
+            assert q.offer(t)
+        assert [q.pop() for _ in range(3)] == tickets
+
+    def test_pop_empty_returns_none(self):
+        assert AdmissionQueue().pop() is None
+
+    def test_shed_when_full(self):
+        q = AdmissionQueue(capacity=2)
+        assert q.offer(ticket())
+        assert q.offer(ticket())
+        assert not q.offer(ticket())
+        assert q.dropped == 1
+        assert q.admitted == 2
+        assert len(q) == 2 and q.is_full
+
+    def test_peak_depth_high_water(self):
+        q = AdmissionQueue(capacity=8)
+        for i in range(3):
+            q.offer(ticket(vector_id=i))
+        q.pop()
+        q.pop()
+        q.offer(ticket(vector_id=9))
+        assert q.peak_depth == 3
+
+    def test_counters_snapshot(self):
+        q = AdmissionQueue(capacity=1, policy="fifo")
+        q.offer(ticket())
+        q.offer(ticket())
+        assert q.counters() == {
+            "capacity": 1,
+            "policy": "fifo",
+            "admitted": 1,
+            "dropped": 1,
+            "peak_depth": 1,
+        }
+
+
+class TestSjf:
+    def test_shortest_vector_first(self):
+        q = AdmissionQueue(capacity=4, policy="sjf")
+        big = ticket(n_pairs=8, vector_id=0)
+        small = ticket(n_pairs=1, vector_id=1)
+        mid = ticket(n_pairs=4, vector_id=2)
+        for t in (big, small, mid):
+            q.offer(t)
+        assert [q.pop() for _ in range(3)] == [small, mid, big]
+
+    def test_fifo_among_equals(self):
+        q = AdmissionQueue(capacity=4, policy="sjf")
+        first = ticket(n_pairs=2, vector_id=0)
+        second = ticket(n_pairs=2, vector_id=1)
+        q.offer(first)
+        q.offer(second)
+        assert q.pop() is first
+
+
+class TestValidation:
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(capacity=0)
+
+    def test_bad_policy(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(policy="lifo")
+
+    def test_policy_registry(self):
+        assert QUEUE_POLICIES == ("fifo", "sjf")
