@@ -10,12 +10,15 @@ Public API highlights
 * :mod:`repro.schedulers` — MICCO heuristic and baseline schedulers.
 * :mod:`repro.serve` — online serving simulator (:class:`repro.MiccoServer`):
   arrival processes, admission control, latency SLO metrics.
+* :mod:`repro.faults` — seeded fault injection (:class:`repro.FaultPlan`)
+  and recovery: chaos-hardened serving on a shrinking device pool.
 * :mod:`repro.ml` — from-scratch regression models + reuse-bound tuner.
 * :mod:`repro.redstar` — Redstar-analog contraction-graph pipeline.
 * :mod:`repro.experiments` — one runner per paper table/figure.
 """
 
 from repro.core import Micco, MiccoConfig, RunResult, compare, run_stream
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultStats, RetryPolicy
 from repro.gpusim import ClusterState, CostModel, ExecutionEngine, ExecutionMetrics
 from repro.schedulers import (
     GrouteScheduler,
@@ -47,6 +50,12 @@ __all__ = [
     "CostModel",
     "ExecutionEngine",
     "ExecutionMetrics",
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStats",
+    "RetryPolicy",
     "GrouteScheduler",
     "MiccoScheduler",
     "ReuseBounds",

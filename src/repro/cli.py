@@ -8,6 +8,7 @@ Examples
     micco fig7                 # quick Fig. 7 sweep
     micco tab4 --full          # full-scale Table IV (300 samples)
     micco serve --rate 500     # online serving under Poisson traffic
+    micco chaos --seed 0       # serving under seeded fault injection
     python -m repro tab6       # same, via the module
 """
 
@@ -27,8 +28,9 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help=(
             "experiment id (fig5, fig7, fig8, fig9, fig10, fig11, tab4, tab5, "
-            "tab6, ablations), 'all', 'list', or 'serve' (online serving "
-            "simulator; see 'micco serve --help')"
+            "tab6, ablations), 'all', 'list', 'serve' (online serving "
+            "simulator; see 'micco serve --help'), or 'chaos' (serving under "
+            "fault injection; see 'micco chaos --help')"
         ),
     )
     parser.add_argument(
@@ -85,6 +87,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
     system.add_argument("--queue-capacity", type=int, default=64, help="admission-queue depth (default 64)")
     system.add_argument("--queue-policy", choices=("fifo", "sjf"), default="fifo", help="dispatch order (default fifo)")
     system.add_argument("--max-inflight", type=int, default=1, help="vectors dispatched but not complete (default 1)")
+    system.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="JSON fault plan (FaultPlan.to_json) to inject during the run",
+    )
 
     output = parser.add_argument_group("output")
     output.add_argument("--json", metavar="PATH", default="serve_report.json", help="latency report path (default serve_report.json)")
@@ -92,21 +99,50 @@ def build_serve_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def run_serve(argv: list[str]) -> int:
+def build_chaos_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="micco chaos",
+        description=(
+            "Chaos-test the online serving loop: inject a seeded fault plan "
+            "(transient kernel faults, permanent device loss, stragglers, "
+            "transfer failures) while vectors arrive over simulated time, and "
+            "report recovery behaviour — retried/recovered counts, per-fault "
+            "recovery latency, availability — alongside the latency SLOs.  "
+            "Identical seeds give byte-identical reports."
+        ),
+        parents=[build_serve_parser()],
+        add_help=False,  # the serve parent already contributes -h/--help
+        conflict_handler="resolve",
+    )
+    faults = parser.add_argument_group("fault plan (ignored with --faults)")
+    faults.add_argument("--kill", type=int, default=1, help="devices to lose permanently (default 1)")
+    faults.add_argument("--transient", type=int, default=2, help="transient kernel faults to inject (default 2)")
+    faults.add_argument("--transfer", type=int, default=2, help="transfer faults to inject (default 2)")
+    faults.add_argument("--stragglers", type=int, default=1, help="straggler windows to open (default 1)")
+    faults.add_argument("--straggler-factor", type=float, default=4.0, help="straggler kernel-time multiplier (default 4)")
+    faults.add_argument("--no-recovery", action="store_true", help="shed fault-affected vectors instead of re-scheduling them")
+    faults.add_argument("--save-plan", metavar="PATH", help="also write the (generated or loaded) fault plan as JSON")
+    parser.set_defaults(json="chaos_report.json")
+    return parser
+
+
+def run_serve(argv: list[str], *, chaos: bool = False) -> int:
     from repro.errors import ReproError
 
+    prog = "chaos" if chaos else "serve"
     try:
-        return _run_serve(argv)
+        return _run_serve(argv, chaos=chaos)
     except ReproError as exc:
         # Bad knob values (negative rate, odd vector size, ...) are user
         # errors, not crashes: report them like argparse would.
-        print(f"micco serve: error: {exc}", file=sys.stderr)
+        print(f"micco {prog}: error: {exc}", file=sys.stderr)
         return 2
 
 
-def _run_serve(argv: list[str]) -> int:
-    args = build_serve_parser().parse_args(argv)
+def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
+    args = (build_chaos_parser() if chaos else build_serve_parser()).parse_args(argv)
     from repro.core.config import MiccoConfig
+    from repro.faults import FaultPlan
     from repro.schedulers.bounds import ReuseBounds
     from repro.schedulers.groute import GrouteScheduler
     from repro.schedulers.micco import MiccoScheduler
@@ -131,6 +167,30 @@ def _run_serve(argv: list[str]) -> int:
             return 2
         arrivals = TraceArrivals.from_json(path)
 
+    plan = None
+    if args.faults:
+        plan_path = Path(args.faults)
+        if not plan_path.exists():
+            print(f"fault plan {args.faults!r} does not exist", file=sys.stderr)
+            return 2
+        plan = FaultPlan.from_json(plan_path)
+    elif chaos:
+        # No explicit plan: draw one from the seed over the expected
+        # arrival span, so the same seed replays the same chaos.
+        plan = FaultPlan.generate(
+            args.seed,
+            num_devices=args.num_devices,
+            horizon_s=args.num_vectors / args.rate,
+            n_transient=args.transient,
+            n_transfer=args.transfer,
+            n_straggler=args.stragglers,
+            n_device_lost=args.kill,
+            straggler_factor=args.straggler_factor,
+        )
+    if chaos and args.save_plan and plan is not None:
+        plan.to_json(args.save_plan)
+        print(f"fault plan written to {args.save_plan}")
+
     params = WorkloadParams(
         vector_size=args.vector_size,
         tensor_size=args.tensor_size,
@@ -146,32 +206,50 @@ def _run_serve(argv: list[str]) -> int:
             queue_capacity=args.queue_capacity,
             queue_policy=args.queue_policy,
             max_inflight=args.max_inflight,
+            recover_faults=not (chaos and args.no_recovery),
         ),
     )
-    result = server.run(vectors, arrivals, seed=args.seed)
+    result = server.run(vectors, arrivals, seed=args.seed, faults=plan)
 
     s = result.summary()
     print(f"served {s['completed']}/{s['offered']} vectors with {args.scheduler} " f"({args.arrivals} arrivals, mean rate {args.rate:g}/s)")
     print(f"  latency   p50 {s['p50_s'] * 1e3:8.3f} ms   p95 {s['p95_s'] * 1e3:8.3f} ms   p99 {s['p99_s'] * 1e3:8.3f} ms")
     print(f"  throughput {s['throughput_vps']:8.1f} vectors/s   drop rate {s['drop_rate']:.1%} ({s['dropped']} shed)")
     print(f"  queue      peak depth {s['queue']['peak_depth']} / capacity {s['queue']['capacity']} ({s['queue']['policy']})")
+    if result.faults is not None:
+        f = result.faults
+        injected = ", ".join(f"{k} {v}" for k, v in f["injected"].items() if v)
+        print(f"  faults     injected: {injected or 'none'}")
+        print(
+            f"  recovery   {f['transient_recovered']} kernels retried ok, "
+            f"{f['transfer_refetches']} host re-fetches, "
+            f"{f['rescheduled_pairs']} pairs re-scheduled after "
+            f"{f['device_losses']} device loss(es)"
+        )
+        print(
+            f"  health     availability {f['availability_pct']:.1f}%   "
+            f"degraded {f['degraded_device_s'] * 1e3:.1f} device-ms   "
+            f"abandoned {f['transient_abandoned']}"
+        )
 
-    result.report.to_json(
-        args.json,
-        extra={
-            "config": {
-                "scheduler": args.scheduler,
-                "arrivals": args.arrivals,
-                "rate": args.rate,
-                "num_devices": args.num_devices,
-                "seed": args.seed,
-            },
-            "queue": s["queue"],
+    extra = {
+        "config": {
+            "scheduler": args.scheduler,
+            "arrivals": args.arrivals,
+            "rate": args.rate,
+            "num_devices": args.num_devices,
+            "seed": args.seed,
         },
-    )
+        "queue": s["queue"],
+    }
+    if result.faults is not None:
+        extra["faults"] = result.faults
+        extra["fault_events"] = result.fault_events
+        extra["fault_plan"] = plan.to_dicts()
+    result.report.to_json(args.json, extra=extra)
     print(f"latency report written to {args.json}")
     if args.trace:
-        result.report.to_trace().save_chrome_trace(args.trace)
+        result.to_trace().save_chrome_trace(args.trace)
         print(f"chrome trace written to {args.trace}")
     return 0
 
@@ -180,6 +258,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve":
         return run_serve(argv[1:])
+    if argv and argv[0] == "chaos":
+        return run_serve(argv[1:], chaos=True)
     args = build_parser().parse_args(argv)
     from repro.experiments import EXPERIMENTS
 
@@ -188,6 +268,7 @@ def main(argv: list[str] | None = None) -> int:
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:9s} {doc}")
         print("serve     Online serving simulator (see 'micco serve --help').")
+        print("chaos     Serving under seeded fault injection (see 'micco chaos --help').")
         return 0
     if args.experiment == "all":
         from repro.experiments.runner import run_all, save_results

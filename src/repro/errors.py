@@ -24,8 +24,47 @@ class SchedulingError(ReproError):
     """A scheduler produced (or was handed) an inconsistent assignment."""
 
 
-class CapacityError(ReproError):
-    """A tensor cannot fit on a device even after evicting everything else."""
+class CapacityError(ReproError, RuntimeError):
+    """A tensor cannot fit on a device even after evicting everything else.
+
+    Also a :class:`RuntimeError`: capacity exhaustion happens at run
+    time, not construction time, so generic callers that wrap a whole
+    run in ``except RuntimeError`` see it without importing repro.
+    """
+
+
+class FaultError(ReproError, RuntimeError):
+    """Base class for injected-fault failures the runtime could not hide.
+
+    Raised only after recovery was attempted (or is impossible):
+    transient faults that exhausted their retries, or work placed on a
+    device that no longer exists.  Also a :class:`RuntimeError` for the
+    same reason as :class:`CapacityError`.
+    """
+
+
+class TransientFaultError(FaultError):
+    """A transient kernel fault persisted past the retry budget."""
+
+
+class DeviceLostError(FaultError):
+    """Work referenced a device that has been lost (permanent failure).
+
+    Attributes
+    ----------
+    device_id:
+        The lost device.
+    pair_index:
+        Index of the pair within its vector, when raised from
+        :meth:`~repro.gpusim.engine.ExecutionEngine.execute_vector`;
+        ``None`` for single-pair execution.
+    """
+
+    def __init__(self, device_id: int, pair_index: int | None = None):
+        self.device_id = device_id
+        self.pair_index = pair_index
+        where = f" (pair index {pair_index})" if pair_index is not None else ""
+        super().__init__(f"device {device_id} has been lost{where}")
 
 
 class ModelError(ReproError):

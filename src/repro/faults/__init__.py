@@ -1,0 +1,32 @@
+"""Fault injection and recovery for chaos-hardened scheduling.
+
+The paper's evaluation assumes eight healthy GPUs for the whole run; a
+serving cluster does not get that luxury.  This package injects seeded,
+deterministic faults into the simulator — transient kernel failures,
+permanent device loss, stragglers, transfer failures — and provides the
+recovery policy and accounting that let
+:class:`~repro.serve.server.MiccoServer` keep serving on a shrinking
+device pool:
+
+* :mod:`repro.faults.plan` — declarative :class:`FaultPlan` (seeded
+  generation, JSON round-trip),
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, the runtime
+  state machine consulted by the engine and the serving loop,
+* :mod:`repro.faults.recovery` — :class:`RetryPolicy` (exponential
+  backoff in simulated time) and :class:`FaultStats` (the SLO report's
+  fault section: injected/retried/recovered counts, recovery latencies,
+  availability %).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.recovery import FaultStats, RetryPolicy
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
+    "FaultStats",
+]

@@ -1,0 +1,126 @@
+"""Runtime fault injection: arms planned faults as simulated time passes.
+
+The :class:`FaultInjector` sits between a :class:`~repro.faults.plan.FaultPlan`
+and the machinery that experiences the faults:
+
+* the *driver* (the serving loop, or any clock owner) calls
+  :meth:`poll` as simulated time advances; due transient/transfer
+  faults are armed against their device, straggler windows open, and
+  due ``device_lost`` events are returned for the driver to apply
+  (killing a device needs cluster + scheduler cooperation the injector
+  does not have);
+* the *engine* consults :meth:`take_kernel_fault` /
+  :meth:`take_transfer_fault` at each operation (consuming one armed
+  failure per call) and :meth:`compute_factor` for straggler slowdowns.
+
+All state transitions are functions of the plan and the polled clock,
+so a seeded plan replays identically.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.recovery import FaultStats
+
+
+class FaultInjector:
+    """Consumable runtime view of one :class:`FaultPlan`.
+
+    One injector serves one run; build a fresh one per run (its armed
+    faults and clock are consumed as the run progresses).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._pending = deque(plan.events)  # plan is already time-sorted
+        self.stats = FaultStats()
+        #: Current simulated time, advanced by :meth:`poll`.
+        self.now = 0.0
+        # device -> remaining consecutive failures to inject.
+        self._armed_kernel: dict[int, int] = {}
+        self._armed_transfer: dict[int, int] = {}
+        # (device, start_s, end_s, slow_factor) active/known windows.
+        self._slow: list[tuple[int, float, float, float]] = []
+
+    # ------------------------------------------------------------ driver side
+    def poll(self, now: float) -> list[FaultEvent]:
+        """Advance to ``now``; arm due faults, return due device losses.
+
+        Transient/transfer faults arm against their device (the next
+        ``count`` matching operations fail); straggler windows open.
+        ``device_lost`` events are *returned* — the driver must apply
+        them (clear residency, re-schedule orphans) and then call
+        :meth:`note_device_lost` so availability accounting sees them.
+        """
+        self.now = max(self.now, now)
+        losses: list[FaultEvent] = []
+        while self._pending and self._pending[0].time_s <= now:
+            fault = self._pending.popleft()
+            self.stats.injected[fault.kind.value] += 1
+            if fault.kind is FaultKind.TRANSIENT:
+                self._armed_kernel[fault.device] = (
+                    self._armed_kernel.get(fault.device, 0) + fault.count
+                )
+            elif fault.kind is FaultKind.TRANSFER:
+                self._armed_transfer[fault.device] = (
+                    self._armed_transfer.get(fault.device, 0) + fault.count
+                )
+            elif fault.kind is FaultKind.STRAGGLER:
+                window = (
+                    fault.device,
+                    fault.time_s,
+                    fault.time_s + fault.duration_s,
+                    fault.slow_factor,
+                )
+                self._slow.append(window)
+                self.stats.straggler_windows.append(window)
+            else:  # FaultKind.DEVICE_LOST
+                losses.append(fault)
+        return losses
+
+    def drain(self) -> list[FaultEvent]:
+        """Arm every remaining fault regardless of time (end-of-run flush)."""
+        return self.poll(float("inf")) if self._pending else []
+
+    def note_device_lost(self, device: int, time_s: float, orphans: int) -> None:
+        """Record an applied device loss for availability accounting."""
+        self.stats.device_losses += 1
+        self.stats.orphaned_tensors += orphans
+        self.stats.lost_at.setdefault(device, float(time_s))
+        # A dead device can no longer fault or straggle.
+        self._armed_kernel.pop(device, None)
+        self._armed_transfer.pop(device, None)
+        self._slow = [w for w in self._slow if w[0] != device]
+
+    # ------------------------------------------------------------ engine side
+    def take_kernel_fault(self, device: int) -> bool:
+        """Consume one armed kernel failure for ``device`` (True if it fails)."""
+        return self._take(self._armed_kernel, device)
+
+    def take_transfer_fault(self, device: int) -> bool:
+        """Consume one armed transfer failure for ``device``."""
+        return self._take(self._armed_transfer, device)
+
+    @staticmethod
+    def _take(armed: dict[int, int], device: int) -> bool:
+        left = armed.get(device, 0)
+        if left <= 0:
+            return False
+        if left == 1:
+            del armed[device]
+        else:
+            armed[device] = left - 1
+        return True
+
+    def compute_factor(self, device: int) -> float:
+        """Kernel-time multiplier for ``device`` at the polled clock.
+
+        Overlapping straggler windows compound multiplicatively.
+        """
+        factor = 1.0
+        for dev, start, end, slow in self._slow:
+            if dev == device and start <= self.now < end:
+                factor *= slow
+        return factor

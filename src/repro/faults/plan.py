@@ -1,0 +1,205 @@
+"""Declarative fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` records —
+pure data, no runtime behaviour (that lives in
+:mod:`repro.faults.injector`).  Plans are either written by hand /
+loaded from JSON (reproducing a specific incident) or generated from a
+seed via :meth:`FaultPlan.generate`, which draws every timestamp and
+device through :func:`repro.utils.rng.as_generator` so identical seeds
+give identical fault timelines — chaos runs are replayable bit for bit.
+
+Four fault kinds model the failure modes a long-lived serving cluster
+actually sees:
+
+* ``transient``   — a pair's kernel execution fails and must retry,
+* ``device_lost`` — a device (and every tensor resident on it) vanishes
+  permanently,
+* ``straggler``   — a device's effective GFLOPs degrade for a window,
+* ``transfer``    — a D2D/H2D fetch fails and is re-fetched from host.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from enum import Enum
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import as_generator
+
+
+class FaultKind(str, Enum):
+    """The four injectable failure modes."""
+
+    TRANSIENT = "transient"
+    DEVICE_LOST = "device_lost"
+    STRAGGLER = "straggler"
+    TRANSFER = "transfer"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    kind:
+        Failure mode (see :class:`FaultKind`).
+    time_s:
+        Simulated timestamp at which the fault becomes active.
+    device:
+        Target device id.
+    duration_s:
+        Straggler window length (ignored for other kinds).
+    slow_factor:
+        Straggler kernel-time multiplier, > 1 (ignored otherwise).
+    count:
+        Consecutive failures to inject for ``transient``/``transfer``
+        faults before the operation succeeds again.
+    """
+
+    kind: FaultKind
+    time_s: float
+    device: int
+    duration_s: float = 0.0
+    slow_factor: float = 1.0
+    count: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "kind", FaultKind(self.kind))
+        if self.time_s < 0:
+            raise ConfigurationError(f"fault time_s must be >= 0, got {self.time_s}")
+        if self.device < 0:
+            raise ConfigurationError(f"fault device must be >= 0, got {self.device}")
+        if self.count < 1:
+            raise ConfigurationError(f"fault count must be >= 1, got {self.count}")
+        if self.kind is FaultKind.STRAGGLER:
+            if self.duration_s <= 0:
+                raise ConfigurationError(
+                    f"straggler duration_s must be > 0, got {self.duration_s}"
+                )
+            if self.slow_factor <= 1.0:
+                raise ConfigurationError(
+                    f"straggler slow_factor must be > 1, got {self.slow_factor}"
+                )
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = self.kind.value
+        return d
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, time-sorted fault schedule."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.time_s, e.device, e.kind.value))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_kind(self, kind: FaultKind | str) -> list[FaultEvent]:
+        kind = FaultKind(kind)
+        return [e for e in self.events if e.kind is kind]
+
+    # ------------------------------------------------------------ generation
+    @classmethod
+    def generate(
+        cls,
+        seed,
+        *,
+        num_devices: int,
+        horizon_s: float,
+        n_transient: int = 2,
+        n_transfer: int = 2,
+        n_straggler: int = 1,
+        n_device_lost: int = 1,
+        straggler_factor: float = 4.0,
+        straggler_window_frac: float = 0.25,
+    ) -> "FaultPlan":
+        """Draw a random plan over ``[0, horizon_s)`` from ``seed``.
+
+        Device-loss targets are sampled *without replacement* and capped
+        at ``num_devices - 1`` so at least one device always survives —
+        a plan that kills the whole pool is a configuration error, not
+        chaos.  Stragglers slow a device by ``straggler_factor`` for a
+        window of ``straggler_window_frac × horizon_s``.
+        """
+        if num_devices < 1:
+            raise ConfigurationError(f"num_devices must be >= 1, got {num_devices}")
+        if horizon_s <= 0:
+            raise ConfigurationError(f"horizon_s must be > 0, got {horizon_s}")
+        for name, n in (
+            ("n_transient", n_transient),
+            ("n_transfer", n_transfer),
+            ("n_straggler", n_straggler),
+            ("n_device_lost", n_device_lost),
+        ):
+            if n < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {n}")
+        rng = as_generator(seed)
+        events: list[FaultEvent] = []
+
+        def times(n: int) -> list[float]:
+            return [float(t) for t in rng.uniform(0.0, horizon_s, size=n)]
+
+        for t in times(n_transient):
+            events.append(
+                FaultEvent(
+                    FaultKind.TRANSIENT,
+                    t,
+                    int(rng.integers(num_devices)),
+                    count=int(rng.integers(1, 3)),
+                )
+            )
+        for t in times(n_transfer):
+            events.append(
+                FaultEvent(
+                    FaultKind.TRANSFER,
+                    t,
+                    int(rng.integers(num_devices)),
+                    count=int(rng.integers(1, 3)),
+                )
+            )
+        for t in times(n_straggler):
+            events.append(
+                FaultEvent(
+                    FaultKind.STRAGGLER,
+                    t,
+                    int(rng.integers(num_devices)),
+                    duration_s=straggler_window_frac * horizon_s,
+                    slow_factor=straggler_factor,
+                )
+            )
+        n_lost = min(n_device_lost, max(num_devices - 1, 0))
+        victims = rng.permutation(num_devices)[:n_lost]
+        for t, dev in zip(times(n_lost), victims):
+            events.append(FaultEvent(FaultKind.DEVICE_LOST, t, int(dev)))
+        return cls(tuple(events))
+
+    # ----------------------------------------------------------- persistence
+    def to_dicts(self) -> list[dict]:
+        return [e.to_dict() for e in self.events]
+
+    @classmethod
+    def from_dicts(cls, records) -> "FaultPlan":
+        return cls(tuple(FaultEvent(**r) for r in records))
+
+    def to_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps({"faults": self.to_dicts()}, indent=2))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FaultPlan":
+        payload = json.loads(Path(path).read_text())
+        records = payload["faults"] if isinstance(payload, dict) else payload
+        return cls.from_dicts(records)

@@ -1,0 +1,146 @@
+"""Recovery policy and fault accounting.
+
+:class:`RetryPolicy` bounds how hard the engine fights a transient
+fault — capped attempts with exponential backoff *in simulated time*
+(backoff seconds are charged to the faulting device, so retries show up
+in makespans and tail latencies exactly like real waiting would).
+
+:class:`FaultStats` is the single accounting object threaded through
+the injector, the engine and the serving loop; its :meth:`summary`
+feeds the SLO report's fault section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry budget for transient faults.
+
+    Attempt ``k`` (1-based) that fails waits
+    ``backoff_base_s * backoff_factor**(k-1)`` simulated seconds before
+    the next try; after ``max_attempts`` failed tries the engine gives
+    up and raises :class:`~repro.errors.TransientFaultError`.
+    """
+
+    max_attempts: int = 4
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0:
+            raise ConfigurationError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Simulated wait after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        return self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class FaultStats:
+    """Counters and timelines accumulated over one chaos run.
+
+    ``recovery_latency_s`` maps fault kind to the simulated seconds each
+    recovered fault cost: wasted work + backoff for transients, wasted
+    copy + host re-fetch for transfers, and fault-to-new-completion time
+    for device losses.  ``events`` is the replayable fault/retry/
+    recovery event log rendered into Chrome traces.
+    """
+
+    injected: dict[str, int] = field(
+        default_factory=lambda: {
+            "transient": 0,
+            "device_lost": 0,
+            "straggler": 0,
+            "transfer": 0,
+        }
+    )
+    transient_failures: int = 0
+    transient_recovered: int = 0
+    transient_abandoned: int = 0
+    transfer_refetches: int = 0
+    device_losses: int = 0
+    orphaned_tensors: int = 0
+    rescheduled_pairs: int = 0
+    recovery_latency_s: dict[str, list[float]] = field(
+        default_factory=lambda: {"transient": [], "device_lost": [], "transfer": []}
+    )
+    events: list[dict] = field(default_factory=list)
+    #: device id -> simulated time of permanent loss.
+    lost_at: dict[int, float] = field(default_factory=dict)
+    #: (device, start_s, end_s, slow_factor) straggler windows seen.
+    straggler_windows: list[tuple[int, float, float, float]] = field(default_factory=list)
+
+    # -------------------------------------------------------------- recording
+    def record_event(
+        self, kind: str, device: int, time_s: float, duration_s: float, label: str = ""
+    ) -> None:
+        """Append one fault/retry/recovery event to the replay log."""
+        self.events.append(
+            {
+                "kind": kind,
+                "device": device,
+                "time_s": float(time_s),
+                "duration_s": float(duration_s),
+                "label": label,
+            }
+        )
+
+    def record_recovery(self, fault_kind: str, latency_s: float) -> None:
+        self.recovery_latency_s.setdefault(fault_kind, []).append(float(latency_s))
+
+    # ------------------------------------------------------------- aggregates
+    def availability(self, makespan_s: float, num_devices: int) -> float:
+        """Healthy device-seconds over total device-seconds, in percent.
+
+        A device lost at time ``t`` contributes dead time ``makespan - t``.
+        Straggling degrades but does not remove capacity, so it is
+        reported separately (:meth:`degraded_device_s`), not charged here.
+        """
+        if makespan_s <= 0 or num_devices <= 0:
+            return 100.0
+        dead = sum(
+            max(makespan_s - t, 0.0) for t in self.lost_at.values()
+        )
+        return 100.0 * (1.0 - dead / (makespan_s * num_devices))
+
+    def degraded_device_s(self, makespan_s: float) -> float:
+        """Device-seconds spent inside straggler windows (clipped to the run)."""
+        total = 0.0
+        for _, start, end, _ in self.straggler_windows:
+            total += max(min(end, makespan_s) - min(start, makespan_s), 0.0)
+        return total
+
+    def summary(self, makespan_s: float, num_devices: int) -> dict:
+        """Deterministic, JSON-ready fault section for the SLO report."""
+        latencies = {
+            kind: [float(v) for v in vals]
+            for kind, vals in sorted(self.recovery_latency_s.items())
+        }
+        return {
+            "injected": {k: self.injected[k] for k in sorted(self.injected)},
+            "transient_failures": self.transient_failures,
+            "transient_recovered": self.transient_recovered,
+            "transient_abandoned": self.transient_abandoned,
+            "transfer_refetches": self.transfer_refetches,
+            "device_losses": self.device_losses,
+            "orphaned_tensors": self.orphaned_tensors,
+            "rescheduled_pairs": self.rescheduled_pairs,
+            "recovery_latency_s": latencies,
+            "availability_pct": self.availability(makespan_s, num_devices),
+            "degraded_device_s": self.degraded_device_s(makespan_s),
+        }

@@ -52,11 +52,26 @@ class ClusterState:
         # Per-vector load counters (the paper's availability test).
         self.assigned_slots = np.zeros(len(devices), dtype=np.int64)
         self.balance_num: float = 0.0
+        # Device health: permanently lost devices stay in ``devices``
+        # (ids keep their meaning) but leave this set forever.
+        self._alive: set[int] = set(range(len(devices)))
 
     # ------------------------------------------------------------------ reads
     @property
     def num_devices(self) -> int:
         return len(self.devices)
+
+    @property
+    def num_alive(self) -> int:
+        """Devices still healthy (total minus permanently lost)."""
+        return len(self._alive)
+
+    def is_alive(self, device_id: int) -> bool:
+        return device_id in self._alive
+
+    def alive_ids(self) -> list[int]:
+        """Healthy device ids, ascending (the schedulable pool)."""
+        return sorted(self._alive)
 
     def devices_holding(self, uid: int) -> frozenset[int]:
         """``mapGPUTensor.find(tensor)``: devices with a resident copy."""
@@ -81,11 +96,19 @@ class ClusterState:
 
     # ------------------------------------------------------- vector lifecycle
     def begin_vector(self, num_tensors: int) -> None:
-        """Reset per-vector balance counters for a vector of ``num_tensors`` slots."""
+        """Reset per-vector balance counters for a vector of ``num_tensors`` slots.
+
+        ``balanceNum`` spreads the vector over the *surviving* pool:
+        after a device loss the balanced share is recomputed as
+        ``numTensor / numAliveGPU`` so the remaining devices absorb the
+        lost capacity instead of chasing an unreachable target.
+        """
         if num_tensors <= 0:
             raise SchedulingError(f"vector must have positive tensor slots, got {num_tensors}")
+        if not self._alive:
+            raise SchedulingError("cannot begin a vector: every device has been lost")
         self.assigned_slots[:] = 0
-        self.balance_num = num_tensors / self.num_devices
+        self.balance_num = num_tensors / self.num_alive
 
     def record_assignment(self, device_id: int, slots: int = 2) -> None:
         """Charge ``slots`` tensor slots of the current vector to a device."""
@@ -126,6 +149,50 @@ class ClusterState:
             total += self.drop(uid, dev)
         return total
 
+    def fail_device(self, device_id: int) -> list[int]:
+        """Permanently lose a device; returns the orphaned tensor uids.
+
+        Every tensor resident on the device vanishes with it — uids
+        whose *only* copy lived there must be re-fetched from the host
+        if referenced again.  The device keeps its id (and its
+        accumulated time counters, for reporting) but is excluded from
+        ``alive_ids`` and rejected by the engine from then on.
+        Failing an already-dead device is a no-op returning ``[]``.
+        """
+        if not (0 <= device_id < self.num_devices):
+            raise SchedulingError(
+                f"device id {device_id} out of range 0..{self.num_devices - 1}"
+            )
+        if device_id not in self._alive:
+            return []
+        self._alive.discard(device_id)
+        orphans = list(self.pools[device_id].resident_uids())
+        for uid in orphans:
+            self.pools[device_id].free(uid)
+            holders = self._holders.get(uid)
+            if holders is not None:
+                holders.discard(device_id)
+                if not holders:
+                    del self._holders[uid]
+        return orphans
+
+    def check_invariants(self) -> None:
+        """Assert pool accounting and the residency index agree.
+
+        Each pool's own invariants must hold, and the ``_holders``
+        reverse index must name exactly the devices whose pools contain
+        each uid.  Raises :class:`AssertionError` on violation.
+        """
+        for pool in self.pools:
+            pool.check_invariants()
+        from_pools: dict[int, set[int]] = {}
+        for dev, pool in enumerate(self.pools):
+            for uid in pool.resident_uids():
+                from_pools.setdefault(uid, set()).add(dev)
+        assert from_pools == self._holders, (
+            f"holders index out of sync: pools say {from_pools}, index says {self._holders}"
+        )
+
     def add_compute(self, device_id: int, seconds: float) -> None:
         self.compute_s[device_id] += seconds
 
@@ -146,6 +213,7 @@ class ClusterState:
         self._holders.clear()
         self.assigned_slots[:] = 0
         self.balance_num = 0.0
+        self._alive = set(range(self.num_devices))
 
     def clone(self) -> "ClusterState":
         """Deep copy — used by look-ahead / exhaustive oracles."""
@@ -158,6 +226,7 @@ class ClusterState:
         other._holders = {uid: set(devs) for uid, devs in self._holders.items()}
         other.assigned_slots = self.assigned_slots.copy()
         other.balance_num = self.balance_num
+        other._alive = set(self._alive)
         return other
 
     # -------------------------------------------------------------- factories

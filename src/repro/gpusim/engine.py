@@ -11,7 +11,9 @@ correctness can be asserted end-to-end.
 
 from __future__ import annotations
 
-from repro.errors import SchedulingError
+from repro.errors import DeviceLostError, SchedulingError, TransientFaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RetryPolicy
 from repro.gpusim.cluster import ClusterState
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.metrics import ExecutionMetrics
@@ -33,6 +35,15 @@ class ExecutionEngine:
     store:
         Optional host tensor store; when given, every pair's contraction
         is actually computed with NumPy (slow, for validation/examples).
+    injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`; when
+        set, kernels and fetches consult it for armed faults and
+        straggler slowdowns, and recovery costs (retries, backoff,
+        host re-fetches) are charged in simulated time.
+    retry:
+        Transient-fault retry budget (defaults to
+        :class:`~repro.faults.recovery.RetryPolicy`'s defaults); only
+        consulted when an injector is present.
     """
 
     def __init__(
@@ -41,12 +52,17 @@ class ExecutionEngine:
         cost_model: CostModel | None = None,
         store: TensorStore | None = None,
         trace: "TraceRecorder | None" = None,
+        injector: "FaultInjector | None" = None,
+        retry: RetryPolicy | None = None,
     ):
         self.cluster = cluster
         self.cost_model = cost_model or CostModel()
         self.store = store
         #: Optional event recorder; events carry raw (pre-overlap) durations.
         self.trace = trace
+        #: Optional fault source; set per run by chaos drivers.
+        self.injector = injector
+        self.retry = retry or RetryPolicy()
 
     # ------------------------------------------------------------- single pair
     def execute_pair(self, pair: TensorPair, device_id: int, metrics: ExecutionMetrics) -> None:
@@ -54,6 +70,8 @@ class ExecutionEngine:
         cl = self.cluster
         if not (0 <= device_id < cl.num_devices):
             raise SchedulingError(f"device id {device_id} out of range 0..{cl.num_devices - 1}")
+        if not cl.is_alive(device_id):
+            raise DeviceLostError(device_id)
         cm = self.cost_model
         protect = {pair.left.uid, pair.right.uid, pair.out.uid}
 
@@ -80,15 +98,30 @@ class ExecutionEngine:
                 # beats a remote one.
                 source = min(holders, key=lambda h: (cm.d2d_time(spec.nbytes, src=h, dst=device_id), h))
                 copy_t = cm.d2d_time(spec.nbytes, src=source, dst=device_id)
-                if cm.d2d_moves:
-                    # Single-residency runtime: the source copy migrates.
-                    cl.drop(spec.uid, source)
-                metrics.counts.d2d_transfers += 1
                 copy_kind = "d2d"
             else:
+                source = None
                 copy_t = cm.h2d_time(spec.nbytes)
-                metrics.counts.h2d_transfers += 1
                 copy_kind = "h2d"
+            if self.injector is not None and self.injector.take_transfer_fault(device_id):
+                # The fetch failed mid-flight: the attempt's link time
+                # is wasted (the source keeps its copy) and the tensor
+                # is recovered with a fresh fetch from the host.
+                wasted_t = copy_t
+                self._note_fault("fault", device_id, wasted_t, f"transfer {spec.uid}")
+                copy_t = cm.h2d_time(spec.nbytes)
+                copy_kind = "h2d"
+                pair_memop_s += wasted_t
+                self.injector.stats.transfer_refetches += 1
+                self.injector.stats.record_recovery("transfer", wasted_t + copy_t)
+                self._note_fault("retry", device_id, copy_t, f"refetch {spec.uid}")
+            elif copy_kind == "d2d" and cm.d2d_moves:
+                # Single-residency runtime: the source copy migrates.
+                cl.drop(spec.uid, source)
+            if copy_kind == "d2d":
+                metrics.counts.d2d_transfers += 1
+            else:
+                metrics.counts.h2d_transfers += 1
             evicted = cl.register(spec, device_id, protect=protect)
             pair_memop_s += self._charge_evictions(evicted, metrics, device_id)
             alloc_t = cm.alloc_time(spec.nbytes)
@@ -110,10 +143,37 @@ class ExecutionEngine:
 
         # Kernel; memory ops may overlap it (async-copy model).
         kt = cm.kernel_time(pair, cl.devices[device_id])
+        fault_extra_s = 0.0
+        if self.injector is not None:
+            # Stragglers stretch the kernel for the window's duration.
+            kt *= self.injector.compute_factor(device_id)
+            # Transient faults: each armed failure wastes one kernel
+            # attempt plus an exponential backoff, all in simulated
+            # time; past the retry budget the pair is abandoned.
+            attempt = 0
+            while self.injector.take_kernel_fault(device_id):
+                attempt += 1
+                backoff = self.retry.backoff_s(attempt)
+                fault_extra_s += kt + backoff
+                self.injector.stats.transient_failures += 1
+                self._note_fault("fault", device_id, kt, f"kernel attempt {attempt}")
+                self._note_fault("retry", device_id, backoff, f"backoff {attempt}")
+                if attempt >= self.retry.max_attempts:
+                    self.injector.stats.transient_abandoned += 1
+                    # The wasted attempts still occupied the device.
+                    metrics.compute_s[device_id] += fault_extra_s
+                    cl.add_compute(device_id, fault_extra_s)
+                    raise TransientFaultError(
+                        f"kernel on device {device_id} failed {attempt} times "
+                        f"(retry budget {self.retry.max_attempts})"
+                    )
+            if attempt:
+                self.injector.stats.transient_recovered += 1
+                self.injector.stats.record_recovery("transient", fault_extra_s)
         effective_memop = cm.effective_memop_time(pair_memop_s, kt)
-        metrics.compute_s[device_id] += kt
+        metrics.compute_s[device_id] += kt + fault_extra_s
         metrics.memop_s[device_id] += effective_memop
-        cl.add_compute(device_id, kt)
+        cl.add_compute(device_id, kt + fault_extra_s)
         cl.add_memop(device_id, effective_memop)
         metrics.total_flops += pair_flops(pair)
         metrics.pairs_executed += 1
@@ -124,6 +184,12 @@ class ExecutionEngine:
 
         if self.store is not None:
             self.store.execute_pair(pair)
+
+    def _note_fault(self, kind: str, device_id: int, duration_s: float, label: str) -> None:
+        """Log a fault-lifecycle event to the injector stats and the trace."""
+        self.injector.stats.record_event(kind, device_id, self.injector.now, duration_s, label)
+        if self.trace is not None:
+            self.trace.record(kind, device_id, duration_s, label=label)
 
     def _charge_evictions(self, evicted, metrics: ExecutionMetrics, device_id: int) -> float:
         """Account eviction counters; returns their memory-op seconds."""
@@ -160,8 +226,13 @@ class ExecutionEngine:
             )
         metrics = ExecutionMetrics(num_devices=self.cluster.num_devices)
         self.cluster.begin_vector(vector.num_tensors)
-        for pair, dev in zip(vector.pairs, assignment):
-            self.execute_pair(pair, int(dev), metrics)
+        for i, (pair, dev) in enumerate(zip(vector.pairs, assignment)):
+            try:
+                self.execute_pair(pair, int(dev), metrics)
+            except DeviceLostError as exc:
+                # Point at the offending slot so recovery (or a human)
+                # knows exactly which pairs are orphaned.
+                raise DeviceLostError(exc.device_id, pair_index=i) from None
         if not keep_outputs:
             self.drain_outputs(vector, assignment, metrics)
         return metrics

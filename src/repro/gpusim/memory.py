@@ -135,6 +135,35 @@ class MemoryPool:
         self._used += nbytes
         return evicted
 
+    def check_invariants(self) -> None:
+        """Assert the pool's internal accounting is consistent.
+
+        Recovery paths free tensors out-of-band (device loss wipes a
+        pool while the engine holds references), so the accounting must
+        stay airtight under any alloc/evict/free interleaving:
+
+        * ``used_bytes`` equals the sum of resident footprints,
+        * usage never exceeds capacity,
+        * the insertion map covers exactly the resident set,
+        * the insertion clock is monotone (every stamp is in the past).
+
+        Raises :class:`AssertionError` on the first violation.
+        """
+        resident_sum = sum(self._resident.values())
+        assert self._used == resident_sum, (
+            f"used_bytes {self._used} != sum of residencies {resident_sum}"
+        )
+        assert 0 <= self._used <= self.capacity_bytes, (
+            f"used_bytes {self._used} outside [0, {self.capacity_bytes}]"
+        )
+        assert set(self._insertion) == set(self._resident), (
+            "insertion map out of sync with resident set: "
+            f"{sorted(self._insertion)} vs {sorted(self._resident)}"
+        )
+        assert all(stamp < self._clock for stamp in self._insertion.values()), (
+            f"insertion clock {self._clock} not monotone over {self._insertion}"
+        )
+
     def free(self, uid: int) -> int:
         """Explicitly release a tensor; returns its size (0 if absent)."""
         nbytes = self._resident.pop(uid, None)

@@ -14,8 +14,22 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 #: Event kinds emitted by the engine, plus the serving layer's
-#: per-vector lifecycle spans (wait → schedule → execute).
-EVENT_KINDS = ("h2d", "d2d", "alloc", "evict", "kernel", "drain", "wait", "schedule", "execute")
+#: per-vector lifecycle spans (wait → schedule → execute) and the
+#: chaos layer's fault lifecycle (fault → retry → recovery).
+EVENT_KINDS = (
+    "h2d",
+    "d2d",
+    "alloc",
+    "evict",
+    "kernel",
+    "drain",
+    "wait",
+    "schedule",
+    "execute",
+    "fault",
+    "retry",
+    "recovery",
+)
 
 
 @dataclass(frozen=True)

@@ -57,6 +57,19 @@ class ReuseBounds:
         """MICCO-naive: no slack, pure balance-constrained reuse."""
         return cls(0.0, 0.0, 0.0)
 
+    def scaled(self, factor: float) -> "ReuseBounds":
+        """Bounds rescaled by ``factor`` (each tier multiplied).
+
+        Used when the device pool shrinks: with ``g`` of ``n`` devices
+        surviving, ``balanceNum`` grows by ``n/g``, so scaling the
+        slack by the same factor preserves each tier's slack *relative*
+        to the balanced share — the reuse/balance trade-off the bounds
+        were tuned for carries over to the degraded pool.
+        """
+        if not math.isfinite(factor) or factor < 0:
+            raise ConfigurationError(f"scale factor must be finite and >= 0, got {factor}")
+        return ReuseBounds(self.same * factor, self.partial * factor, self.new * factor)
+
     @classmethod
     def from_sequence(cls, seq) -> "ReuseBounds":
         vals = list(seq)

@@ -22,10 +22,12 @@ class GrouteScheduler(Scheduler):
 
     def choose(self, pair: TensorPair, cluster: ClusterState) -> int:
         busy = cluster.busy_s
-        # Lowest busy time; deterministic lowest-id tie break.
-        best = 0
-        best_t = busy[0]
-        for g in range(1, cluster.num_devices):
+        # Lowest busy time among surviving devices; deterministic
+        # lowest-id tie break.
+        alive = cluster.alive_ids()
+        best = alive[0]
+        best_t = busy[best]
+        for g in alive[1:]:
             if busy[g] < best_t:
                 best, best_t = g, busy[g]
         return best

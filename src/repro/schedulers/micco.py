@@ -117,15 +117,17 @@ class MiccoScheduler(Scheduler):
             if candi:
                 return candi
 
-        # Fallback: any device under the tier-2 bound.
-        candi = [g for g in range(cluster.num_devices) if self._available(g, 2, cluster)]
+        # Fallback: any *surviving* device under the tier-2 bound.
+        # (Steps I–II are alive-safe for free: lost devices hold no
+        # tensors, so they never appear among the holders.)
+        candi = [g for g in cluster.alive_ids() if self._available(g, 2, cluster)]
         if candi:
             return candi
 
         # Defensive: with bounds >= 0 some device is always below the
         # balanced share mid-vector, but guard against degenerate
         # configurations (e.g. externally mutated counters).
-        return list(range(cluster.num_devices))
+        return cluster.alive_ids()
 
     # -------------------------------------------------------------- Alg. 2
     def select(self, candidates: list[int], pair: TensorPair, cluster: ClusterState) -> int:

@@ -20,6 +20,9 @@ class RoundRobinScheduler(Scheduler):
         pass
 
     def choose(self, pair: TensorPair, cluster: ClusterState) -> int:
-        g = self._cursor % cluster.num_devices
+        # Rotate over the surviving pool so lost devices drop out of
+        # the cycle (with every device healthy this is 0..n-1 as before).
+        alive = cluster.alive_ids()
+        g = alive[self._cursor % len(alive)]
         self._cursor += 1
         return g

@@ -20,11 +20,14 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.config import MiccoConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultEvent, FaultPlan
 from repro.gpusim.cluster import ClusterState
 from repro.gpusim.device import mi100_like
 from repro.gpusim.engine import ExecutionEngine
 from repro.gpusim.metrics import ExecutionMetrics
+from repro.gpusim.trace import TraceRecorder
 from repro.schedulers.base import Scheduler
 from repro.schedulers.micco import MiccoScheduler
 from repro.serve.arrivals import ArrivalProcess, TraceArrivals
@@ -59,12 +62,19 @@ class ServeConfig:
         Simulated scheduling cost per pair (Table V measures ~10µs-scale
         per-pair decision overhead); deterministic by construction so
         repeated runs produce identical latencies.
+    recover_faults:
+        When a fault plan is active and a device is lost, re-schedule
+        the in-flight pairs that were assigned to it onto the survivors
+        (default).  With recovery off, affected vectors are shed with
+        reason ``"fault-abandoned"`` instead — the baseline a chaos run
+        compares against.
     """
 
     queue_capacity: int = 64
     queue_policy: str = "fifo"
     max_inflight: int = 1
     schedule_latency_per_pair_s: float = 2e-5
+    recover_faults: bool = True
 
     def __post_init__(self):
         if self.queue_capacity <= 0:
@@ -95,6 +105,10 @@ class ServeResult:
     queue: dict = field(default_factory=dict)
     #: Absolute arrival timestamps actually offered.
     arrival_s: list[float] = field(default_factory=list)
+    #: Fault section (``FaultStats.summary``); ``None`` without a plan.
+    faults: dict | None = None
+    #: Replayable fault/retry/recovery event log (empty without a plan).
+    fault_events: list[dict] = field(default_factory=list)
 
     @property
     def p99(self) -> float:
@@ -111,7 +125,27 @@ class ServeResult:
         out["gflops"] = self.metrics.gflops
         out["reuse_hits"] = self.metrics.counts.reuse_hits
         out["transfers"] = self.metrics.counts.input_fetches
+        if self.faults is not None:
+            out["faults"] = self.faults
         return out
+
+    def to_trace(self) -> TraceRecorder:
+        """Chrome-trace view: vector lifecycle lanes plus fault events.
+
+        Fault/retry/recovery events render on lane ``-(device + 1)`` so
+        they never collide with the per-vector lanes (vector ids are
+        non-negative).
+        """
+        trace = self.report.to_trace()
+        for ev in self.fault_events:
+            trace.record_at(
+                ev["kind"],
+                -(ev["device"] + 1),
+                ev["time_s"],
+                ev["duration_s"],
+                label=ev["label"],
+            )
+        return trace
 
 
 class MiccoServer:
@@ -152,7 +186,15 @@ class MiccoServer:
         self.engine = ExecutionEngine(self.cluster, self.config.cost_model)
 
     # ------------------------------------------------------------------- run
-    def run(self, vectors: list[VectorSpec], arrivals, *, seed=0, reset: bool = True) -> ServeResult:
+    def run(
+        self,
+        vectors: list[VectorSpec],
+        arrivals,
+        *,
+        seed=0,
+        reset: bool = True,
+        faults: FaultPlan | None = None,
+    ) -> ServeResult:
         """Serve ``vectors`` arriving per ``arrivals``; returns SLO metrics.
 
         Parameters
@@ -165,6 +207,17 @@ class MiccoServer:
             timestamps, one per vector.
         reset:
             Start from an empty cluster and idle devices (default).
+        faults:
+            Optional :class:`~repro.faults.plan.FaultPlan`.  Due faults
+            are applied as the event loop advances: transient/transfer
+            faults and stragglers are handled inside the engine
+            (retry + backoff, host re-fetch, stretched kernels); device
+            losses shrink the pool — orphaned in-flight pairs are
+            re-scheduled onto survivors (when
+            :attr:`ServeConfig.recover_faults`), ``balanceNum`` and the
+            reuse bounds are recomputed for the survivors, and the run
+            keeps serving.  The result's ``faults`` section reports
+            counts, recovery latencies and availability.
         """
         if not vectors:
             raise ConfigurationError("serving run needs at least one vector")
@@ -188,6 +241,10 @@ class MiccoServer:
         busy_until = np.zeros(self.cluster.num_devices)
         inflight = 0
         wants_bounds = self.predictor is not None and hasattr(self.scheduler, "set_bounds")
+        injector = FaultInjector(faults) if faults is not None else None
+        # Tickets dispatched and executed, completion event still ahead
+        # (the set device loss can orphan work out of).
+        pending: dict[int, Ticket] = {}
 
         for t, v in zip(times, vectors):
             timeline.push(VectorArrival(t, Ticket(vector=v, arrival_s=t)))
@@ -199,48 +256,208 @@ class MiccoServer:
             latency = cfg.schedule_latency_per_pair_s * len(ticket.vector.pairs)
             timeline.push(SchedulingDone(now + latency, ticket))
 
-        while timeline:
-            event = timeline.pop()
-            now = timeline.now
-            ticket = event.ticket
+        def refill(now: float) -> None:
+            while inflight < cfg.max_inflight:
+                nxt = queue.pop()
+                if nxt is None:
+                    break
+                dispatch(nxt, now)
 
-            if isinstance(event, VectorArrival):
-                if inflight < cfg.max_inflight and not len(queue):
-                    dispatch(ticket, now)
-                elif not queue.offer(ticket):
-                    report.add_drop(ticket)
+        def abandon(ticket: Ticket, now: float) -> None:
+            """Shed an admitted ticket that can no longer complete."""
+            nonlocal inflight
+            ticket.epoch += 1  # invalidate any queued completion event
+            report.add_drop(ticket, reason="fault-abandoned")
+            pending.pop(id(ticket), None)
+            inflight -= 1
+            refill(now)
 
-            elif isinstance(event, SchedulingDone):
-                ticket.sched_done_s = now
-                vec_metrics, assignment = self._schedule_and_execute(
-                    ticket.vector, tracker, wants_bounds
-                )
-                ticket.devices = sorted(set(assignment))
-                # Per-device busy seconds this vector added.
-                delta = vec_metrics.compute_s + vec_metrics.memop_s
-                complete = now
-                for dev in ticket.devices:
-                    busy_until[dev] = max(busy_until[dev], now) + delta[dev]
-                    complete = max(complete, busy_until[dev])
-                total.merge(vec_metrics)
-                timeline.push(VectorCompletion(complete, ticket))
+        self.engine.injector = injector
+        try:
+            while timeline:
+                event = timeline.pop()
+                now = timeline.now
+                if injector is not None:
+                    for loss in injector.poll(now):
+                        self._apply_device_loss(
+                            loss, now, injector, pending, busy_until, timeline, total, abandon
+                        )
+                ticket = event.ticket
 
-            elif isinstance(event, VectorCompletion):
-                ticket.complete_s = now
-                report.add_completion(ticket)
-                inflight -= 1
-                while inflight < cfg.max_inflight:
-                    nxt = queue.pop()
-                    if nxt is None:
-                        break
-                    dispatch(nxt, now)
+                if isinstance(event, VectorArrival):
+                    if self.cluster.num_alive == 0:
+                        report.add_drop(ticket, reason="fault-abandoned")
+                    elif inflight < cfg.max_inflight and not len(queue):
+                        dispatch(ticket, now)
+                    elif not queue.offer(ticket):
+                        report.add_drop(ticket)
 
+                elif isinstance(event, SchedulingDone):
+                    ticket.sched_done_s = now
+                    if self.cluster.num_alive == 0:
+                        abandon(ticket, now)
+                        continue
+                    try:
+                        vec_metrics, assignment = self._schedule_and_execute(
+                            ticket.vector, tracker, wants_bounds
+                        )
+                    except FaultError:
+                        # Retry budget exhausted (or the pool died under
+                        # us): shed the vector, keep the cluster serving.
+                        abandon(ticket, now)
+                        continue
+                    ticket.assignment = assignment
+                    ticket.devices = sorted(set(assignment))
+                    # Per-device busy seconds this vector added.
+                    delta = vec_metrics.compute_s + vec_metrics.memop_s
+                    complete = now
+                    for dev in ticket.devices:
+                        busy_until[dev] = max(busy_until[dev], now) + delta[dev]
+                        complete = max(complete, busy_until[dev])
+                    total.merge(vec_metrics)
+                    pending[id(ticket)] = ticket
+                    timeline.push(VectorCompletion(complete, ticket, epoch=ticket.epoch))
+
+                elif isinstance(event, VectorCompletion):
+                    if event.epoch != ticket.epoch:
+                        continue  # superseded by recovery (or abandoned)
+                    ticket.complete_s = now
+                    report.add_completion(ticket)
+                    pending.pop(id(ticket), None)
+                    inflight -= 1
+                    refill(now)
+        finally:
+            self.engine.injector = None
+
+        fault_summary = None
+        fault_events: list[dict] = []
+        if injector is not None:
+            fault_summary = injector.stats.summary(
+                report.makespan_s, self.cluster.num_devices
+            )
+            fault_events = list(injector.stats.events)
         return ServeResult(
             report=report,
             metrics=total,
             queue=queue.counters(),
             arrival_s=times,
+            faults=fault_summary,
+            fault_events=fault_events,
         )
+
+    def _apply_device_loss(
+        self,
+        fault: FaultEvent,
+        now: float,
+        injector: FaultInjector,
+        pending: dict[int, Ticket],
+        busy_until,
+        timeline: Timeline,
+        total: ExecutionMetrics,
+        abandon,
+    ) -> None:
+        """Kill a device and recover (or shed) the work it orphans.
+
+        The device's resident tensors vanish, the balanced share and the
+        reuse bounds are recomputed for the shrunken pool, and every
+        in-flight vector with pairs assigned to the dead device either
+        has those pairs re-executed on survivors (recovery on) or is
+        shed as ``fault-abandoned`` (recovery off).
+        """
+        if not self.cluster.is_alive(fault.device):
+            return  # already dead (duplicate plan entry)
+        alive_before = self.cluster.num_alive
+        orphans = self.cluster.fail_device(fault.device)
+        injector.note_device_lost(fault.device, fault.time_s, len(orphans))
+        injector.stats.record_event(
+            "fault", fault.device, fault.time_s, 0.0, label="device lost"
+        )
+
+        if self.cluster.num_alive == 0:
+            # Nothing left to serve on: everything admitted is shed.
+            for ticket in list(pending.values()):
+                abandon(ticket, now)
+            return
+
+        # Recompute the reuse bounds for the survivors (unless a
+        # predictor re-derives them per vector anyway).
+        if (
+            self.predictor is None
+            and hasattr(self.scheduler, "bounds")
+            and hasattr(self.scheduler, "set_bounds")
+        ):
+            self.scheduler.set_bounds(
+                self.scheduler.bounds.scaled(alive_before / self.cluster.num_alive)
+            )
+
+        affected = [
+            t for t in pending.values() if fault.device in set(t.assignment)
+        ]
+        if not self.serve_config.recover_faults:
+            for ticket in affected:
+                abandon(ticket, now)
+            injector.stats.record_recovery("device_lost", 0.0)
+            return
+
+        latest = now
+        for ticket in affected:
+            try:
+                complete = self._reschedule_orphans(
+                    ticket, fault.device, now, busy_until, total, injector
+                )
+            except FaultError:
+                abandon(ticket, now)
+                continue
+            ticket.epoch += 1
+            timeline.push(VectorCompletion(complete, ticket, epoch=ticket.epoch))
+            latest = max(latest, complete)
+        injector.stats.record_recovery("device_lost", latest - fault.time_s)
+        injector.stats.record_event(
+            "recovery",
+            fault.device,
+            now,
+            max(latest - now, 0.0),
+            label=f"rescheduled {len(affected)} vectors",
+        )
+
+    def _reschedule_orphans(
+        self,
+        ticket: Ticket,
+        dead: int,
+        now: float,
+        busy_until,
+        total: ExecutionMetrics,
+        injector: FaultInjector,
+    ) -> float:
+        """Re-execute a ticket's dead-device pairs on the survivors.
+
+        Returns the vector's new completion timestamp.  The surviving
+        devices' original shares are already in ``busy_until``; only the
+        re-executed pairs' busy time is appended.
+        """
+        orphan_idx = [i for i, dev in enumerate(ticket.assignment) if dev == dead]
+        vector = ticket.vector
+        # Fresh balance window sized to the re-scheduled slice (two
+        # tensor slots per pair, matching record_assignment).
+        self.cluster.begin_vector(2 * len(orphan_idx))
+        self.scheduler.begin_vector(vector, self.cluster)
+        vec_metrics = ExecutionMetrics(num_devices=self.cluster.num_devices)
+        for i in orphan_idx:
+            pair = vector.pairs[i]
+            dev = self.scheduler.choose(pair, self.cluster)
+            self.engine.execute_pair(pair, dev, vec_metrics)
+            ticket.assignment[i] = dev
+            injector.stats.rescheduled_pairs += 1
+        total.merge(vec_metrics)
+        delta = vec_metrics.compute_s + vec_metrics.memop_s
+        for dev in sorted({ticket.assignment[i] for i in orphan_idx}):
+            busy_until[dev] = max(busy_until[dev], now) + delta[dev]
+        ticket.devices = sorted(set(ticket.assignment))
+        complete = now
+        for dev in ticket.devices:
+            if self.cluster.is_alive(dev):
+                complete = max(complete, busy_until[dev])
+        return complete
 
     # ---------------------------------------------------------------- helpers
     def _schedule_and_execute(

@@ -54,11 +54,17 @@ class VectorLatency:
 
 @dataclass(frozen=True)
 class DroppedVector:
-    """A vector shed at admission (queue full); it never executed."""
+    """A vector shed without completing, with the reason it was shed.
+
+    ``"queue-full"`` vectors were rejected at admission and never
+    executed; ``"fault-abandoned"`` vectors were admitted but could not
+    be completed (retry budget exhausted, or no devices left).
+    """
 
     vector_id: int
     arrival_s: float
     pairs: int
+    reason: str = "queue-full"
 
 
 class LatencyReport:
@@ -82,14 +88,22 @@ class LatencyReport:
         self.completed.append(rec)
         return rec
 
-    def add_drop(self, ticket: Ticket) -> DroppedVector:
+    def add_drop(self, ticket: Ticket, reason: str = "queue-full") -> DroppedVector:
         rec = DroppedVector(
             vector_id=ticket.vector.vector_id,
             arrival_s=ticket.arrival_s,
             pairs=len(ticket.vector.pairs),
+            reason=reason,
         )
         self.dropped.append(rec)
         return rec
+
+    def drops_by_reason(self) -> dict[str, int]:
+        """Shed counts keyed by reason, keys sorted for stable JSON."""
+        counts: dict[str, int] = {}
+        for r in self.dropped:
+            counts[r.reason] = counts.get(r.reason, 0) + 1
+        return {k: counts[k] for k in sorted(counts)}
 
     # ------------------------------------------------------------ aggregates
     @property
@@ -165,6 +179,7 @@ class LatencyReport:
             "offered": self.offered,
             "completed": len(self.completed),
             "dropped": len(self.dropped),
+            "dropped_by_reason": self.drops_by_reason(),
             "drop_rate": self.drop_rate,
             "p50_s": self.p50,
             "p95_s": self.p95,

@@ -38,6 +38,12 @@ class Ticket:
     sched_done_s: float | None = None
     complete_s: float | None = None
     devices: list[int] = field(default_factory=list)
+    #: Full pair→device assignment (index-aligned with ``vector.pairs``);
+    #: recovery rewrites entries when orphaned pairs are re-scheduled.
+    assignment: list[int] = field(default_factory=list)
+    #: Bumped each time recovery supersedes the ticket's completion
+    #: event; stale :class:`VectorCompletion` events are skipped.
+    epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -64,7 +70,14 @@ class SchedulingDone(Event):
 
 @dataclass(frozen=True)
 class VectorCompletion(Event):
-    """Every device involved in the vector finished its share."""
+    """Every device involved in the vector finished its share.
+
+    ``epoch`` snapshots the ticket's epoch at push time; if recovery
+    re-schedules the vector afterwards (device loss), the ticket's
+    epoch moves on and this event is recognised as stale and skipped.
+    """
+
+    epoch: int = 0
 
 
 class Timeline:

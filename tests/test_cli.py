@@ -123,3 +123,77 @@ class TestServe:
     def test_list_mentions_serve(self, capsys):
         assert main(["list"]) == 0
         assert "serve" in capsys.readouterr().out
+
+
+class TestChaos:
+    def test_chaos_parser_inherits_serve_knobs(self):
+        from repro.cli import build_chaos_parser
+
+        args = build_chaos_parser().parse_args([])
+        assert args.rate == 100.0  # serve knob present
+        assert args.kill == 1
+        assert args.json == "chaos_report.json"  # chaos-specific default
+
+    def test_chaos_end_to_end_and_deterministic(self, capsys, tmp_path):
+        import json
+
+        def run(tag):
+            report = tmp_path / f"{tag}.json"
+            trace = tmp_path / f"{tag}.trace.json"
+            rc = main([
+                "chaos", "--seed", "0", "--num-vectors", "8",
+                "--vector-size", "8", "--tensor-size", "64", "--batch", "2",
+                "--num-devices", "4", "--json", str(report), "--trace", str(trace),
+            ])
+            assert rc == 0
+            return report.read_text(), trace.read_text()
+
+        r1, t1 = run("a")
+        r2, t2 = run("b")
+        assert r1 == r2  # byte-identical report
+        assert t1 == t2  # byte-identical Chrome trace
+        payload = json.loads(r1)
+        assert payload["faults"]["device_losses"] == 1
+        assert "availability_pct" in payload["faults"]
+        assert payload["fault_plan"]
+        out = capsys.readouterr().out
+        assert "availability" in out and "recovery" in out
+
+    def test_chaos_save_plan_feeds_serve_faults(self, capsys, tmp_path):
+        import json
+
+        plan = tmp_path / "plan.json"
+        rc = main([
+            "chaos", "--seed", "3", "--num-vectors", "6", "--vector-size", "8",
+            "--tensor-size", "64", "--batch", "2", "--num-devices", "2",
+            "--json", str(tmp_path / "c.json"), "--save-plan", str(plan),
+        ])
+        assert rc == 0 and plan.exists()
+        report = tmp_path / "s.json"
+        rc = main([
+            "serve", "--faults", str(plan), "--num-vectors", "6",
+            "--vector-size", "8", "--tensor-size", "64", "--batch", "2",
+            "--num-devices", "2", "--json", str(report),
+        ])
+        assert rc == 0
+        assert "faults" in json.loads(report.read_text())
+
+    def test_serve_missing_fault_plan(self, capsys, tmp_path):
+        rc = main([
+            "serve", "--faults", str(tmp_path / "absent.json"),
+            "--json", str(tmp_path / "r.json"),
+        ])
+        assert rc == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_chaos_no_recovery_flag(self, capsys, tmp_path):
+        rc = main([
+            "chaos", "--seed", "1", "--no-recovery", "--num-vectors", "6",
+            "--vector-size", "8", "--tensor-size", "64", "--batch", "2",
+            "--num-devices", "2", "--json", str(tmp_path / "r.json"),
+        ])
+        assert rc == 0
+
+    def test_list_mentions_chaos(self, capsys):
+        assert main(["list"]) == 0
+        assert "chaos" in capsys.readouterr().out

@@ -98,3 +98,52 @@ class TestDegenerateWorkloads:
         for p in v.pairs:
             engine.execute_pair(p, sched.choose(p, cluster), m)
         assert m.pairs_per_device[0] == 3
+
+
+class TestErrorHierarchy:
+    def test_capacity_error_is_a_runtime_error(self):
+        """Callers using bare ``except RuntimeError`` keep working."""
+        from repro.errors import ReproError
+
+        assert issubclass(CapacityError, RuntimeError)
+        assert issubclass(CapacityError, ReproError)
+
+    def test_fault_errors_are_runtime_errors(self):
+        from repro.errors import DeviceLostError, FaultError, ReproError, TransientFaultError
+
+        for exc_type in (FaultError, TransientFaultError, DeviceLostError):
+            assert issubclass(exc_type, RuntimeError)
+            assert issubclass(exc_type, ReproError)
+        assert issubclass(TransientFaultError, FaultError)
+        assert issubclass(DeviceLostError, FaultError)
+
+
+class TestDeadDeviceReferences:
+    def test_execute_vector_on_dead_device_raises_device_lost(self):
+        """A stale assignment referencing a lost device fails loudly
+        with the device id and the offending pair index — never a
+        KeyError/IndexError from some internal map."""
+        from repro.errors import DeviceLostError
+
+        cluster = make_cluster()
+        engine = ExecutionEngine(cluster, CostModel())
+        cluster.fail_device(0)
+        v = VectorSpec(pairs=[make_pair(), make_pair()])
+        with pytest.raises(DeviceLostError) as exc:
+            engine.execute_vector(v, [1, 0])
+        assert exc.value.device_id == 0
+        assert exc.value.pair_index == 1
+
+    def test_partial_vector_state_remains_consistent(self):
+        from repro.errors import DeviceLostError
+
+        cluster = make_cluster()
+        engine = ExecutionEngine(cluster, CostModel())
+        cluster.fail_device(1)
+        v = VectorSpec(pairs=[make_pair(), make_pair()])
+        try:
+            engine.execute_vector(v, [0, 1])
+        except DeviceLostError:
+            pass
+        cluster.check_invariants()
+        assert cluster.used_bytes(1) == 0

@@ -1,0 +1,195 @@
+"""Unit tests for the fault-injection layer: plans, injector, stats."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultStats, RetryPolicy
+
+
+class TestFaultEvent:
+    def test_kind_coerced_from_string(self):
+        ev = FaultEvent("transient", 1.0, 0)
+        assert ev.kind is FaultKind.TRANSIENT
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.TRANSIENT, -1.0, 0)
+
+    def test_rejects_negative_device(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.TRANSIENT, 0.0, -1)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.TRANSIENT, 0.0, 0, count=0)
+
+    def test_straggler_needs_window_and_slowdown(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.STRAGGLER, 0.0, 0)  # no duration
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.STRAGGLER, 0.0, 0, duration_s=1.0, slow_factor=1.0)
+        ev = FaultEvent(FaultKind.STRAGGLER, 0.0, 0, duration_s=1.0, slow_factor=2.0)
+        assert ev.slow_factor == 2.0
+
+    def test_to_dict_serialises_kind_as_string(self):
+        d = FaultEvent(FaultKind.TRANSFER, 0.5, 2, count=3).to_dict()
+        assert d["kind"] == "transfer"
+        assert d["count"] == 3
+
+
+class TestFaultPlan:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.TRANSIENT, 2.0, 0),
+            FaultEvent(FaultKind.TRANSFER, 1.0, 1),
+        ))
+        assert [e.time_s for e in plan] == [1.0, 2.0]
+
+    def test_generate_is_deterministic(self):
+        a = FaultPlan.generate(42, num_devices=4, horizon_s=1.0)
+        b = FaultPlan.generate(42, num_devices=4, horizon_s=1.0)
+        assert a == b
+        c = FaultPlan.generate(43, num_devices=4, horizon_s=1.0)
+        assert a != c
+
+    def test_generate_never_kills_whole_pool(self):
+        plan = FaultPlan.generate(0, num_devices=3, horizon_s=1.0, n_device_lost=10)
+        losses = plan.of_kind("device_lost")
+        assert len(losses) == 2
+        assert len({e.device for e in losses}) == 2  # distinct victims
+
+    def test_generate_single_device_pool_loses_nothing(self):
+        plan = FaultPlan.generate(0, num_devices=1, horizon_s=1.0, n_device_lost=5)
+        assert plan.of_kind(FaultKind.DEVICE_LOST) == []
+
+    def test_generate_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.generate(0, num_devices=0, horizon_s=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.generate(0, num_devices=2, horizon_s=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan.generate(0, num_devices=2, horizon_s=1.0, n_transient=-1)
+
+    def test_json_round_trip(self, tmp_path):
+        plan = FaultPlan.generate(7, num_devices=4, horizon_s=2.0)
+        path = tmp_path / "plan.json"
+        plan.to_json(path)
+        assert FaultPlan.from_json(path) == plan
+        # The payload is plain JSON with string kinds.
+        payload = json.loads(path.read_text())
+        assert all(isinstance(r["kind"], str) for r in payload["faults"])
+
+    def test_from_json_accepts_bare_list(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps([{"kind": "transient", "time_s": 0.1, "device": 0}]))
+        plan = FaultPlan.from_json(path)
+        assert len(plan) == 1 and plan.events[0].kind is FaultKind.TRANSIENT
+
+
+class TestFaultInjector:
+    def test_poll_arms_due_faults_only(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.TRANSIENT, 1.0, 0, count=2),
+            FaultEvent(FaultKind.TRANSFER, 5.0, 0),
+        ))
+        inj = FaultInjector(plan)
+        assert inj.poll(0.5) == []
+        assert not inj.take_kernel_fault(0)
+        inj.poll(1.0)
+        assert inj.stats.injected["transient"] == 1
+        assert inj.take_kernel_fault(0)
+        assert inj.take_kernel_fault(0)
+        assert not inj.take_kernel_fault(0)  # count exhausted
+        assert not inj.take_transfer_fault(0)  # not yet due
+
+    def test_poll_returns_device_losses_for_driver(self):
+        plan = FaultPlan((FaultEvent(FaultKind.DEVICE_LOST, 1.0, 2),))
+        inj = FaultInjector(plan)
+        losses = inj.poll(2.0)
+        assert [e.device for e in losses] == [2]
+        # The injector records nothing until the driver applies it.
+        assert inj.stats.device_losses == 0
+        inj.note_device_lost(2, 1.0, orphans=3)
+        assert inj.stats.device_losses == 1
+        assert inj.stats.orphaned_tensors == 3
+        assert inj.stats.lost_at == {2: 1.0}
+
+    def test_straggler_window_scales_compute(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.STRAGGLER, 1.0, 0, duration_s=2.0, slow_factor=3.0),
+        ))
+        inj = FaultInjector(plan)
+        inj.poll(1.5)
+        assert inj.compute_factor(0) == pytest.approx(3.0)
+        assert inj.compute_factor(1) == 1.0  # other device unaffected
+        inj.poll(4.0)  # window [1, 3) is over
+        assert inj.compute_factor(0) == 1.0
+
+    def test_overlapping_windows_compound(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.STRAGGLER, 0.0, 0, duration_s=2.0, slow_factor=2.0),
+            FaultEvent(FaultKind.STRAGGLER, 1.0, 0, duration_s=2.0, slow_factor=3.0),
+        ))
+        inj = FaultInjector(plan)
+        inj.poll(1.5)
+        assert inj.compute_factor(0) == pytest.approx(6.0)
+
+    def test_dead_device_stops_faulting(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.TRANSIENT, 0.0, 1, count=5),
+            FaultEvent(FaultKind.STRAGGLER, 0.0, 1, duration_s=10.0, slow_factor=2.0),
+        ))
+        inj = FaultInjector(plan)
+        inj.poll(1.0)
+        inj.note_device_lost(1, 1.0, orphans=0)
+        assert not inj.take_kernel_fault(1)
+        assert inj.compute_factor(1) == 1.0
+
+    def test_drain_flushes_remaining(self):
+        plan = FaultPlan((FaultEvent(FaultKind.TRANSFER, 99.0, 0),))
+        inj = FaultInjector(plan)
+        inj.poll(1.0)
+        assert inj.drain() == []
+        assert inj.take_transfer_fault(0)
+        assert inj.drain() == []  # idempotent once empty
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential(self):
+        p = RetryPolicy(max_attempts=5, backoff_base_s=0.1, backoff_factor=2.0)
+        assert p.backoff_s(1) == pytest.approx(0.1)
+        assert p.backoff_s(3) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().backoff_s(0)
+
+
+class TestFaultStats:
+    def test_availability_charges_dead_tail(self):
+        stats = FaultStats()
+        stats.lost_at[0] = 2.0
+        # 4 devices over 10 s = 40 device-s; device 0 dead for 8 s.
+        assert stats.availability(10.0, 4) == pytest.approx(100.0 * (1 - 8 / 40))
+
+    def test_availability_empty_run_is_full(self):
+        assert FaultStats().availability(0.0, 4) == 100.0
+
+    def test_degraded_seconds_clip_to_makespan(self):
+        stats = FaultStats()
+        stats.straggler_windows.append((0, 1.0, 100.0, 2.0))
+        assert stats.degraded_device_s(5.0) == pytest.approx(4.0)
+
+    def test_summary_is_json_ready_and_sorted(self):
+        stats = FaultStats()
+        stats.record_recovery("transient", 0.25)
+        out = stats.summary(makespan_s=1.0, num_devices=2)
+        assert list(out["injected"]) == sorted(out["injected"])
+        assert out["recovery_latency_s"]["transient"] == [0.25]
+        json.dumps(out)  # must serialise without a custom encoder

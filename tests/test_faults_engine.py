@@ -1,0 +1,145 @@
+"""Engine-level fault handling: retries, backoff, refetches, stragglers."""
+
+import pytest
+
+from repro.errors import DeviceLostError, TransientFaultError
+from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan, RetryPolicy
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.engine import ExecutionEngine
+from repro.gpusim.metrics import ExecutionMetrics
+from repro.tensor.spec import VectorSpec
+from tests.conftest import make_cluster, make_pair
+
+
+def armed_injector(*events: FaultEvent) -> FaultInjector:
+    """Injector with every event already armed (polled past all of them)."""
+    inj = FaultInjector(FaultPlan(tuple(events)))
+    inj.poll(max(e.time_s for e in events))
+    return inj
+
+
+class TestTransientRetry:
+    def test_recovered_kernel_charges_wasted_time(self):
+        cluster = make_cluster()
+        pair = make_pair()
+        clean = ExecutionEngine(make_cluster(), CostModel())
+        m_clean = ExecutionMetrics(num_devices=2)
+        clean.execute_pair(pair, 0, m_clean)
+        kt = m_clean.compute_s[0]
+
+        retry = RetryPolicy(max_attempts=4, backoff_base_s=1e-3)
+        inj = armed_injector(FaultEvent(FaultKind.TRANSIENT, 0.0, 0, count=2))
+        engine = ExecutionEngine(cluster, CostModel(), injector=inj, retry=retry)
+        m = ExecutionMetrics(num_devices=2)
+        engine.execute_pair(pair, 0, m)
+
+        # 2 wasted attempts + their backoffs + the successful kernel.
+        waste = 2 * kt + retry.backoff_s(1) + retry.backoff_s(2)
+        assert m.compute_s[0] == pytest.approx(kt + waste)
+        assert inj.stats.transient_failures == 2
+        assert inj.stats.transient_recovered == 1
+        assert inj.stats.recovery_latency_s["transient"] == [pytest.approx(waste)]
+        assert m.pairs_executed == 1
+
+    def test_budget_exhaustion_raises_and_accounts(self):
+        cluster = make_cluster()
+        retry = RetryPolicy(max_attempts=2)
+        inj = armed_injector(FaultEvent(FaultKind.TRANSIENT, 0.0, 0, count=10))
+        engine = ExecutionEngine(cluster, CostModel(), injector=inj, retry=retry)
+        m = ExecutionMetrics(num_devices=2)
+        with pytest.raises(TransientFaultError):
+            engine.execute_pair(make_pair(), 0, m)
+        assert inj.stats.transient_abandoned == 1
+        assert inj.stats.transient_recovered == 0
+        # Exactly max_attempts failures were consumed, and the wasted
+        # device time is visible in the metrics.
+        assert inj.stats.transient_failures == 2
+        assert m.compute_s[0] > 0
+        assert m.pairs_executed == 0
+
+    def test_fault_events_logged_for_replay(self):
+        inj = armed_injector(FaultEvent(FaultKind.TRANSIENT, 0.0, 0, count=1))
+        engine = ExecutionEngine(make_cluster(), CostModel(), injector=inj)
+        engine.execute_pair(make_pair(), 0, ExecutionMetrics(num_devices=2))
+        kinds = [e["kind"] for e in inj.stats.events]
+        assert kinds == ["fault", "retry"]
+
+
+class TestTransferFault:
+    def test_failed_d2d_refetches_from_host(self):
+        cluster = make_cluster()
+        cm = CostModel()
+        pair = make_pair()
+        # Seat the left input on device 1 so device 0 would D2D it.
+        cluster.register(pair.left, 1)
+        inj = armed_injector(FaultEvent(FaultKind.TRANSFER, 0.0, 0, count=1))
+        engine = ExecutionEngine(cluster, cm, injector=inj)
+        m = ExecutionMetrics(num_devices=2)
+        engine.execute_pair(pair, 0, m)
+        # The recovered fetch is an H2D, and the source kept its copy
+        # (the failed move never completed).
+        assert m.counts.d2d_transfers == 0
+        assert m.counts.h2d_transfers == 2  # left (refetch) + right
+        assert cluster.is_resident(pair.left.uid, 1)
+        assert inj.stats.transfer_refetches == 1
+        wasted = cm.d2d_time(pair.left.nbytes, src=1, dst=0)
+        refetch = cm.h2d_time(pair.left.nbytes)
+        assert inj.stats.recovery_latency_s["transfer"] == [pytest.approx(wasted + refetch)]
+
+    def test_memop_time_includes_wasted_copy(self):
+        pair = make_pair()
+        clean_cl, faulty_cl = make_cluster(), make_cluster()
+        clean_cl.register(pair.left, 1)
+        faulty_cl.register(pair.left, 1)
+        m_clean = ExecutionMetrics(num_devices=2)
+        ExecutionEngine(clean_cl, CostModel()).execute_pair(pair, 0, m_clean)
+        inj = armed_injector(FaultEvent(FaultKind.TRANSFER, 0.0, 0))
+        m_faulty = ExecutionMetrics(num_devices=2)
+        ExecutionEngine(faulty_cl, CostModel(), injector=inj).execute_pair(pair, 0, m_faulty)
+        assert m_faulty.memop_s[0] >= m_clean.memop_s[0]
+
+
+class TestStraggler:
+    def test_kernel_time_scales_inside_window(self):
+        pair = make_pair()
+        m_clean = ExecutionMetrics(num_devices=2)
+        ExecutionEngine(make_cluster(), CostModel()).execute_pair(pair, 0, m_clean)
+        inj = armed_injector(
+            FaultEvent(FaultKind.STRAGGLER, 0.0, 0, duration_s=100.0, slow_factor=4.0)
+        )
+        m_slow = ExecutionMetrics(num_devices=2)
+        ExecutionEngine(make_cluster(), CostModel(), injector=inj).execute_pair(pair, 0, m_slow)
+        assert m_slow.compute_s[0] == pytest.approx(4.0 * m_clean.compute_s[0])
+
+    def test_other_devices_unaffected(self):
+        pair = make_pair()
+        inj = armed_injector(
+            FaultEvent(FaultKind.STRAGGLER, 0.0, 0, duration_s=100.0, slow_factor=4.0)
+        )
+        m_clean = ExecutionMetrics(num_devices=2)
+        ExecutionEngine(make_cluster(), CostModel()).execute_pair(pair, 1, m_clean)
+        m = ExecutionMetrics(num_devices=2)
+        ExecutionEngine(make_cluster(), CostModel(), injector=inj).execute_pair(pair, 1, m)
+        assert m.compute_s[1] == pytest.approx(m_clean.compute_s[1])
+
+
+class TestDeviceLoss:
+    def test_execute_pair_on_dead_device_raises(self):
+        cluster = make_cluster()
+        cluster.fail_device(1)
+        engine = ExecutionEngine(cluster, CostModel())
+        with pytest.raises(DeviceLostError) as exc:
+            engine.execute_pair(make_pair(), 1, ExecutionMetrics(num_devices=2))
+        assert exc.value.device_id == 1
+        assert exc.value.pair_index is None
+
+    def test_execute_vector_reports_pair_index(self):
+        cluster = make_cluster()
+        cluster.fail_device(1)
+        engine = ExecutionEngine(cluster, CostModel())
+        v = VectorSpec(pairs=[make_pair() for _ in range(3)])
+        with pytest.raises(DeviceLostError) as exc:
+            engine.execute_vector(v, [0, 0, 1])
+        assert exc.value.device_id == 1
+        assert exc.value.pair_index == 2
+        assert "device 1" in str(exc.value) and "pair index 2" in str(exc.value)

@@ -1,0 +1,180 @@
+"""Serving-loop fault recovery: shrinking pools, re-scheduling, shedding."""
+
+import pytest
+
+from repro.core.config import MiccoConfig
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.schedulers.bounds import ReuseBounds
+from repro.schedulers.micco import MiccoScheduler
+from repro.serve import MiccoServer, PoissonArrivals, ServeConfig
+from repro.workloads import SyntheticWorkload, WorkloadParams
+
+MIB = 1024**2
+
+
+def small_config(num_devices: int = 4) -> MiccoConfig:
+    return MiccoConfig(num_devices=num_devices, memory_bytes=64 * MIB)
+
+
+def make_vectors(n: int = 12, seed: int = 3):
+    params = WorkloadParams(
+        vector_size=8, tensor_size=128, repeated_rate=0.6, num_vectors=n, batch=4
+    )
+    return SyntheticWorkload(params, seed=seed).vectors()
+
+
+def run_chaos(plan, *, num_devices=4, serve=None, n=12, arrivals=None, seed=0):
+    server = MiccoServer(
+        MiccoScheduler(ReuseBounds(0, 4, 0)),
+        small_config(num_devices),
+        serve or ServeConfig(),
+    )
+    vectors = make_vectors(n)
+    return server, server.run(
+        vectors, arrivals if arrivals is not None else PoissonArrivals(200.0),
+        seed=seed, faults=plan,
+    )
+
+
+class TestDeviceLossRecovery:
+    def test_pool_shrinks_and_run_completes(self):
+        plan = FaultPlan((FaultEvent(FaultKind.DEVICE_LOST, 0.01, 1),))
+        server, result = run_chaos(plan)
+        assert server.cluster.num_alive == 3
+        assert not server.cluster.is_alive(1)
+        s = result.summary()
+        assert s["completed"] == s["offered"]
+        assert result.faults["device_losses"] == 1
+        assert result.faults["availability_pct"] < 100.0
+        # No completed vector ran a pair on the dead device after loss:
+        # the cluster stays consistent throughout.
+        server.cluster.check_invariants()
+
+    def test_inflight_orphans_are_rescheduled_onto_survivors(self):
+        # Everything arrives at t=0 with a deep inflight window, so the
+        # loss at t=1ms lands while completions are still pending.
+        plan = FaultPlan((FaultEvent(FaultKind.DEVICE_LOST, 1e-3, 0),))
+        server, result = run_chaos(
+            plan,
+            serve=ServeConfig(max_inflight=8),
+            arrivals=[0.0] * 12,
+        )
+        s = result.summary()
+        assert s["completed"] == s["offered"]
+        assert result.faults["rescheduled_pairs"] > 0
+        assert result.faults["orphaned_tensors"] > 0
+        assert result.faults["recovery_latency_s"]["device_lost"]
+        # Re-scheduled pairs landed on survivors only.
+        for rec in result.report.completed:
+            assert 0 not in rec.devices or rec.complete_s < 1e-3
+
+    def test_bounds_rescaled_for_survivors(self):
+        plan = FaultPlan((FaultEvent(FaultKind.DEVICE_LOST, 0.01, 2),))
+        server, _ = run_chaos(plan)
+        # 4 -> 3 alive: bounds scale by 4/3.
+        expected = ReuseBounds(0, 4, 0).scaled(4 / 3)
+        assert server.scheduler.bounds == expected
+
+    def test_recovery_off_sheds_affected_vectors(self):
+        plan = FaultPlan((FaultEvent(FaultKind.DEVICE_LOST, 1e-3, 0),))
+        _, result = run_chaos(
+            plan,
+            serve=ServeConfig(max_inflight=8, recover_faults=False),
+            arrivals=[0.0] * 12,
+        )
+        s = result.summary()
+        assert s["dropped_by_reason"].get("fault-abandoned", 0) > 0
+        assert s["completed"] + s["dropped"] == s["offered"]
+        assert result.faults["rescheduled_pairs"] == 0
+
+    def test_losing_every_device_sheds_remaining_arrivals(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.DEVICE_LOST, 1e-4, 0),
+            FaultEvent(FaultKind.DEVICE_LOST, 1e-4, 1),
+        ))
+        _, result = run_chaos(plan, num_devices=2, arrivals=[i * 0.01 for i in range(12)])
+        s = result.summary()
+        assert s["completed"] == 0
+        assert s["dropped_by_reason"] == {"fault-abandoned": 12}
+        # Nothing completed, so the makespan is zero and availability
+        # degenerates to its no-denominator value.
+        assert result.faults["availability_pct"] == 100.0
+        assert result.faults["device_losses"] == 2
+
+    def test_duplicate_loss_entries_are_idempotent(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.DEVICE_LOST, 0.01, 1),
+            FaultEvent(FaultKind.DEVICE_LOST, 0.02, 1),
+        ))
+        server, result = run_chaos(plan)
+        assert server.cluster.num_alive == 3
+        assert result.faults["device_losses"] == 1
+
+
+class TestTransientAndTransferInServing:
+    def test_exhausted_retry_budget_sheds_not_crashes(self):
+        # Arm more consecutive kernel failures than the retry budget
+        # (4) on one device: the first vector with a pair there hits
+        # the wall and is shed; the leftovers recover on later vectors.
+        plan = FaultPlan((FaultEvent(FaultKind.TRANSIENT, 0.0, 0, count=6),))
+        _, result = run_chaos(plan)
+        s = result.summary()
+        assert s["dropped_by_reason"].get("fault-abandoned", 0) >= 1
+        assert s["completed"] >= 1
+        assert result.faults["transient_abandoned"] >= 1
+
+    def test_recovered_faults_leave_slo_report_complete(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.TRANSIENT, 0.0, 0, count=1),
+            FaultEvent(FaultKind.TRANSFER, 0.0, 1, count=1),
+        ))
+        _, result = run_chaos(plan)
+        s = result.summary()
+        assert s["completed"] == s["offered"]
+        f = result.faults
+        assert f["transient_recovered"] + f["transfer_refetches"] >= 1
+
+    def test_straggler_inflates_latency_not_drops(self):
+        clean = run_chaos(FaultPlan(()))[1].summary()
+        plan = FaultPlan((
+            FaultEvent(FaultKind.STRAGGLER, 0.0, d, duration_s=10.0, slow_factor=8.0)
+            for d in range(4)
+        ))
+        slow = run_chaos(plan)[1]
+        s = slow.summary()
+        assert s["completed"] == s["offered"]
+        assert s["p99_s"] > clean["p99_s"]
+        assert slow.faults["degraded_device_s"] > 0
+
+
+class TestChaosDeterminism:
+    def test_same_seed_same_report_and_trace(self):
+        plan = FaultPlan.generate(5, num_devices=4, horizon_s=0.06)
+        # One request stream shared by both runs: fresh streams would
+        # draw fresh global tensor uids, which appear in event labels.
+        vectors = make_vectors(12)
+
+        def one():
+            server = MiccoServer(
+                MiccoScheduler(ReuseBounds(0, 4, 0)), small_config(), ServeConfig()
+            )
+            return server.run(vectors, PoissonArrivals(200.0), seed=9, faults=plan)
+
+        a, b = one(), one()
+        assert a.summary() == b.summary()
+        assert a.fault_events == b.fault_events
+        assert [e.__dict__ for e in a.to_trace().events] == [
+            e.__dict__ for e in b.to_trace().events
+        ]
+
+    def test_no_plan_means_no_fault_section(self):
+        _, result = run_chaos(None)
+        assert result.faults is None
+        assert result.fault_events == []
+        assert "faults" not in result.summary()
+
+    def test_no_vector_completes_twice(self):
+        plan = FaultPlan((FaultEvent(FaultKind.DEVICE_LOST, 1e-3, 0),))
+        _, result = run_chaos(plan, serve=ServeConfig(max_inflight=8), arrivals=[0.0] * 12)
+        ids = [r.vector_id for r in result.report.completed]
+        assert len(ids) == len(set(ids))

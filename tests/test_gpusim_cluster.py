@@ -129,3 +129,59 @@ class TestBusyAndClone:
         assert other.is_resident(t.uid, 1)
         assert other.balance_num == cl.balance_num
         assert other.assigned_slots[1] == 2
+
+
+class TestDevicePoolShrink:
+    def test_fail_device_orphans_and_frees(self):
+        cl = make_cluster()
+        t1, t2 = make_tensor(), make_tensor()
+        cl.register(t1, 0)
+        cl.register(t2, 0)
+        cl.register(t2, 1)  # second copy survives
+        orphans = cl.fail_device(0)
+        assert sorted(orphans) == sorted([t1.uid, t2.uid])
+        assert cl.used_bytes(0) == 0
+        assert cl.devices_holding(t1.uid) == set()
+        assert cl.devices_holding(t2.uid) == {1}
+        assert not cl.is_alive(0) and cl.is_alive(1)
+        assert cl.alive_ids() == [1]
+        assert cl.num_alive == 1
+        cl.check_invariants()
+
+    def test_fail_device_is_idempotent(self):
+        cl = make_cluster()
+        cl.register(make_tensor(), 1)
+        assert cl.fail_device(1)
+        assert cl.fail_device(1) == []
+
+    def test_fail_device_out_of_range(self):
+        with pytest.raises(SchedulingError):
+            make_cluster().fail_device(99)
+
+    def test_begin_vector_balances_over_survivors(self):
+        cl = make_cluster(num_devices=4)
+        cl.fail_device(3)
+        cl.begin_vector(12)
+        assert cl.balance_num == pytest.approx(12 / 3)
+
+    def test_begin_vector_with_no_survivors_raises(self):
+        cl = make_cluster()
+        cl.fail_device(0)
+        cl.fail_device(1)
+        with pytest.raises(SchedulingError):
+            cl.begin_vector(4)
+
+    def test_reset_revives_the_pool(self):
+        cl = make_cluster()
+        cl.fail_device(0)
+        cl.reset()
+        assert cl.num_alive == 2
+
+    def test_clone_copies_liveness(self):
+        cl = make_cluster()
+        cl.fail_device(0)
+        other = cl.clone()
+        assert not other.is_alive(0)
+        other.reset()
+        assert not cl.is_alive(0) or cl.num_alive == 2  # clone is independent
+        assert cl.num_alive == 1

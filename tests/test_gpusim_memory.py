@@ -119,3 +119,39 @@ class TestFreeClear:
 
         with pytest.raises(ConfigurationError):
             MemoryPool(0)
+
+
+class TestInvariants:
+    """Property-style sweep: accounting stays airtight under any
+    alloc/evict/free interleaving, for every eviction policy."""
+
+    @pytest.mark.parametrize("policy", ("lru", "fifo", "largest"))
+    def test_random_op_sequence_preserves_invariants(self, policy):
+        import numpy as np
+
+        rng = np.random.default_rng(99)
+        pool = MemoryPool(1000, policy=policy)
+        live: list[int] = []
+        for uid in range(300):
+            op = rng.integers(3)
+            if op == 0 or not live:  # allocate (sometimes oversubscribing)
+                nbytes = int(rng.integers(1, 400))
+                for r in pool.allocate(uid, nbytes):
+                    live.remove(r.uid)
+                live.append(uid)
+            elif op == 1:  # free a random live tensor
+                victim = live.pop(int(rng.integers(len(live))))
+                assert pool.free(victim) > 0
+            else:  # touch (reuse hit)
+                pool.touch(live[int(rng.integers(len(live)))])
+            pool.check_invariants()
+        pool.clear()
+        pool.check_invariants()
+        assert pool.used_bytes == 0
+
+    def test_check_invariants_catches_corruption(self):
+        pool = MemoryPool(100)
+        pool.allocate(1, 40)
+        pool._used = 7  # simulate an accounting bug
+        with pytest.raises(AssertionError):
+            pool.check_invariants()

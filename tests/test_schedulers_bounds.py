@@ -84,3 +84,24 @@ class TestConstructionValidation:
     def test_infinity_rejected(self):
         with pytest.raises(ConfigurationError):
             ReuseBounds(0.0, float("inf"), 0.0)
+
+
+class TestScaled:
+    def test_scaled_multiplies_componentwise(self):
+        from repro.schedulers.bounds import ReuseBounds
+
+        b = ReuseBounds(1, 4, 2).scaled(1.5)
+        assert b.as_tuple() == (1.5, 6.0, 3.0)
+
+    def test_scaled_rejects_bad_factor(self):
+        import math
+
+        import pytest
+
+        from repro.errors import ConfigurationError
+        from repro.schedulers.bounds import ReuseBounds
+
+        with pytest.raises(ConfigurationError):
+            ReuseBounds(1, 4, 2).scaled(-1.0)
+        with pytest.raises(ConfigurationError):
+            ReuseBounds(1, 4, 2).scaled(math.inf)
