@@ -9,7 +9,9 @@ Public API highlights
   synthetic vector streams with the paper's data characteristics.
 * :mod:`repro.schedulers` — MICCO heuristic and baseline schedulers.
 * :mod:`repro.serve` — online serving simulator (:class:`repro.MiccoServer`):
-  arrival processes, admission control, latency SLO metrics.
+  arrival processes, admission control, latency SLO metrics; multi-tenant
+  mode (:class:`repro.MultiTenantServer`) with weighted-fair admission
+  and a p99-driven device-pool autoscaler.
 * :mod:`repro.faults` — seeded fault injection (:class:`repro.FaultPlan`)
   and recovery: chaos-hardened serving on a shrinking device pool.
 * :mod:`repro.ml` — from-scratch regression models + reuse-bound tuner.
@@ -26,13 +28,18 @@ from repro.schedulers import (
     ReuseBounds,
     RoundRobinScheduler,
 )
+from repro.reporting import Report
 from repro.serve import (
+    AutoscalerConfig,
     BurstyArrivals,
     LatencyReport,
     MiccoServer,
+    MultiTenantServer,
     PoissonArrivals,
     ServeConfig,
     ServeResult,
+    SloTargets,
+    TenantSpec,
     TraceArrivals,
 )
 from repro.tensor import TensorPair, TensorSpec, VectorSpec
@@ -61,8 +68,13 @@ __all__ = [
     "ReuseBounds",
     "RoundRobinScheduler",
     "MiccoServer",
+    "MultiTenantServer",
     "ServeConfig",
     "ServeResult",
+    "TenantSpec",
+    "SloTargets",
+    "AutoscalerConfig",
+    "Report",
     "PoissonArrivals",
     "BurstyArrivals",
     "TraceArrivals",

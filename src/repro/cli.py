@@ -8,6 +8,7 @@ Examples
     micco fig7                 # quick Fig. 7 sweep
     micco tab4 --full          # full-scale Table IV (300 samples)
     micco serve --rate 500     # online serving under Poisson traffic
+    micco serve --config examples/tenants.json   # multi-tenant + autoscale
     micco chaos --seed 0       # serving under seeded fault injection
     python -m repro tab6       # same, via the module
 """
@@ -84,9 +85,23 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     system.add_argument("--bounds", default="0,4,0", help="reuse-bound triple for --scheduler micco (default 0,4,0)")
     system.add_argument("--num-devices", type=int, default=4, help="simulated GPUs (default 4)")
-    system.add_argument("--queue-capacity", type=int, default=64, help="admission-queue depth (default 64)")
-    system.add_argument("--queue-policy", choices=("fifo", "sjf"), default="fifo", help="dispatch order (default fifo)")
-    system.add_argument("--max-inflight", type=int, default=1, help="vectors dispatched but not complete (default 1)")
+    system.add_argument(
+        "--config",
+        metavar="PATH",
+        help=(
+            "ServeConfig JSON (ServeConfig.to_json): queue knobs, tenants, "
+            "autoscaler and a fault plan nest inside; explicit flags override "
+            "the file's values"
+        ),
+    )
+    system.add_argument("--queue-capacity", type=int, default=None, help="admission-queue depth (default 64)")
+    system.add_argument(
+        "--queue-policy",
+        choices=("auto", "fifo", "sjf", "weighted"),
+        default=None,
+        help="dispatch order (default auto: weighted-fair with tenants, else fifo)",
+    )
+    system.add_argument("--max-inflight", type=int, default=None, help="vectors dispatched but not complete (default 1)")
     system.add_argument(
         "--faults",
         metavar="PLAN",
@@ -127,11 +142,18 @@ def build_chaos_parser() -> argparse.ArgumentParser:
 
 
 def run_serve(argv: list[str], *, chaos: bool = False) -> int:
+    import json
+
     from repro.errors import ReproError
 
     prog = "chaos" if chaos else "serve"
     try:
         return _run_serve(argv, chaos=chaos)
+    except json.JSONDecodeError as exc:
+        # A config / arrivals / fault-plan file that exists but is not
+        # valid JSON is a user error too, not a crash.
+        print(f"micco {prog}: error: malformed JSON input: {exc}", file=sys.stderr)
+        return 2
     except ReproError as exc:
         # Bad knob values (negative rate, odd vector size, ...) are user
         # errors, not crashes: report them like argparse would.
@@ -147,7 +169,14 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
     from repro.schedulers.groute import GrouteScheduler
     from repro.schedulers.micco import MiccoScheduler
     from repro.schedulers.roundrobin import RoundRobinScheduler
-    from repro.serve import BurstyArrivals, MiccoServer, PoissonArrivals, ServeConfig, TraceArrivals
+    from repro.serve import (
+        BurstyArrivals,
+        MiccoServer,
+        MultiTenantServer,
+        PoissonArrivals,
+        ServeConfig,
+        TraceArrivals,
+    )
     from repro.workloads import SyntheticWorkload, WorkloadParams
 
     schedulers = {
@@ -156,6 +185,28 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         "groute": lambda: GrouteScheduler(),
         "roundrobin": lambda: RoundRobinScheduler(),
     }
+
+    # The config file is the base; explicit flags override its values.
+    if args.config:
+        config_path = Path(args.config)
+        if not config_path.exists():
+            print(f"serve config {args.config!r} does not exist", file=sys.stderr)
+            return 2
+        serve_cfg = ServeConfig.from_json(config_path)
+    else:
+        serve_cfg = ServeConfig()
+    overrides = {}
+    if args.queue_capacity is not None:
+        overrides["queue_capacity"] = args.queue_capacity
+    if args.queue_policy is not None:
+        overrides["queue_policy"] = args.queue_policy
+    if args.max_inflight is not None:
+        overrides["max_inflight"] = args.max_inflight
+    if chaos and args.no_recovery:
+        overrides["recover_faults"] = False
+    if overrides:
+        serve_cfg = serve_cfg.with_(**overrides)
+
     if args.arrivals == "poisson":
         arrivals = PoissonArrivals(args.rate)
     elif args.arrivals == "bursty":
@@ -174,6 +225,8 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             print(f"fault plan {args.faults!r} does not exist", file=sys.stderr)
             return 2
         plan = FaultPlan.from_json(plan_path)
+    elif serve_cfg.faults is not None:
+        plan = serve_cfg.faults
     elif chaos:
         # No explicit plan: draw one from the seed over the expected
         # arrival span, so the same seed replays the same chaos.
@@ -191,31 +244,53 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         plan.to_json(args.save_plan)
         print(f"fault plan written to {args.save_plan}")
 
-    params = WorkloadParams(
-        vector_size=args.vector_size,
-        tensor_size=args.tensor_size,
-        repeated_rate=args.repeated_rate,
-        num_vectors=args.num_vectors,
-        batch=args.batch,
-    )
-    vectors = SyntheticWorkload(params, seed=args.seed).vectors()
-    server = MiccoServer(
-        schedulers[args.scheduler](),
-        MiccoConfig(num_devices=args.num_devices),
-        ServeConfig(
-            queue_capacity=args.queue_capacity,
-            queue_policy=args.queue_policy,
-            max_inflight=args.max_inflight,
-            recover_faults=not (chaos and args.no_recovery),
-        ),
-    )
-    result = server.run(vectors, arrivals, seed=args.seed, faults=plan)
+    if serve_cfg.tenants:
+        # Multi-tenant mode: the tenant specs define the traffic, so the
+        # single-stream workload/arrival flags are unused.
+        server = MultiTenantServer(
+            schedulers[args.scheduler](),
+            MiccoConfig(num_devices=args.num_devices),
+            serve_cfg,
+        )
+        result = server.run(seed=args.seed, faults=plan)
+        traffic = f"{len(serve_cfg.tenants)} tenants"
+    else:
+        params = WorkloadParams(
+            vector_size=args.vector_size,
+            tensor_size=args.tensor_size,
+            repeated_rate=args.repeated_rate,
+            num_vectors=args.num_vectors,
+            batch=args.batch,
+        )
+        vectors = SyntheticWorkload(params, seed=args.seed).vectors()
+        server = MiccoServer(
+            schedulers[args.scheduler](),
+            MiccoConfig(num_devices=args.num_devices),
+            serve_cfg,
+        )
+        result = server.run(vectors, arrivals, seed=args.seed, faults=plan)
+        traffic = f"{args.arrivals} arrivals, mean rate {args.rate:g}/s"
 
     s = result.summary()
-    print(f"served {s['completed']}/{s['offered']} vectors with {args.scheduler} " f"({args.arrivals} arrivals, mean rate {args.rate:g}/s)")
+    print(f"served {s['completed']}/{s['offered']} vectors with {args.scheduler} ({traffic})")
     print(f"  latency   p50 {s['p50_s'] * 1e3:8.3f} ms   p95 {s['p95_s'] * 1e3:8.3f} ms   p99 {s['p99_s'] * 1e3:8.3f} ms")
     print(f"  throughput {s['throughput_vps']:8.1f} vectors/s   drop rate {s['drop_rate']:.1%} ({s['dropped']} shed)")
     print(f"  queue      peak depth {s['queue']['peak_depth']} / capacity {s['queue']['capacity']} ({s['queue']['policy']})")
+    if result.tenants is not None:
+        for name, sec in result.tenants.items():
+            t = sec["summary"]
+            verdict = "slo ok" if sec["slo"]["attained"] else "slo MISS"
+            print(
+                f"  tenant     {name:<12} weight {sec['weight']:g}   "
+                f"p99 {t['p99_s'] * 1e3:8.3f} ms   "
+                f"drop rate {t['drop_rate']:.1%} ({t['completed']}/{t['offered']})   {verdict}"
+            )
+    if result.autoscale is not None:
+        a = result.autoscale
+        print(
+            f"  autoscale  {a['scale_ups']} scale-up(s), {a['scale_downs']} scale-down(s) "
+            f"within [{a['min_devices']}, {a['max_devices']}] devices"
+        )
     if result.faults is not None:
         f = result.faults
         injected = ", ".join(f"{k} {v}" for k, v in f["injected"].items() if v)
@@ -239,14 +314,15 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             "rate": args.rate,
             "num_devices": args.num_devices,
             "seed": args.seed,
+            "serve": serve_cfg.to_dict(),
         },
         "queue": s["queue"],
     }
-    if result.faults is not None:
-        extra["faults"] = result.faults
-        extra["fault_events"] = result.fault_events
+    if serve_cfg.tenants:
+        extra["config"]["arrivals"] = "tenants"
+    if result.faults is not None and plan is not None:
         extra["fault_plan"] = plan.to_dicts()
-    result.report.to_json(args.json, extra=extra)
+    result.to_json(args.json, extra=extra)
     print(f"latency report written to {args.json}")
     if args.trace:
         result.to_trace().save_chrome_trace(args.trace)

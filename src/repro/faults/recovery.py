@@ -13,8 +13,10 @@ feeds the SLO report's fault section.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.reporting import dump_json
 
 
 @dataclass(frozen=True)
@@ -84,6 +86,10 @@ class FaultStats:
     lost_at: dict[int, float] = field(default_factory=dict)
     #: (device, start_s, end_s, slow_factor) straggler windows seen.
     straggler_windows: list[tuple[int, float, float, float]] = field(default_factory=list)
+    #: Run context bound by :meth:`finalize` so :meth:`summary` needs no
+    #: arguments (the common :class:`~repro.reporting.Report` surface).
+    makespan_s: float = 0.0
+    num_devices: int = 0
 
     # -------------------------------------------------------------- recording
     def record_event(
@@ -102,6 +108,17 @@ class FaultStats:
 
     def record_recovery(self, fault_kind: str, latency_s: float) -> None:
         self.recovery_latency_s.setdefault(fault_kind, []).append(float(latency_s))
+
+    def finalize(self, makespan_s: float, num_devices: int) -> "FaultStats":
+        """Bind the run context availability accounting needs.
+
+        Called once at the end of a run; afterwards :meth:`summary` and
+        :meth:`to_json` work without arguments.  Returns ``self`` for
+        chaining.
+        """
+        self.makespan_s = float(makespan_s)
+        self.num_devices = int(num_devices)
+        return self
 
     # ------------------------------------------------------------- aggregates
     def availability(self, makespan_s: float, num_devices: int) -> float:
@@ -125,8 +142,15 @@ class FaultStats:
             total += max(min(end, makespan_s) - min(start, makespan_s), 0.0)
         return total
 
-    def summary(self, makespan_s: float, num_devices: int) -> dict:
-        """Deterministic, JSON-ready fault section for the SLO report."""
+    def summary(self, makespan_s: float | None = None, num_devices: int | None = None) -> dict:
+        """Deterministic, JSON-ready fault section for the SLO report.
+
+        With no arguments, uses the context bound by :meth:`finalize`
+        (the uniform :class:`~repro.reporting.Report` call shape);
+        explicit arguments override it.
+        """
+        makespan_s = self.makespan_s if makespan_s is None else makespan_s
+        num_devices = self.num_devices if num_devices is None else num_devices
         latencies = {
             kind: [float(v) for v in vals]
             for kind, vals in sorted(self.recovery_latency_s.items())
@@ -144,3 +168,7 @@ class FaultStats:
             "availability_pct": self.availability(makespan_s, num_devices),
             "degraded_device_s": self.degraded_device_s(makespan_s),
         }
+
+    def to_json(self, path: str | Path) -> None:
+        """Write summary + the replayable fault/retry/recovery event log."""
+        dump_json(path, {"summary": self.summary(), "events": list(self.events)})

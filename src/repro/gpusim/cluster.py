@@ -52,9 +52,13 @@ class ClusterState:
         # Per-vector load counters (the paper's availability test).
         self.assigned_slots = np.zeros(len(devices), dtype=np.int64)
         self.balance_num: float = 0.0
-        # Device health: permanently lost devices stay in ``devices``
-        # (ids keep their meaning) but leave this set forever.
+        # Device health: offline devices stay in ``devices`` (ids keep
+        # their meaning) but leave this set.  A device goes offline by
+        # *failing* (permanent, also enters ``_failed``) or by being
+        # *retired* (autoscaler scale-down; may come back online cold
+        # via :meth:`activate_device`).
         self._alive: set[int] = set(range(len(devices)))
+        self._failed: set[int] = set()
 
     # ------------------------------------------------------------------ reads
     @property
@@ -72,6 +76,17 @@ class ClusterState:
     def alive_ids(self) -> list[int]:
         """Healthy device ids, ascending (the schedulable pool)."""
         return sorted(self._alive)
+
+    def is_failed(self, device_id: int) -> bool:
+        """True when the device was permanently lost (never reactivatable)."""
+        return device_id in self._failed
+
+    def offline_ids(self) -> list[int]:
+        """Retired-but-healthy device ids, ascending (scale-up candidates)."""
+        return sorted(
+            d for d in range(self.num_devices)
+            if d not in self._alive and d not in self._failed
+        )
 
     def devices_holding(self, uid: int) -> frozenset[int]:
         """``mapGPUTensor.find(tensor)``: devices with a resident copy."""
@@ -149,15 +164,12 @@ class ClusterState:
             total += self.drop(uid, dev)
         return total
 
-    def fail_device(self, device_id: int) -> list[int]:
-        """Permanently lose a device; returns the orphaned tensor uids.
+    def _take_offline(self, device_id: int) -> list[int]:
+        """Remove a device from the alive set and clear its residency.
 
-        Every tensor resident on the device vanishes with it — uids
-        whose *only* copy lived there must be re-fetched from the host
-        if referenced again.  The device keeps its id (and its
-        accumulated time counters, for reporting) but is excluded from
-        ``alive_ids`` and rejected by the engine from then on.
-        Failing an already-dead device is a no-op returning ``[]``.
+        Returns the orphaned tensor uids (uids whose *only* copy lived
+        there must be re-fetched from the host if referenced again).
+        No-op returning ``[]`` when the device is already offline.
         """
         if not (0 <= device_id < self.num_devices):
             raise SchedulingError(
@@ -175,6 +187,51 @@ class ClusterState:
                 if not holders:
                     del self._holders[uid]
         return orphans
+
+    def fail_device(self, device_id: int) -> list[int]:
+        """Permanently lose a device; returns the orphaned tensor uids.
+
+        The device keeps its id (and its accumulated time counters, for
+        reporting) but is excluded from ``alive_ids``, rejected by the
+        engine, and can never be reactivated.  Failing an already-dead
+        device is a no-op returning ``[]`` (but still marks it failed,
+        so a retired device that dies stays dead).
+        """
+        orphans = self._take_offline(device_id)
+        self._failed.add(device_id)
+        return orphans
+
+    def retire_device(self, device_id: int) -> list[int]:
+        """Gracefully take a healthy device offline (scale-down).
+
+        Same residency consequences as :meth:`fail_device` — resident
+        tensors are dropped, orphan uids returned — but the device stays
+        healthy and can rejoin the pool later via
+        :meth:`activate_device`.  Retiring a failed or already-offline
+        device is a no-op returning ``[]``.
+        """
+        return self._take_offline(device_id)
+
+    def activate_device(self, device_id: int) -> None:
+        """Bring a retired device back online with a cold memory pool.
+
+        The device rejoins ``alive_ids`` holding no resident tensors
+        (warm-up happened off-pool; nothing survives it).  Activating an
+        alive device is a no-op; activating a permanently failed device
+        raises.
+        """
+        if not (0 <= device_id < self.num_devices):
+            raise SchedulingError(
+                f"device id {device_id} out of range 0..{self.num_devices - 1}"
+            )
+        if device_id in self._failed:
+            raise SchedulingError(
+                f"device {device_id} was permanently lost and cannot be reactivated"
+            )
+        if device_id in self._alive:
+            return
+        self.pools[device_id].clear()
+        self._alive.add(device_id)
 
     def check_invariants(self) -> None:
         """Assert pool accounting and the residency index agree.
@@ -214,6 +271,7 @@ class ClusterState:
         self.assigned_slots[:] = 0
         self.balance_num = 0.0
         self._alive = set(range(self.num_devices))
+        self._failed = set()
 
     def clone(self) -> "ClusterState":
         """Deep copy — used by look-ahead / exhaustive oracles."""
@@ -227,6 +285,7 @@ class ClusterState:
         other.assigned_slots = self.assigned_slots.copy()
         other.balance_num = self.balance_num
         other._alive = set(self._alive)
+        other._failed = set(self._failed)
         return other
 
     # -------------------------------------------------------------- factories

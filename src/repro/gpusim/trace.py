@@ -14,8 +14,9 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 #: Event kinds emitted by the engine, plus the serving layer's
-#: per-vector lifecycle spans (wait → schedule → execute) and the
-#: chaos layer's fault lifecycle (fault → retry → recovery).
+#: per-vector lifecycle spans (wait → schedule → execute), the chaos
+#: layer's fault lifecycle (fault → retry → recovery), and the
+#: autoscaler's pool changes (scale-up → scale-online → scale-down).
 EVENT_KINDS = (
     "h2d",
     "d2d",
@@ -29,6 +30,9 @@ EVENT_KINDS = (
     "fault",
     "retry",
     "recovery",
+    "scale-up",
+    "scale-down",
+    "scale-online",
 )
 
 

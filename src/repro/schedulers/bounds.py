@@ -70,6 +70,22 @@ class ReuseBounds:
             raise ConfigurationError(f"scale factor must be finite and >= 0, got {factor}")
         return ReuseBounds(self.same * factor, self.partial * factor, self.new * factor)
 
+    def rescaled(self, previous_alive: int, now_alive: int) -> "ReuseBounds":
+        """Bounds for a pool-size change ``previous_alive → now_alive``.
+
+        ``balanceNum = numTensor / numAliveGPU`` moves by the inverse of
+        the pool-size ratio, so the slack is multiplied by
+        ``previous_alive / now_alive`` to keep it proportional to the
+        balanced share.  Works in both directions: a shrinking pool
+        (device loss, scale-down) grows the slack, a growing pool
+        (scale-up) tightens it back — applying the inverse change
+        returns the original bounds.
+        """
+        for name, n in (("previous_alive", previous_alive), ("now_alive", now_alive)):
+            if n <= 0:
+                raise ConfigurationError(f"{name} must be > 0, got {n}")
+        return self.scaled(previous_alive / now_alive)
+
     @classmethod
     def from_sequence(cls, seq) -> "ReuseBounds":
         vals = list(seq)

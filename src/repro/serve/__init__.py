@@ -3,12 +3,18 @@
 The batch experiments replay a pre-collected vector stream; this
 package answers the operational question instead — how does a scheduler
 behave when vectors *arrive over time*?  It wires an arrival process
-(:mod:`repro.serve.arrivals`), a bounded admission queue
-(:mod:`repro.serve.queueing`), any existing scheduler and the execution
-engine into one deterministic discrete-event loop
+(:mod:`repro.serve.arrivals`), a bounded admission queue with pluggable
+dispatch policies (:mod:`repro.serve.queueing`), any existing scheduler
+and the execution engine into one deterministic discrete-event loop
 (:mod:`repro.serve.timeline`, :mod:`repro.serve.server`), and reports
 latency SLO metrics — tail percentiles, windowed throughput, drop rate
 (:mod:`repro.serve.slo`).
+
+Multi-tenant mode (:mod:`repro.serve.tenancy`,
+:class:`repro.serve.MultiTenantServer`) interleaves several weighted
+tenant streams into one timeline with weighted-fair admission and
+per-tenant SLO attainment, and an optional p99-driven autoscaler
+(:mod:`repro.serve.autoscale`) grows and shrinks the device pool.
 """
 
 from repro.serve.arrivals import (
@@ -16,11 +22,28 @@ from repro.serve.arrivals import (
     BurstyArrivals,
     PoissonArrivals,
     TraceArrivals,
+    arrivals_from_dict,
 )
-from repro.serve.queueing import QUEUE_POLICIES, AdmissionQueue
-from repro.serve.server import MiccoServer, ServeConfig, ServeResult
+from repro.serve.autoscale import Autoscaler, AutoscalerConfig
+from repro.serve.queueing import (
+    QUEUE_POLICIES,
+    AdmissionQueue,
+    Fifo,
+    QueuePolicy,
+    Sjf,
+    WeightedFair,
+    make_policy,
+)
+from repro.serve.server import MiccoServer, MultiTenantServer, ServeConfig, ServeResult
 from repro.serve.slo import DroppedVector, LatencyReport, VectorLatency
+from repro.serve.tenancy import (
+    SloTargets,
+    TenantSpec,
+    TenantStream,
+    build_streams,
+)
 from repro.serve.timeline import (
+    DeviceOnline,
     Event,
     SchedulingDone,
     Ticket,
@@ -34,11 +57,24 @@ __all__ = [
     "PoissonArrivals",
     "BurstyArrivals",
     "TraceArrivals",
+    "arrivals_from_dict",
     "AdmissionQueue",
     "QUEUE_POLICIES",
+    "QueuePolicy",
+    "Fifo",
+    "Sjf",
+    "WeightedFair",
+    "make_policy",
     "MiccoServer",
+    "MultiTenantServer",
     "ServeConfig",
     "ServeResult",
+    "TenantSpec",
+    "TenantStream",
+    "SloTargets",
+    "build_streams",
+    "Autoscaler",
+    "AutoscalerConfig",
     "LatencyReport",
     "VectorLatency",
     "DroppedVector",
@@ -48,4 +84,5 @@ __all__ = [
     "VectorArrival",
     "SchedulingDone",
     "VectorCompletion",
+    "DeviceOnline",
 ]

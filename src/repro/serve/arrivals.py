@@ -26,12 +26,23 @@ from repro.utils.rng import as_generator
 class ArrivalProcess(ABC):
     """Produces absolute arrival timestamps (seconds, non-decreasing)."""
 
-    #: Human-readable name used in reports.
+    #: Human-readable name used in reports (doubles as the ``kind`` tag
+    #: in the serialized form).
     name: str = "arrivals"
 
     @abstractmethod
     def arrival_times(self, n: int, seed=None) -> list[float]:
         """Return ``n`` absolute arrival times starting from t=0."""
+
+    @abstractmethod
+    def to_dict(self) -> dict:
+        """JSON-ready spec: ``{"kind": <name>, ...parameters}``."""
+
+    def __eq__(self, other) -> bool:
+        """Value equality: same process type and parameters."""
+        return type(other) is type(self) and other.to_dict() == self.to_dict()
+
+    __hash__ = None  # mutable-style value object
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
@@ -56,6 +67,9 @@ class PoissonArrivals(ArrivalProcess):
             t += float(g)
             times.append(t)
         return times
+
+    def to_dict(self) -> dict:
+        return {"kind": self.name, "rate": self.rate}
 
 
 class BurstyArrivals(ArrivalProcess):
@@ -113,6 +127,15 @@ class BurstyArrivals(ArrivalProcess):
             phase_end = t + float(rng.exponential(mean))
         return times
 
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.name,
+            "rate_on": self.rate_on,
+            "rate_off": self.rate_off,
+            "mean_on_s": self.mean_on_s,
+            "mean_off_s": self.mean_off_s,
+        }
+
 
 class TraceArrivals(ArrivalProcess):
     """Replay of recorded arrival timestamps (seed is ignored)."""
@@ -140,6 +163,9 @@ class TraceArrivals(ArrivalProcess):
             )
         return list(self.times[:n])
 
+    def to_dict(self) -> dict:
+        return {"kind": self.name, "times": list(self.times)}
+
     # ----------------------------------------------------------- JSON replay
     @classmethod
     def from_json(cls, path: str | Path) -> "TraceArrivals":
@@ -156,6 +182,27 @@ class TraceArrivals(ArrivalProcess):
     def to_json(self, path: str | Path) -> None:
         """Write the trace as ``{"version": 1, "arrival_s": [...]}``."""
         Path(path).write_text(json.dumps({"version": 1, "arrival_s": self.times}))
+
+
+def arrivals_from_dict(spec: dict) -> ArrivalProcess:
+    """Rebuild an arrival process from its :meth:`~ArrivalProcess.to_dict` form."""
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise WorkloadError(f"arrival spec must be a dict with a 'kind' key, got {spec!r}")
+    kind = spec["kind"]
+    params = {k: v for k, v in spec.items() if k != "kind"}
+    makers = {
+        "poisson": lambda: PoissonArrivals(**params),
+        "bursty": lambda: BurstyArrivals(**params),
+        "trace": lambda: TraceArrivals(**params),
+    }
+    if kind not in makers:
+        raise WorkloadError(
+            f"unknown arrival kind {kind!r}; expected one of {sorted(makers)}"
+        )
+    try:
+        return makers[kind]()
+    except TypeError as exc:
+        raise WorkloadError(f"bad parameters for {kind!r} arrivals: {exc}") from None
 
 
 def _check_count(n: int) -> None:

@@ -5,24 +5,157 @@ the queue is full the offered vector is *shed* (dropped at admission,
 never executed) — the counters make overload visible to the SLO report
 and to backpressure-aware clients.
 
-Two orderings:
+Ordering is a :class:`QueuePolicy` object mapping each ticket to a heap
+key; three implementations ship:
 
-* ``"fifo"`` — arrival order,
-* ``"sjf"``  — shortest-vector-first (fewest tensor slots dispatches
+* :class:`Fifo` — arrival order,
+* :class:`Sjf`  — shortest-vector-first (fewest tensor slots dispatches
   first; FIFO among equals), a classic tail-latency lever when vector
-  sizes are heterogeneous.
+  sizes are heterogeneous,
+* :class:`WeightedFair` — weighted fair queueing across tenants: each
+  tenant's sub-stream is dispatched in proportion to its weight under
+  saturation (see the class docstring).
+
+Passing a policy *name* string still works for backwards compatibility
+but is deprecated; construct the policy object instead.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
+import warnings
+from abc import ABC, abstractmethod
 
 from repro.errors import ConfigurationError
 from repro.serve.timeline import Ticket
 
-#: Supported queue disciplines.
-QUEUE_POLICIES = ("fifo", "sjf")
+#: Names accepted where a policy is configured by string (CLI, JSON).
+QUEUE_POLICIES = ("fifo", "sjf", "weighted")
+
+
+class QueuePolicy(ABC):
+    """Dispatch-order policy: maps a ticket to a sortable heap key.
+
+    The :class:`AdmissionQueue` pops tickets in ascending key order.
+    ``seq`` is the queue's monotonically increasing offer counter —
+    include it (last) in the key so ties resolve in arrival order and
+    ordering stays fully deterministic.
+
+    Stateful policies (e.g. :class:`WeightedFair`'s per-tenant virtual
+    clocks) additionally override :meth:`observe_pop` and :meth:`reset`.
+    """
+
+    #: Name used in counters/reports and for string lookup.
+    name: str = "policy"
+
+    @abstractmethod
+    def key(self, ticket: Ticket, seq: int) -> tuple:
+        """Heap key for ``ticket`` offered as the ``seq``-th ticket."""
+
+    def observe_pop(self, key: tuple) -> None:
+        """Hook called with the key of each popped ticket (default no-op)."""
+
+    def reset(self) -> None:
+        """Clear any accumulated state (called when a queue is built)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Fifo(QueuePolicy):
+    """Dispatch in arrival order."""
+
+    name = "fifo"
+
+    def key(self, ticket: Ticket, seq: int) -> tuple:
+        return (seq,)
+
+
+class Sjf(QueuePolicy):
+    """Shortest-vector-first: fewest tensor slots dispatches first."""
+
+    name = "sjf"
+
+    def key(self, ticket: Ticket, seq: int) -> tuple:
+        return (ticket.vector.num_tensors, seq)
+
+
+class WeightedFair(QueuePolicy):
+    """Weighted fair queueing over per-tenant sub-streams.
+
+    Start-time fair queueing: each tenant keeps a virtual clock that
+    advances by ``num_tensors / weight`` per ticket it offers, floored
+    at the queue-wide virtual time (the largest finish tag dispatched
+    so far, so an idle tenant cannot bank credit and later monopolise
+    the queue).  Tickets dispatch in ascending finish-tag order, which
+    realises the same proportional shares as deficit round-robin over
+    per-tenant sub-queues — each tenant's clock *is* its sub-queue's
+    deficit counter — while fitting the single-heap queue.
+
+    Under saturation (every tenant backlogged) tenant ``i`` receives a
+    ``w_i / Σw`` share of dispatches; an idle tenant's share is
+    redistributed to the backlogged ones.
+
+    Parameters
+    ----------
+    weights:
+        Tenant name → positive weight.  Tickets from unknown tenants
+        (or untagged single-tenant traffic) use ``default_weight``.
+    """
+
+    name = "weighted"
+
+    def __init__(self, weights: dict[str, float] | None = None, default_weight: float = 1.0):
+        weights = dict(weights or {})
+        for tenant, w in weights.items():
+            if not math.isfinite(w) or w <= 0:
+                raise ConfigurationError(
+                    f"tenant {tenant!r} weight must be finite and > 0, got {w}"
+                )
+        if not math.isfinite(default_weight) or default_weight <= 0:
+            raise ConfigurationError(
+                f"default_weight must be finite and > 0, got {default_weight}"
+            )
+        self.weights = weights
+        self.default_weight = float(default_weight)
+        self._finish: dict[str | None, float] = {}
+        self._vtime = 0.0
+
+    def weight_of(self, tenant: str | None) -> float:
+        return self.weights.get(tenant, self.default_weight)
+
+    def key(self, ticket: Ticket, seq: int) -> tuple:
+        cost = ticket.vector.num_tensors / self.weight_of(ticket.tenant)
+        start = max(self._vtime, self._finish.get(ticket.tenant, 0.0))
+        finish = start + cost
+        self._finish[ticket.tenant] = finish
+        return (finish, seq)
+
+    def observe_pop(self, key: tuple) -> None:
+        self._vtime = max(self._vtime, key[0])
+
+    def reset(self) -> None:
+        self._finish.clear()
+        self._vtime = 0.0
+
+
+_POLICY_FACTORIES = {"fifo": Fifo, "sjf": Sjf, "weighted": WeightedFair}
+
+
+def make_policy(name: str, *, weights: dict[str, float] | None = None) -> QueuePolicy:
+    """Build a :class:`QueuePolicy` from its registry name.
+
+    ``weights`` only applies to ``"weighted"`` (ignored otherwise).
+    """
+    if name not in _POLICY_FACTORIES:
+        raise ConfigurationError(
+            f"unknown queue policy {name!r}; expected one of {QUEUE_POLICIES}"
+        )
+    if name == "weighted":
+        return WeightedFair(weights)
+    return _POLICY_FACTORIES[name]()
 
 
 class AdmissionQueue:
@@ -33,18 +166,31 @@ class AdmissionQueue:
     capacity:
         Maximum queued tickets; offers beyond it are shed.
     policy:
-        ``"fifo"`` or ``"sjf"`` (see module docstring).
+        A :class:`QueuePolicy` instance (default: :class:`Fifo`).  A
+        policy *name* string is still accepted (``DeprecationWarning``)
+        and resolved through :func:`make_policy`.
     """
 
-    def __init__(self, capacity: int = 64, policy: str = "fifo"):
+    def __init__(self, capacity: int = 64, policy: QueuePolicy | str | None = None):
         if capacity <= 0:
             raise ConfigurationError(f"queue capacity must be > 0, got {capacity}")
-        if policy not in QUEUE_POLICIES:
+        if policy is None:
+            policy = Fifo()
+        elif isinstance(policy, str):
+            warnings.warn(
+                "passing a policy name string to AdmissionQueue is deprecated; "
+                "pass a QueuePolicy instance (Fifo(), Sjf(), WeightedFair(...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            policy = make_policy(policy)
+        if not isinstance(policy, QueuePolicy):
             raise ConfigurationError(
-                f"unknown queue policy {policy!r}; expected one of {QUEUE_POLICIES}"
+                f"policy must be a QueuePolicy or a name in {QUEUE_POLICIES}, got {policy!r}"
             )
         self.capacity = capacity
         self.policy = policy
+        self.policy.reset()
         self._heap: list[tuple] = []
         self._seq = itertools.count()
         #: Tickets accepted into the queue.
@@ -61,18 +207,13 @@ class AdmissionQueue:
     def is_full(self) -> bool:
         return len(self._heap) >= self.capacity
 
-    def _key(self, ticket: Ticket, seq: int) -> tuple:
-        if self.policy == "sjf":
-            return (ticket.vector.num_tensors, seq)
-        return (seq,)
-
     def offer(self, ticket: Ticket) -> bool:
         """Try to enqueue; returns False (and counts a drop) when full."""
         if self.is_full:
             self.dropped += 1
             return False
         seq = next(self._seq)
-        heapq.heappush(self._heap, (*self._key(ticket, seq), ticket))
+        heapq.heappush(self._heap, (*self.policy.key(ticket, seq), ticket))
         self.admitted += 1
         self.peak_depth = max(self.peak_depth, len(self._heap))
         return True
@@ -81,13 +222,15 @@ class AdmissionQueue:
         """Remove and return the next ticket per policy; None when empty."""
         if not self._heap:
             return None
-        return heapq.heappop(self._heap)[-1]
+        entry = heapq.heappop(self._heap)
+        self.policy.observe_pop(entry[:-1])
+        return entry[-1]
 
     def counters(self) -> dict:
         """Snapshot of the admission counters for reports."""
         return {
             "capacity": self.capacity,
-            "policy": self.policy,
+            "policy": self.policy.name,
             "admitted": self.admitted,
             "dropped": self.dropped,
             "peak_depth": self.peak_depth,

@@ -8,14 +8,24 @@ dispatched one scheduling slot at a time, and execute on devices whose
 busy-until horizons are derived from the cost model — so device compute
 overlaps later arrivals exactly as on real hardware.
 
+:class:`MultiTenantServer` is the multi-tenant mode of the same loop:
+several :class:`~repro.serve.tenancy.TenantSpec` arrival streams are
+interleaved into one timeline, admission runs weighted-fair across the
+tenants, and the report carries per-tenant tails and SLO attainment
+alongside the global numbers.  An optional
+:class:`~repro.serve.autoscale.Autoscaler` grows and shrinks the alive
+device pool from queue-depth and windowed-p99 signals.
+
 Everything is simulated and seeded: a fixed seed reproduces the same
-arrival trace, the same scheduling decisions and the same latency
-percentiles, bit for bit.
+arrival trace, the same scheduling and scaling decisions and the same
+latency percentiles, bit for bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -23,17 +33,28 @@ from repro.core.config import MiccoConfig
 from repro.errors import ConfigurationError, FaultError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.recovery import FaultStats
 from repro.gpusim.cluster import ClusterState
 from repro.gpusim.device import mi100_like
 from repro.gpusim.engine import ExecutionEngine
 from repro.gpusim.metrics import ExecutionMetrics
 from repro.gpusim.trace import TraceRecorder
+from repro.reporting import dump_json
 from repro.schedulers.base import Scheduler
 from repro.schedulers.micco import MiccoScheduler
 from repro.serve.arrivals import ArrivalProcess, TraceArrivals
-from repro.serve.queueing import QUEUE_POLICIES, AdmissionQueue
+from repro.serve.autoscale import Autoscaler, AutoscalerConfig
+from repro.serve.queueing import (
+    QUEUE_POLICIES,
+    AdmissionQueue,
+    QueuePolicy,
+    WeightedFair,
+    make_policy,
+)
 from repro.serve.slo import LatencyReport
+from repro.serve.tenancy import TenantSpec, TenantStream, build_streams, tenant_sections
 from repro.serve.timeline import (
+    DeviceOnline,
     SchedulingDone,
     Ticket,
     Timeline,
@@ -46,14 +67,24 @@ from repro.workloads.characteristics import CharacteristicsTracker
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Knobs of the serving layer (cluster knobs live in MiccoConfig).
+    """Single source of truth for a serving run (cluster knobs aside).
+
+    Everything the serving layer needs nests here — queue and inflight
+    knobs, the tenant roster, the autoscaler policy and a fault plan —
+    and the whole object round-trips through JSON
+    (:meth:`to_json` / :meth:`from_json`), which is what
+    ``micco serve --config cfg.json`` loads.  Cluster and cost-model
+    knobs stay in :class:`~repro.core.config.MiccoConfig`.
 
     Parameters
     ----------
     queue_capacity:
         Bounded admission-queue depth; arrivals beyond it are shed.
     queue_policy:
-        ``"fifo"`` or ``"sjf"`` dispatch order.
+        A :class:`~repro.serve.queueing.QueuePolicy` instance or one of
+        ``"auto"``, ``"fifo"``, ``"sjf"``, ``"weighted"``.  ``"auto"``
+        resolves to FIFO for single-tenant runs and to weighted-fair
+        (weights from the tenant specs) when tenants are configured.
     max_inflight:
         Vectors dispatched but not yet complete.  1 models the paper's
         single sequential scheduling thread; higher values pipeline
@@ -68,20 +99,37 @@ class ServeConfig:
         (default).  With recovery off, affected vectors are shed with
         reason ``"fault-abandoned"`` instead — the baseline a chaos run
         compares against.
+    tenants:
+        Tenant roster; non-empty enables the multi-tenant serving mode
+        (:class:`MultiTenantServer`).
+    autoscaler:
+        Pool autoscaling policy; ``None`` keeps the pool fixed.
+    faults:
+        Fault plan injected during the run (an explicit ``faults=``
+        argument to :meth:`MiccoServer.run` takes precedence).
     """
 
     queue_capacity: int = 64
-    queue_policy: str = "fifo"
+    queue_policy: QueuePolicy | str = "auto"
     max_inflight: int = 1
     schedule_latency_per_pair_s: float = 2e-5
     recover_faults: bool = True
+    tenants: tuple[TenantSpec, ...] = ()
+    autoscaler: AutoscalerConfig | None = None
+    faults: FaultPlan | None = None
 
     def __post_init__(self):
         if self.queue_capacity <= 0:
             raise ConfigurationError(f"queue_capacity must be > 0, got {self.queue_capacity}")
-        if self.queue_policy not in QUEUE_POLICIES:
+        if isinstance(self.queue_policy, str):
+            if self.queue_policy not in QUEUE_POLICIES + ("auto",):
+                raise ConfigurationError(
+                    f"unknown queue policy {self.queue_policy!r}; expected a QueuePolicy "
+                    f"or one of {QUEUE_POLICIES + ('auto',)}"
+                )
+        elif not isinstance(self.queue_policy, QueuePolicy):
             raise ConfigurationError(
-                f"unknown queue policy {self.queue_policy!r}; expected one of {QUEUE_POLICIES}"
+                f"queue_policy must be a QueuePolicy or a name, got {self.queue_policy!r}"
             )
         if self.max_inflight < 1:
             raise ConfigurationError(f"max_inflight must be >= 1, got {self.max_inflight}")
@@ -89,10 +137,67 @@ class ServeConfig:
             raise ConfigurationError(
                 f"schedule_latency_per_pair_s must be >= 0, got {self.schedule_latency_per_pair_s}"
             )
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        for t in self.tenants:
+            if not isinstance(t, TenantSpec):
+                raise ConfigurationError(f"tenants entries must be TenantSpec, got {t!r}")
+        names = [t.name for t in self.tenants]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"tenant names must be unique, got {names}")
 
     def with_(self, **kwargs) -> "ServeConfig":
         """Copy with overrides (sweep convenience)."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------ persistence
+    def to_dict(self) -> dict:
+        policy = self.queue_policy
+        return {
+            "queue_capacity": self.queue_capacity,
+            "queue_policy": policy if isinstance(policy, str) else policy.name,
+            "max_inflight": self.max_inflight,
+            "schedule_latency_per_pair_s": self.schedule_latency_per_pair_s,
+            "recover_faults": self.recover_faults,
+            "tenants": [t.to_dict() for t in self.tenants],
+            "autoscaler": self.autoscaler.to_dict() if self.autoscaler else None,
+            "faults": self.faults.to_dicts() if self.faults else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ServeConfig":
+        if not isinstance(d, dict):
+            raise ConfigurationError(f"serve config must be a JSON object, got {d!r}")
+        known = {
+            "queue_capacity", "queue_policy", "max_inflight",
+            "schedule_latency_per_pair_s", "recover_faults",
+            "tenants", "autoscaler", "faults", "version",
+        }
+        unknown = set(d) - known
+        if unknown:
+            raise ConfigurationError(f"unknown serve config keys: {sorted(unknown)}")
+        kwargs = {
+            k: d[k]
+            for k in (
+                "queue_capacity", "queue_policy", "max_inflight",
+                "schedule_latency_per_pair_s", "recover_faults",
+            )
+            if k in d
+        }
+        if d.get("tenants"):
+            kwargs["tenants"] = tuple(TenantSpec.from_dict(t) for t in d["tenants"])
+        if d.get("autoscaler"):
+            kwargs["autoscaler"] = AutoscalerConfig.from_dict(d["autoscaler"])
+        if d.get("faults"):
+            kwargs["faults"] = FaultPlan.from_dicts(d["faults"])
+        return cls(**kwargs)
+
+    def to_json(self, path: str | Path) -> None:
+        """Write the full config; :meth:`from_json` round-trips it."""
+        dump_json(path, {"version": 1, **self.to_dict()})
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ServeConfig":
+        return cls.from_dict(json.loads(Path(path).read_text()))
 
 
 @dataclass
@@ -103,12 +208,17 @@ class ServeResult:
     metrics: ExecutionMetrics
     #: Admission-queue counter snapshot (admitted/dropped/peak depth).
     queue: dict = field(default_factory=dict)
-    #: Absolute arrival timestamps actually offered.
+    #: Absolute arrival timestamps actually offered (chronological).
     arrival_s: list[float] = field(default_factory=list)
     #: Fault section (``FaultStats.summary``); ``None`` without a plan.
     faults: dict | None = None
     #: Replayable fault/retry/recovery event log (empty without a plan).
     fault_events: list[dict] = field(default_factory=list)
+    #: Per-tenant sections (summary + SLO attainment); ``None`` for
+    #: single-tenant runs.
+    tenants: dict | None = None
+    #: Autoscaler section (actions, scale counts); ``None`` without one.
+    autoscale: dict | None = None
 
     @property
     def p99(self) -> float:
@@ -117,6 +227,10 @@ class ServeResult:
     @property
     def dropped(self) -> int:
         return len(self.report.dropped)
+
+    def tenant_report(self, name: str) -> LatencyReport:
+        """Per-tenant latency-report view (see :meth:`LatencyReport.for_tenant`)."""
+        return self.report.for_tenant(name)
 
     def summary(self) -> dict:
         """Headline SLO numbers plus engine counters."""
@@ -127,12 +241,34 @@ class ServeResult:
         out["transfers"] = self.metrics.counts.input_fetches
         if self.faults is not None:
             out["faults"] = self.faults
+        if self.tenants is not None:
+            out["tenants"] = self.tenants
+        if self.autoscale is not None:
+            out["autoscale"] = self.autoscale
         return out
 
-    def to_trace(self) -> TraceRecorder:
-        """Chrome-trace view: vector lifecycle lanes plus fault events.
+    def to_json(self, path: str | Path, *, extra: dict | None = None) -> None:
+        """Write the full result: summary, per-vector records, sections."""
+        payload = {
+            "summary": self.summary(),
+            "completed": [asdict(r) for r in self.report.completed],
+            "dropped": [asdict(r) for r in self.report.dropped],
+        }
+        if self.faults is not None:
+            payload["faults"] = self.faults
+            payload["fault_events"] = self.fault_events
+        if self.tenants is not None:
+            payload["tenants"] = self.tenants
+        if self.autoscale is not None:
+            payload["autoscale"] = self.autoscale
+        if extra:
+            payload.update(extra)
+        dump_json(path, payload)
 
-        Fault/retry/recovery events render on lane ``-(device + 1)`` so
+    def to_trace(self) -> TraceRecorder:
+        """Chrome-trace view: vector lifecycle lanes plus pool events.
+
+        Fault and autoscale events render on lane ``-(device + 1)`` so
         they never collide with the per-vector lanes (vector ids are
         non-negative).
         """
@@ -144,6 +280,14 @@ class ServeResult:
                 ev["time_s"],
                 ev["duration_s"],
                 label=ev["label"],
+            )
+        for act in (self.autoscale or {}).get("actions", ()):
+            trace.record_at(
+                f"scale-{act['action']}",
+                -(act["device"] + 1),
+                act["time_s"],
+                0.0,
+                label=act["reason"] or act["action"],
             )
         return trace
 
@@ -158,7 +302,8 @@ class MiccoServer:
     config:
         Cluster + cost-model configuration shared with the batch path.
     serve:
-        Serving-layer knobs (queue, inflight window, dispatch latency).
+        Serving-layer configuration (queue, inflight window, dispatch
+        latency, tenants, autoscaler, fault plan).
     predictor:
         Optional reuse-bound predictor; consulted per vector when the
         scheduler exposes ``set_bounds`` (MICCO-optimal serving).
@@ -208,8 +353,9 @@ class MiccoServer:
         reset:
             Start from an empty cluster and idle devices (default).
         faults:
-            Optional :class:`~repro.faults.plan.FaultPlan`.  Due faults
-            are applied as the event loop advances: transient/transfer
+            Optional :class:`~repro.faults.plan.FaultPlan`, taking
+            precedence over :attr:`ServeConfig.faults`.  Due faults are
+            applied as the event loop advances: transient/transfer
             faults and stragglers are handled inside the engine
             (retry + backoff, host re-fetch, stretched kernels); device
             losses shrink the pool — orphaned in-flight pairs are
@@ -226,15 +372,28 @@ class MiccoServer:
         else:
             # Explicit timestamps: validate through the trace process.
             times = TraceArrivals(list(arrivals)).arrival_times(len(vectors))
+        stream = TenantStream(spec=None, vectors=list(vectors), times=times)
+        return self._serve([stream], faults=faults, reset=reset)
 
+    # ------------------------------------------------------------- event loop
+    def _serve(
+        self,
+        streams: list[TenantStream],
+        *,
+        faults: FaultPlan | None,
+        reset: bool = True,
+    ) -> ServeResult:
+        """Run the discrete-event loop over one or more arrival streams."""
         if reset:
             self.cluster.reset()
             if hasattr(self.scheduler, "reset_stats"):
                 self.scheduler.reset_stats()
 
         cfg = self.serve_config
+        if faults is None:
+            faults = cfg.faults
         timeline = Timeline()
-        queue = AdmissionQueue(cfg.queue_capacity, cfg.queue_policy)
+        queue = AdmissionQueue(cfg.queue_capacity, self._resolve_policy(streams))
         report = LatencyReport()
         tracker = CharacteristicsTracker()
         total = ExecutionMetrics(num_devices=self.cluster.num_devices)
@@ -242,12 +401,19 @@ class MiccoServer:
         inflight = 0
         wants_bounds = self.predictor is not None and hasattr(self.scheduler, "set_bounds")
         injector = FaultInjector(faults) if faults is not None else None
+        scaler = Autoscaler(cfg.autoscaler) if cfg.autoscaler is not None else None
+        #: Devices scheduled to come online, warm-up still pending.
+        pending_online: set[int] = set()
         # Tickets dispatched and executed, completion event still ahead
-        # (the set device loss can orphan work out of).
+        # (the set device loss or scale-down can orphan work out of).
         pending: dict[int, Ticket] = {}
 
-        for t, v in zip(times, vectors):
-            timeline.push(VectorArrival(t, Ticket(vector=v, arrival_s=t)))
+        if scaler is not None:
+            self._shrink_to_initial(scaler)
+        for stream in streams:
+            tenant = stream.spec.name if stream.spec is not None else None
+            for t, v in zip(stream.times, stream.vectors):
+                timeline.push(VectorArrival(t, Ticket(vector=v, arrival_s=t, tenant=tenant)))
 
         def dispatch(ticket: Ticket, now: float) -> None:
             nonlocal inflight
@@ -282,6 +448,11 @@ class MiccoServer:
                         self._apply_device_loss(
                             loss, now, injector, pending, busy_until, timeline, total, abandon
                         )
+                if scaler is not None:
+                    self._autoscale_step(
+                        scaler, now, queue, timeline, pending, pending_online,
+                        busy_until, total, injector, abandon,
+                    )
                 ticket = event.ticket
 
                 if isinstance(event, VectorArrival):
@@ -322,29 +493,173 @@ class MiccoServer:
                     if event.epoch != ticket.epoch:
                         continue  # superseded by recovery (or abandoned)
                     ticket.complete_s = now
-                    report.add_completion(ticket)
+                    rec = report.add_completion(ticket)
+                    if scaler is not None:
+                        scaler.observe_completion(now, rec.latency_s)
                     pending.pop(id(ticket), None)
                     inflight -= 1
                     refill(now)
+
+                elif isinstance(event, DeviceOnline):
+                    self._bring_online(event.device, now, scaler, pending_online, busy_until)
         finally:
             self.engine.injector = None
 
         fault_summary = None
         fault_events: list[dict] = []
         if injector is not None:
-            fault_summary = injector.stats.summary(
-                report.makespan_s, self.cluster.num_devices
-            )
+            injector.stats.finalize(report.makespan_s, self.cluster.num_devices)
+            fault_summary = injector.stats.summary()
             fault_events = list(injector.stats.events)
+        specs = [s.spec for s in streams if s.spec is not None]
         return ServeResult(
             report=report,
             metrics=total,
             queue=queue.counters(),
-            arrival_s=times,
+            arrival_s=sorted(t for s in streams for t in s.times),
             faults=fault_summary,
             fault_events=fault_events,
+            tenants=tenant_sections(report, specs) if specs else None,
+            autoscale=scaler.summary() if scaler is not None else None,
         )
 
+    def _resolve_policy(self, streams: list[TenantStream]) -> QueuePolicy:
+        """Build the dispatch policy for this run's streams.
+
+        ``"auto"`` picks weighted-fair when tenants are configured
+        (their weights seed the policy) and FIFO otherwise; explicit
+        names and :class:`QueuePolicy` instances are honoured as-is.
+        """
+        policy = self.serve_config.queue_policy
+        if isinstance(policy, QueuePolicy):
+            return policy
+        weights = {s.spec.name: s.spec.weight for s in streams if s.spec is not None}
+        if policy == "auto":
+            policy = "weighted" if weights else "fifo"
+        if policy == "weighted":
+            return WeightedFair(weights)
+        return make_policy(policy)
+
+    # ------------------------------------------------------------ autoscaling
+    def _shrink_to_initial(self, scaler: Autoscaler) -> None:
+        """Retire devices down to the autoscaler's initial pool size."""
+        c = scaler.config
+        target = max(
+            c.min_devices,
+            min(
+                c.initial_devices if c.initial_devices is not None else c.min_devices,
+                c.max_devices,
+                self.cluster.num_alive,
+            ),
+        )
+        while self.cluster.num_alive > target:
+            before = self.cluster.num_alive
+            self.cluster.retire_device(self.cluster.alive_ids()[-1])
+            self._rescale_bounds(before, self.cluster.num_alive)
+
+    def _autoscale_step(
+        self,
+        scaler: Autoscaler,
+        now: float,
+        queue: AdmissionQueue,
+        timeline: Timeline,
+        pending: dict[int, Ticket],
+        pending_online: set[int],
+        busy_until,
+        total: ExecutionMetrics,
+        injector: FaultInjector | None,
+        abandon,
+    ) -> None:
+        """Evaluate the autoscaler and apply its decision, if any."""
+        c = scaler.config
+        max_devices = min(c.max_devices, self.cluster.num_devices)
+        decision = scaler.decide(
+            now,
+            queue_depth=len(queue),
+            num_alive=self.cluster.num_alive + len(pending_online),
+        )
+        if decision == "up":
+            candidates = [d for d in self.cluster.offline_ids() if d not in pending_online]
+            if not candidates or self.cluster.num_alive + len(pending_online) >= max_devices:
+                return
+            dev = candidates[0]
+            pending_online.add(dev)
+            timeline.push(DeviceOnline(now + c.warmup_s, device=dev))
+            scaler.log(
+                now, "up", dev, self.cluster.num_alive,
+                reason=f"queue depth {len(queue)}, warm-up {c.warmup_s:g}s",
+            )
+        elif decision == "down":
+            # Never shrink below the floor or while a warm-up is pending
+            # (mixed signals: the queue says grow, the window says shrink).
+            if pending_online or self.cluster.num_alive <= c.min_devices:
+                return
+            dev = self.cluster.alive_ids()[-1]
+            before = self.cluster.num_alive
+            self.cluster.retire_device(dev)
+            self._rescale_bounds(before, self.cluster.num_alive)
+            # Drain: in-flight pairs on the retiring device finish on the
+            # survivors through the orphan-rescheduling path.
+            moved = 0
+            for ticket in [t for t in pending.values() if dev in set(t.assignment)]:
+                try:
+                    complete = self._reschedule_orphans(
+                        ticket, dev, now, busy_until, total,
+                        stats=injector.stats if injector is not None else None,
+                    )
+                except FaultError:
+                    abandon(ticket, now)
+                    continue
+                ticket.epoch += 1
+                timeline.push(VectorCompletion(complete, ticket, epoch=ticket.epoch))
+                moved += 1
+            scaler.log(
+                now, "down", dev, self.cluster.num_alive,
+                reason=f"drained {moved} in-flight vectors",
+            )
+
+    def _bring_online(
+        self,
+        device: int,
+        now: float,
+        scaler: Autoscaler | None,
+        pending_online: set[int],
+        busy_until,
+    ) -> None:
+        """A warm-up completed: the device joins the pool, cold."""
+        pending_online.discard(device)
+        if self.cluster.is_failed(device) or self.cluster.is_alive(device):
+            return  # lost while warming up, or a stale event
+        before = self.cluster.num_alive
+        self.cluster.activate_device(device)
+        busy_until[device] = now
+        self._rescale_bounds(before, self.cluster.num_alive)
+        if scaler is not None:
+            scaler.log(
+                now, "online", device, self.cluster.num_alive,
+                reason="warm-up complete", starts_cooldown=False,
+            )
+
+    def _rescale_bounds(self, alive_before: int, alive_after: int) -> None:
+        """Re-apply the reuse bounds after a pool-size change.
+
+        Skipped when a predictor re-derives bounds per vector anyway,
+        when the scheduler has no bounds to scale, or when the pool was
+        empty (no meaningful previous share to scale from).
+        """
+        if (
+            alive_before != alive_after
+            and alive_before > 0
+            and alive_after > 0
+            and self.predictor is None
+            and hasattr(self.scheduler, "bounds")
+            and hasattr(self.scheduler, "set_bounds")
+        ):
+            self.scheduler.set_bounds(
+                self.scheduler.bounds.rescaled(alive_before, alive_after)
+            )
+
+    # ------------------------------------------------------- fault recovery
     def _apply_device_loss(
         self,
         fault: FaultEvent,
@@ -364,10 +679,13 @@ class MiccoServer:
         has those pairs re-executed on survivors (recovery on) or is
         shed as ``fault-abandoned`` (recovery off).
         """
-        if not self.cluster.is_alive(fault.device):
+        if self.cluster.is_failed(fault.device):
             return  # already dead (duplicate plan entry)
         alive_before = self.cluster.num_alive
+        was_alive = self.cluster.is_alive(fault.device)
         orphans = self.cluster.fail_device(fault.device)
+        if not was_alive:
+            return  # offline (retired) device died: nothing to recover
         injector.note_device_lost(fault.device, fault.time_s, len(orphans))
         injector.stats.record_event(
             "fault", fault.device, fault.time_s, 0.0, label="device lost"
@@ -379,16 +697,8 @@ class MiccoServer:
                 abandon(ticket, now)
             return
 
-        # Recompute the reuse bounds for the survivors (unless a
-        # predictor re-derives them per vector anyway).
-        if (
-            self.predictor is None
-            and hasattr(self.scheduler, "bounds")
-            and hasattr(self.scheduler, "set_bounds")
-        ):
-            self.scheduler.set_bounds(
-                self.scheduler.bounds.scaled(alive_before / self.cluster.num_alive)
-            )
+        # Recompute the reuse bounds for the survivors.
+        self._rescale_bounds(alive_before, self.cluster.num_alive)
 
         affected = [
             t for t in pending.values() if fault.device in set(t.assignment)
@@ -403,7 +713,7 @@ class MiccoServer:
         for ticket in affected:
             try:
                 complete = self._reschedule_orphans(
-                    ticket, fault.device, now, busy_until, total, injector
+                    ticket, fault.device, now, busy_until, total, stats=injector.stats
                 )
             except FaultError:
                 abandon(ticket, now)
@@ -427,12 +737,14 @@ class MiccoServer:
         now: float,
         busy_until,
         total: ExecutionMetrics,
-        injector: FaultInjector,
+        stats: FaultStats | None = None,
     ) -> float:
         """Re-execute a ticket's dead-device pairs on the survivors.
 
-        Returns the vector's new completion timestamp.  The surviving
-        devices' original shares are already in ``busy_until``; only the
+        Shared by device-*loss* recovery and autoscale scale-*down*
+        draining (``stats`` is only threaded for the former).  Returns
+        the vector's new completion timestamp.  The surviving devices'
+        original shares are already in ``busy_until``; only the
         re-executed pairs' busy time is appended.
         """
         orphan_idx = [i for i, dev in enumerate(ticket.assignment) if dev == dead]
@@ -447,7 +759,8 @@ class MiccoServer:
             dev = self.scheduler.choose(pair, self.cluster)
             self.engine.execute_pair(pair, dev, vec_metrics)
             ticket.assignment[i] = dev
-            injector.stats.rescheduled_pairs += 1
+            if stats is not None:
+                stats.rescheduled_pairs += 1
         total.merge(vec_metrics)
         delta = vec_metrics.compute_s + vec_metrics.memop_s
         for dev in sorted({ticket.assignment[i] for i in orphan_idx}):
@@ -478,3 +791,48 @@ class MiccoServer:
         if not self.config.keep_outputs:
             self.engine.drain_outputs(vector, assignment, vec_metrics)
         return vec_metrics, assignment
+
+
+class MultiTenantServer(MiccoServer):
+    """Multi-tenant mode of :class:`MiccoServer`.
+
+    The tenant roster lives in :attr:`ServeConfig.tenants`; each run
+    materialises every tenant's vectors and arrival times from the run
+    seed (independent per-tenant generators), interleaves them into one
+    simulated timeline, and admits via weighted fair queueing across
+    the tenants (unless :attr:`ServeConfig.queue_policy` overrides it —
+    handy for fairness baselines).  The result carries per-tenant
+    p50/p95/p99, throughput, drop rate and SLO attainment alongside the
+    global report.
+
+    Example
+    -------
+    >>> cfg = ServeConfig(tenants=(heavy, light), autoscaler=AutoscalerConfig())
+    >>> result = MultiTenantServer(MiccoScheduler(), serve=cfg).run(seed=0)
+    >>> result.summary()["tenants"]["heavy"]["slo"]["attained"]
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        config: MiccoConfig | None = None,
+        serve: ServeConfig | None = None,
+        predictor=None,
+    ):
+        super().__init__(scheduler, config, serve, predictor)
+        if not self.serve_config.tenants:
+            raise ConfigurationError(
+                "MultiTenantServer needs ServeConfig.tenants; "
+                "use MiccoServer for single-stream serving"
+            )
+
+    def run(self, *, seed=0, reset: bool = True, faults: FaultPlan | None = None) -> ServeResult:
+        """Serve every tenant's stream on the shared cluster.
+
+        ``seed`` drives the per-tenant workload and arrival draws (and
+        makes the whole run — scheduling, scaling, percentiles —
+        replayable).  ``faults`` takes precedence over
+        :attr:`ServeConfig.faults`.
+        """
+        streams = build_streams(self.serve_config.tenants, seed)
+        return self._serve(streams, faults=faults, reset=reset)

@@ -11,7 +11,6 @@ lane showing its wait → schedule → execute spans.
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
 
@@ -19,6 +18,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.gpusim.trace import TraceRecorder
+from repro.reporting import dump_json
 from repro.serve.timeline import Ticket
 
 
@@ -33,6 +33,8 @@ class VectorLatency:
     complete_s: float
     pairs: int
     devices: tuple[int, ...] = ()
+    #: Owning tenant name (``None`` for single-tenant runs).
+    tenant: str | None = None
 
     @property
     def queue_wait_s(self) -> float:
@@ -65,6 +67,7 @@ class DroppedVector:
     arrival_s: float
     pairs: int
     reason: str = "queue-full"
+    tenant: str | None = None
 
 
 class LatencyReport:
@@ -84,6 +87,7 @@ class LatencyReport:
             complete_s=ticket.complete_s,
             pairs=len(ticket.vector.pairs),
             devices=tuple(ticket.devices),
+            tenant=ticket.tenant,
         )
         self.completed.append(rec)
         return rec
@@ -94,9 +98,27 @@ class LatencyReport:
             arrival_s=ticket.arrival_s,
             pairs=len(ticket.vector.pairs),
             reason=reason,
+            tenant=ticket.tenant,
         )
         self.dropped.append(rec)
         return rec
+
+    # ---------------------------------------------------------- tenant views
+    def tenant_names(self) -> list[str]:
+        """Distinct tenant names seen in the records, sorted."""
+        names = {r.tenant for r in self.completed} | {r.tenant for r in self.dropped}
+        return sorted(n for n in names if n is not None)
+
+    def for_tenant(self, tenant: str | None) -> "LatencyReport":
+        """Sub-report holding only ``tenant``'s records.
+
+        The returned report shares record objects with the parent (it
+        is a filtered view, cheap to build per tenant).
+        """
+        sub = LatencyReport()
+        sub.completed = [r for r in self.completed if r.tenant == tenant]
+        sub.dropped = [r for r in self.dropped if r.tenant == tenant]
+        return sub
 
     def drops_by_reason(self) -> dict[str, int]:
         """Shed counts keyed by reason, keys sorted for stable JSON."""
@@ -204,7 +226,7 @@ class LatencyReport:
         }
         if extra:
             payload.update(extra)
-        Path(path).write_text(json.dumps(payload, indent=2))
+        dump_json(path, payload)
 
     def to_trace(self) -> TraceRecorder:
         """Chrome-trace view: one lane per vector, wait→schedule→execute."""

@@ -7,7 +7,9 @@ simulated wall-clock time.  Three event kinds drive a serving run
 * :class:`VectorArrival` — a vector enters the system,
 * :class:`SchedulingDone` — the dispatcher finished assigning the
   vector's pairs to devices,
-* :class:`VectorCompletion` — the last device finished the vector.
+* :class:`VectorCompletion` — the last device finished the vector,
+* :class:`DeviceOnline` — a scaled-up device finished warming up and
+  joins the schedulable pool (no ticket attached).
 
 Ties at the same timestamp resolve in push order (a monotonic sequence
 number), so event processing is fully deterministic.
@@ -34,6 +36,8 @@ class Ticket:
 
     vector: VectorSpec
     arrival_s: float
+    #: Owning tenant name (``None`` for single-tenant runs).
+    tenant: str | None = None
     dispatch_s: float | None = None
     sched_done_s: float | None = None
     complete_s: float | None = None
@@ -48,10 +52,14 @@ class Ticket:
 
 @dataclass(frozen=True)
 class Event:
-    """Base timeline event: something happens at ``time_s``."""
+    """Base timeline event: something happens at ``time_s``.
+
+    ``ticket`` is the vector lifecycle record the event belongs to;
+    pool-management events (:class:`DeviceOnline`) carry none.
+    """
 
     time_s: float
-    ticket: Ticket
+    ticket: Ticket | None = None
 
     def __post_init__(self):
         if self.time_s < 0:
@@ -78,6 +86,23 @@ class VectorCompletion(Event):
     """
 
     epoch: int = 0
+
+
+@dataclass(frozen=True)
+class DeviceOnline(Event):
+    """A scaling-up device finished its warm-up and becomes schedulable.
+
+    Pushed by the autoscaler at decision time plus the configured
+    warm-up delay; the device joins with a cold memory pool (no
+    resident tensors).
+    """
+
+    device: int = -1
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.device < 0:
+            raise ConfigurationError(f"device must be >= 0, got {self.device}")
 
 
 class Timeline:

@@ -197,3 +197,98 @@ class TestChaos:
     def test_list_mentions_chaos(self, capsys):
         assert main(["list"]) == 0
         assert "chaos" in capsys.readouterr().out
+
+
+class TestServeConfigFile:
+    def make_config(self, tmp_path, **overrides):
+        from repro.serve import AutoscalerConfig, PoissonArrivals, ServeConfig, TenantSpec
+        from repro.workloads import WorkloadParams
+
+        cfg = ServeConfig(
+            tenants=(
+                TenantSpec(
+                    "heavy",
+                    PoissonArrivals(200.0),
+                    WorkloadParams(num_vectors=5, vector_size=8, tensor_size=64, batch=2),
+                    weight=3.0,
+                ),
+                TenantSpec(
+                    "light",
+                    PoissonArrivals(200.0),
+                    WorkloadParams(num_vectors=5, vector_size=8, tensor_size=64, batch=2),
+                ),
+            ),
+            autoscaler=AutoscalerConfig(max_devices=4),
+            **overrides,
+        )
+        path = tmp_path / "serve.json"
+        cfg.to_json(path)
+        return path
+
+    def test_config_end_to_end_multi_tenant(self, capsys, tmp_path):
+        import json
+
+        cfg = self.make_config(tmp_path)
+        report = tmp_path / "report.json"
+        rc = main(["serve", "--config", str(cfg), "--num-devices", "4", "--json", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tenant" in out and "heavy" in out and "autoscale" in out
+        payload = json.loads(report.read_text())
+        assert set(payload["tenants"]) == {"heavy", "light"}
+        assert payload["summary"]["queue"]["policy"] == "weighted"
+        assert "autoscale" in payload
+        assert payload["config"]["serve"]["tenants"]
+
+    def test_config_runs_are_byte_identical(self, capsys, tmp_path):
+        cfg = self.make_config(tmp_path)
+
+        def run(tag):
+            report = tmp_path / f"{tag}.json"
+            assert main(["serve", "--config", str(cfg), "--json", str(report)]) == 0
+            return report.read_text()
+
+        assert run("a") == run("b")
+
+    def test_flags_override_config(self, capsys, tmp_path):
+        import json
+
+        cfg = self.make_config(tmp_path, queue_capacity=7)
+        report = tmp_path / "report.json"
+        rc = main([
+            "serve", "--config", str(cfg), "--queue-capacity", "3",
+            "--queue-policy", "fifo", "--json", str(report),
+        ])
+        assert rc == 0
+        payload = json.loads(report.read_text())
+        assert payload["summary"]["queue"]["capacity"] == 3
+        assert payload["summary"]["queue"]["policy"] == "fifo"
+
+    def test_missing_config_errors(self, capsys, tmp_path):
+        rc = main(["serve", "--config", str(tmp_path / "absent.json"), "--json", str(tmp_path / "r.json")])
+        assert rc == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_bad_config_reports_cleanly(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"queue_capcity": 3}')
+        rc = main(["serve", "--config", str(bad), "--json", str(tmp_path / "r.json")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_json_reports_cleanly(self, capsys, tmp_path):
+        corrupt = tmp_path / "corrupt.json"
+        corrupt.write_text("not json at all")
+        for flag in ("--config", "--arrivals", "--faults"):
+            rc = main(["serve", flag, str(corrupt), "--json", str(tmp_path / "r.json")])
+            assert rc == 2
+            assert "malformed JSON" in capsys.readouterr().err
+
+    def test_example_tenants_config_parses(self):
+        from pathlib import Path
+
+        from repro.serve import ServeConfig
+
+        example = Path(__file__).resolve().parent.parent / "examples" / "tenants.json"
+        cfg = ServeConfig.from_json(example)
+        assert len(cfg.tenants) == 2 and cfg.autoscaler is not None

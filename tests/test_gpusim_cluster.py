@@ -185,3 +185,65 @@ class TestDevicePoolShrink:
         other.reset()
         assert not cl.is_alive(0) or cl.num_alive == 2  # clone is independent
         assert cl.num_alive == 1
+
+
+class TestElasticPool:
+    def test_retire_then_activate_round_trip(self):
+        cl = make_cluster(num_devices=4)
+        t = make_tensor()
+        cl.register(t, 3)
+        orphans = cl.retire_device(3)
+        assert orphans == [t.uid]
+        assert cl.alive_ids() == [0, 1, 2]
+        assert cl.offline_ids() == [3]
+        assert not cl.is_failed(3)
+        cl.activate_device(3)
+        assert cl.alive_ids() == [0, 1, 2, 3]
+        assert cl.resident_count(3) == 0  # comes back cold
+        cl.check_invariants()
+
+    def test_retire_offline_device_is_noop(self):
+        cl = make_cluster()
+        cl.retire_device(0)
+        assert cl.retire_device(0) == []
+
+    def test_activate_alive_device_is_noop(self):
+        cl = make_cluster()
+        t = make_tensor()
+        cl.register(t, 0)
+        cl.activate_device(0)
+        assert cl.resident_count(0) == 1  # no accidental pool clear
+
+    def test_activate_failed_device_raises(self):
+        cl = make_cluster()
+        cl.fail_device(0)
+        assert cl.offline_ids() == []  # failed, not retirable stock
+        with pytest.raises(SchedulingError):
+            cl.activate_device(0)
+
+    def test_retired_device_that_fails_stays_dead(self):
+        cl = make_cluster(num_devices=3)
+        cl.retire_device(2)
+        cl.fail_device(2)
+        assert cl.is_failed(2)
+        with pytest.raises(SchedulingError):
+            cl.activate_device(2)
+
+    def test_activate_out_of_range(self):
+        with pytest.raises(SchedulingError):
+            make_cluster().activate_device(7)
+
+    def test_reset_clears_failures(self):
+        cl = make_cluster()
+        cl.fail_device(0)
+        cl.reset()
+        assert not cl.is_failed(0)
+        cl.activate_device(0)  # allowed again after reset
+
+    def test_clone_copies_failed_set(self):
+        cl = make_cluster(num_devices=3)
+        cl.fail_device(1)
+        cl.retire_device(2)
+        other = cl.clone()
+        assert other.is_failed(1)
+        assert other.offline_ids() == [2]

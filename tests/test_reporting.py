@@ -1,0 +1,62 @@
+"""Tests for the common Report protocol and its implementations."""
+
+import json
+
+from repro.faults.recovery import FaultStats
+from repro.reporting import Report, dump_json
+from repro.serve import MiccoServer, PoissonArrivals
+from repro.serve.slo import LatencyReport
+from repro.workloads import SyntheticWorkload, WorkloadParams
+
+
+def serve_result():
+    params = WorkloadParams(num_vectors=4, vector_size=8, tensor_size=64, batch=2)
+    vectors = SyntheticWorkload(params, seed=0).vectors()
+    return MiccoServer().run(vectors, PoissonArrivals(100.0), seed=0)
+
+
+class TestProtocol:
+    def test_serve_result_is_a_report(self):
+        assert isinstance(serve_result(), Report)
+
+    def test_latency_report_is_a_report(self):
+        assert isinstance(LatencyReport(), Report)
+
+    def test_fault_stats_is_a_report(self):
+        assert isinstance(FaultStats(), Report)
+
+    def test_non_report_rejected(self):
+        assert not isinstance(object(), Report)
+
+
+class TestRoundTrips:
+    def test_serve_result_to_json(self, tmp_path):
+        result = serve_result()
+        path = tmp_path / "result.json"
+        result.to_json(path, extra={"note": "hi"})
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["completed"] == 4
+        assert len(payload["completed"]) == 4
+        assert payload["note"] == "hi"
+
+    def test_fault_stats_finalize_binds_context(self, tmp_path):
+        stats = FaultStats()
+        stats.record_recovery("device_lost", 0.5)
+        stats.finalize(makespan_s=2.0, num_devices=4)
+        summary = stats.summary()  # no args needed after finalize
+        assert summary["availability_pct"] <= 100.0
+        path = tmp_path / "faults.json"
+        stats.to_json(path)
+        payload = json.loads(path.read_text())
+        assert "summary" in payload and "events" in payload
+
+    def test_dump_json_writes_indented(self, tmp_path):
+        path = tmp_path / "x.json"
+        dump_json(path, {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+        assert "\n" in path.read_text()
+
+    def test_summaries_are_json_serializable(self):
+        result = serve_result()
+        json.dumps(result.summary())
+        json.dumps(result.report.summary())

@@ -1,15 +1,27 @@
-"""Unit tests for the bounded admission queue."""
+"""Unit tests for the bounded admission queue and its dispatch policies."""
 
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.serve.queueing import QUEUE_POLICIES, AdmissionQueue
+from repro.serve.queueing import (
+    QUEUE_POLICIES,
+    AdmissionQueue,
+    Fifo,
+    QueuePolicy,
+    Sjf,
+    WeightedFair,
+    make_policy,
+)
 from repro.serve.timeline import Ticket
 from tests.conftest import make_vector
 
 
-def ticket(n_pairs=2, vector_id=0, arrival_s=0.0):
-    return Ticket(vector=make_vector(n_pairs=n_pairs, vector_id=vector_id), arrival_s=arrival_s)
+def ticket(n_pairs=2, vector_id=0, arrival_s=0.0, tenant=None):
+    return Ticket(
+        vector=make_vector(n_pairs=n_pairs, vector_id=vector_id),
+        arrival_s=arrival_s,
+        tenant=tenant,
+    )
 
 
 class TestFifo:
@@ -42,7 +54,7 @@ class TestFifo:
         assert q.peak_depth == 3
 
     def test_counters_snapshot(self):
-        q = AdmissionQueue(capacity=1, policy="fifo")
+        q = AdmissionQueue(capacity=1, policy=Fifo())
         q.offer(ticket())
         q.offer(ticket())
         assert q.counters() == {
@@ -56,7 +68,7 @@ class TestFifo:
 
 class TestSjf:
     def test_shortest_vector_first(self):
-        q = AdmissionQueue(capacity=4, policy="sjf")
+        q = AdmissionQueue(capacity=4, policy=Sjf())
         big = ticket(n_pairs=8, vector_id=0)
         small = ticket(n_pairs=1, vector_id=1)
         mid = ticket(n_pairs=4, vector_id=2)
@@ -65,12 +77,113 @@ class TestSjf:
         assert [q.pop() for _ in range(3)] == [small, mid, big]
 
     def test_fifo_among_equals(self):
-        q = AdmissionQueue(capacity=4, policy="sjf")
+        q = AdmissionQueue(capacity=4, policy=Sjf())
         first = ticket(n_pairs=2, vector_id=0)
         second = ticket(n_pairs=2, vector_id=1)
         q.offer(first)
         q.offer(second)
         assert q.pop() is first
+
+
+class TestWeightedFair:
+    def drain_tenants(self, q, n):
+        return [q.pop().tenant for _ in range(n)]
+
+    def test_proportional_interleave(self):
+        # Tenant a (weight 3) and b (weight 1), equal-size vectors: under
+        # a full backlog a should get 3 of every 4 dispatches.
+        q = AdmissionQueue(capacity=32, policy=WeightedFair({"a": 3.0, "b": 1.0}))
+        for i in range(8):
+            q.offer(ticket(vector_id=i, tenant="a"))
+            q.offer(ticket(vector_id=100 + i, tenant="b"))
+        first8 = self.drain_tenants(q, 8)
+        assert first8.count("a") == 6
+        assert first8.count("b") == 2
+
+    def test_equal_weights_alternate(self):
+        q = AdmissionQueue(capacity=16, policy=WeightedFair({"a": 1.0, "b": 1.0}))
+        for i in range(4):
+            q.offer(ticket(vector_id=i, tenant="a"))
+            q.offer(ticket(vector_id=100 + i, tenant="b"))
+        order = self.drain_tenants(q, 8)
+        assert order.count("a") == 4 and order.count("b") == 4
+        # No tenant ever gets two-ahead of the other.
+        lead = 0
+        for t in order:
+            lead += 1 if t == "a" else -1
+            assert abs(lead) <= 1
+
+    def test_idle_tenant_cannot_bank_credit(self):
+        # b idles while a drains; when b shows up its virtual clock is
+        # floored at the queue's virtual time, so it gets its fair share
+        # from now on rather than a catch-up monopoly.
+        q = AdmissionQueue(capacity=32, policy=WeightedFair({"a": 1.0, "b": 1.0}))
+        for i in range(4):
+            q.offer(ticket(vector_id=i, tenant="a"))
+        for _ in range(4):
+            q.pop()
+        for i in range(2):
+            q.offer(ticket(vector_id=10 + i, tenant="a"))
+            q.offer(ticket(vector_id=20 + i, tenant="b"))
+        order = self.drain_tenants(q, 4)
+        assert order.count("b") == 2 and order.count("a") == 2
+        assert abs(order[:2].count("b") - 1) <= 1  # interleaved, not b,b,a,a
+
+    def test_unknown_tenant_uses_default_weight(self):
+        p = WeightedFair({"a": 4.0}, default_weight=2.0)
+        assert p.weight_of("a") == 4.0
+        assert p.weight_of("stranger") == 2.0
+        assert p.weight_of(None) == 2.0
+
+    def test_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            WeightedFair({"a": 0.0})
+        with pytest.raises(ConfigurationError):
+            WeightedFair({"a": float("inf")})
+        with pytest.raises(ConfigurationError):
+            WeightedFair(default_weight=-1.0)
+
+    def test_reset_clears_clocks(self):
+        p = WeightedFair({"a": 1.0})
+        p.key(ticket(tenant="a"), 0)
+        p.observe_pop((5.0,))
+        p.reset()
+        assert p._vtime == 0.0 and p._finish == {}
+
+
+class TestPolicyProtocol:
+    def test_registry_names(self):
+        assert QUEUE_POLICIES == ("fifo", "sjf", "weighted")
+
+    def test_make_policy(self):
+        assert isinstance(make_policy("fifo"), Fifo)
+        assert isinstance(make_policy("sjf"), Sjf)
+        wf = make_policy("weighted", weights={"a": 2.0})
+        assert isinstance(wf, WeightedFair) and wf.weights == {"a": 2.0}
+
+    def test_make_policy_unknown(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("lifo")
+
+    def test_string_policy_deprecated_but_works(self):
+        with pytest.deprecated_call():
+            q = AdmissionQueue(capacity=4, policy="sjf")
+        assert isinstance(q.policy, Sjf)
+        assert q.counters()["policy"] == "sjf"
+
+    def test_custom_policy_object(self):
+        class Lifo(QueuePolicy):
+            name = "lifo"
+
+            def key(self, t, seq):
+                return (-seq,)
+
+        q = AdmissionQueue(capacity=4, policy=Lifo())
+        a, b = ticket(vector_id=0), ticket(vector_id=1)
+        q.offer(a)
+        q.offer(b)
+        assert q.pop() is b
+        assert q.counters()["policy"] == "lifo"
 
 
 class TestValidation:
@@ -79,8 +192,10 @@ class TestValidation:
             AdmissionQueue(capacity=0)
 
     def test_bad_policy(self):
-        with pytest.raises(ConfigurationError):
-            AdmissionQueue(policy="lifo")
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError):
+                AdmissionQueue(policy="lifo")
 
-    def test_policy_registry(self):
-        assert QUEUE_POLICIES == ("fifo", "sjf")
+    def test_non_policy_object_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionQueue(policy=42)
