@@ -103,6 +103,33 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     system.add_argument("--max-inflight", type=int, default=None, help="vectors dispatched but not complete (default 1)")
     system.add_argument(
+        "--devices-per-node",
+        type=int,
+        default=None,
+        help=(
+            "group devices into nodes of this size (multi-node topology: "
+            "inter-node transfers are slower, and node_lost faults kill "
+            "whole nodes); default: single-node, no topology"
+        ),
+    )
+    system.add_argument(
+        "--warm-restore",
+        action="store_true",
+        help=(
+            "journal residency and replay it onto devices that come online "
+            "(pre-warm the hottest tensors instead of starting cold)"
+        ),
+    )
+    system.add_argument(
+        "--fault-aware",
+        action="store_true",
+        help=(
+            "fault-aware admission: shed vectors whose estimated completion "
+            "probability under the live fault rate is too low "
+            "(shed reason 'predicted-infeasible')"
+        ),
+    )
+    system.add_argument(
         "--faults",
         metavar="PLAN",
         help="JSON fault plan (FaultPlan.to_json) to inject during the run",
@@ -131,6 +158,15 @@ def build_chaos_parser() -> argparse.ArgumentParser:
     )
     faults = parser.add_argument_group("fault plan (ignored with --faults)")
     faults.add_argument("--kill", type=int, default=1, help="devices to lose permanently (default 1)")
+    faults.add_argument(
+        "--kill-nodes",
+        type=int,
+        default=0,
+        help=(
+            "whole nodes to lose permanently (correlated node_lost faults; "
+            "needs --devices-per-node to expand beyond one device; default 0)"
+        ),
+    )
     faults.add_argument("--transient", type=int, default=2, help="transient kernel faults to inject (default 2)")
     faults.add_argument("--transfer", type=int, default=2, help="transfer faults to inject (default 2)")
     faults.add_argument("--stragglers", type=int, default=1, help="straggler windows to open (default 1)")
@@ -202,10 +238,27 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         overrides["queue_policy"] = args.queue_policy
     if args.max_inflight is not None:
         overrides["max_inflight"] = args.max_inflight
+    if args.warm_restore:
+        overrides["warm_restore"] = True
+    if args.fault_aware:
+        overrides["fault_aware_admission"] = True
     if chaos and args.no_recovery:
         overrides["recover_faults"] = False
     if overrides:
         serve_cfg = serve_cfg.with_(**overrides)
+
+    # Multi-node topology: slower inter-node links, and node_lost fault
+    # events expand to every device of the named node.
+    micco_cfg = MiccoConfig(num_devices=args.num_devices)
+    if args.devices_per_node is not None:
+        from repro.gpusim import CostModel, Topology
+
+        topo = Topology(
+            num_devices=args.num_devices, devices_per_node=args.devices_per_node
+        )
+        micco_cfg = MiccoConfig(
+            num_devices=args.num_devices, cost_model=CostModel(topology=topo)
+        )
 
     if args.arrivals == "poisson":
         arrivals = PoissonArrivals(args.rate)
@@ -238,6 +291,7 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             n_transfer=args.transfer,
             n_straggler=args.stragglers,
             n_device_lost=args.kill,
+            n_node_lost=args.kill_nodes,
             straggler_factor=args.straggler_factor,
         )
     if chaos and args.save_plan and plan is not None:
@@ -249,7 +303,7 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         # single-stream workload/arrival flags are unused.
         server = MultiTenantServer(
             schedulers[args.scheduler](),
-            MiccoConfig(num_devices=args.num_devices),
+            micco_cfg,
             serve_cfg,
         )
         result = server.run(seed=args.seed, faults=plan)
@@ -265,7 +319,7 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         vectors = SyntheticWorkload(params, seed=args.seed).vectors()
         server = MiccoServer(
             schedulers[args.scheduler](),
-            MiccoConfig(num_devices=args.num_devices),
+            micco_cfg,
             serve_cfg,
         )
         result = server.run(vectors, arrivals, seed=args.seed, faults=plan)
@@ -306,6 +360,16 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             f"degraded {f['degraded_device_s'] * 1e3:.1f} device-ms   "
             f"abandoned {f['transient_abandoned']}"
         )
+        if f.get("node_losses"):
+            print(
+                f"  domains    {f['node_losses']} node loss(es), "
+                f"{f['cross_node_fetches']} cross-node re-fetch(es)"
+            )
+        if f.get("prewarmed_tensors") or f.get("predicted_infeasible"):
+            print(
+                f"  resilience {f['prewarmed_tensors']} tensor(s) pre-warmed, "
+                f"{f['predicted_infeasible']} vector(s) shed predicted-infeasible"
+            )
 
     extra = {
         "config": {

@@ -9,16 +9,21 @@ recovery policy and accounting that let
 device pool:
 
 * :mod:`repro.faults.plan` — declarative :class:`FaultPlan` (seeded
-  generation, JSON round-trip),
+  generation, JSON round-trip, correlated ``node_lost`` failure
+  domains),
 * :mod:`repro.faults.injector` — :class:`FaultInjector`, the runtime
   state machine consulted by the engine and the serving loop,
 * :mod:`repro.faults.recovery` — :class:`RetryPolicy` (exponential
   backoff in simulated time) and :class:`FaultStats` (the SLO report's
   fault section: injected/retried/recovered counts, recovery latencies,
-  availability %).
+  availability %),
+* :mod:`repro.faults.journal` — :class:`ResidencyJournal`, a bounded
+  placement/eviction log replayed to pre-warm replacement devices
+  (warm restore) instead of starting them cold.
 """
 
 from repro.faults.injector import FaultInjector
+from repro.faults.journal import ResidencyJournal
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.faults.recovery import FaultStats, RetryPolicy
 
@@ -29,4 +34,5 @@ __all__ = [
     "FaultInjector",
     "RetryPolicy",
     "FaultStats",
+    "ResidencyJournal",
 ]

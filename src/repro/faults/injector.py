@@ -6,9 +6,10 @@ and the machinery that experiences the faults:
 * the *driver* (the serving loop, or any clock owner) calls
   :meth:`poll` as simulated time advances; due transient/transfer
   faults are armed against their device, straggler windows open, and
-  due ``device_lost`` events are returned for the driver to apply
-  (killing a device needs cluster + scheduler cooperation the injector
-  does not have);
+  due ``device_lost``/``node_lost`` events are returned for the driver
+  to apply (killing a device — let alone a whole failure domain —
+  needs cluster + scheduler + topology cooperation the injector does
+  not have);
 * the *engine* consults :meth:`take_kernel_fault` /
   :meth:`take_transfer_fault` at each operation (consuming one armed
   failure per call) and :meth:`compute_factor` for straggler slowdowns.
@@ -30,9 +31,22 @@ class FaultInjector:
 
     One injector serves one run; build a fresh one per run (its armed
     faults and clock are consumed as the run progresses).
+
+    Parameters
+    ----------
+    plan:
+        The fault schedule to arm.
+    num_devices:
+        When given, every plan event's device id is validated against
+        ``0..num_devices-1`` up front — a hand-written plan targeting a
+        device the cluster does not have raises
+        :class:`~repro.errors.ConfigurationError` here instead of
+        failing late (or silently arming faults nothing ever consumes).
     """
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan, num_devices: int | None = None):
+        if num_devices is not None:
+            plan.validate_devices(num_devices)
         self.plan = plan
         self._pending = deque(plan.events)  # plan is already time-sorted
         self.stats = FaultStats()
@@ -50,9 +64,11 @@ class FaultInjector:
 
         Transient/transfer faults arm against their device (the next
         ``count`` matching operations fail); straggler windows open.
-        ``device_lost`` events are *returned* — the driver must apply
-        them (clear residency, re-schedule orphans) and then call
-        :meth:`note_device_lost` so availability accounting sees them.
+        ``device_lost`` and ``node_lost`` events are *returned* — the
+        driver must apply them (clear residency, re-schedule orphans,
+        expand a node loss to its failure domain via the topology) and
+        then call :meth:`note_device_lost` per dead device so
+        availability accounting sees them.
         """
         self.now = max(self.now, now)
         losses: list[FaultEvent] = []
@@ -76,7 +92,7 @@ class FaultInjector:
                 )
                 self._slow.append(window)
                 self.stats.straggler_windows.append(window)
-            else:  # FaultKind.DEVICE_LOST
+            else:  # FaultKind.DEVICE_LOST / FaultKind.NODE_LOST
                 losses.append(fault)
         return losses
 

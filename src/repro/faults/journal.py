@@ -1,0 +1,157 @@
+"""Residency journaling: bounded placement/eviction log + warm restore.
+
+A :class:`ResidencyJournal` shadows a
+:class:`~repro.gpusim.cluster.ClusterState` during a serving run,
+recording every residency delta — a tensor becoming resident on a
+device (``put``) or leaving it (``drop``) — stamped with the simulated
+clock the serving loop advances via :meth:`advance`.  The log is
+append-only and bounded (a ring of the most recent ``capacity``
+entries), so journaling a long run costs O(capacity) memory, and the
+whole journal round-trips through JSON for offline inspection or
+cross-run replay.
+
+Its purpose is **warm restore**: when the autoscaler activates a
+replacement device after a loss (or a retired device rejoins the pool),
+the server replays the journal — :meth:`hot_tensors` ranks uids by how
+often and how recently they were resident — and pre-warms the hottest
+tensors that currently live nowhere on the pool, instead of letting
+every one of them be re-fetched from the host on the critical path of
+the next vectors.  TENSILE-style dynamic memory scheduling motivates
+exactly this: residency history is a prediction of near-future demand.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.reporting import dump_json
+
+
+class ResidencyJournal:
+    """Bounded append-only log of cluster residency deltas.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained entries; older deltas rotate out (the hot-set
+        estimate only needs recent history).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ConfigurationError(f"journal capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        #: (op, time_s, uid, device, nbytes) ring, oldest first.
+        self._entries: deque[tuple[str, float, int, int, int]] = deque(maxlen=capacity)
+        #: Simulated clock used to stamp entries (see :meth:`advance`).
+        self.now = 0.0
+        #: Deltas ever recorded, including rotated-out ones.
+        self.total_recorded = 0
+        # Warm-restore accounting (filled by the serving loop).
+        self.restores = 0
+        self.prewarmed_tensors = 0
+        self.prewarm_cost_s = 0.0
+
+    # ---------------------------------------------------------------- writing
+    def advance(self, now: float) -> None:
+        """Move the journal clock forward (never backwards)."""
+        self.now = max(self.now, now)
+
+    def note_put(self, uid: int, device: int, nbytes: int) -> None:
+        """A tensor became resident on ``device``."""
+        self._entries.append(("put", self.now, int(uid), int(device), int(nbytes)))
+        self.total_recorded += 1
+
+    def note_drop(self, uid: int, device: int) -> None:
+        """A tensor left ``device`` (eviction, drain, or device loss)."""
+        self._entries.append(("drop", self.now, int(uid), int(device), 0))
+        self.total_recorded += 1
+
+    def note_restore(self, device: int, tensors: int, cost_s: float) -> None:
+        """Record one warm restore applied to an activated device."""
+        self.restores += 1
+        self.prewarmed_tensors += int(tensors)
+        self.prewarm_cost_s += float(cost_s)
+
+    # ---------------------------------------------------------------- reading
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[dict]:
+        """The retained deltas as JSON-ready dicts, oldest first."""
+        return [
+            {"op": op, "time_s": t, "uid": uid, "device": dev, "nbytes": nbytes}
+            for op, t, uid, dev, nbytes in self._entries
+        ]
+
+    def hot_tensors(self) -> list[tuple[int, int]]:
+        """Rank journaled tensors hot-first: ``[(uid, nbytes), ...]``.
+
+        Hotness orders by placement count (how many times the tensor
+        became resident inside the retained window — a proxy for reuse
+        frequency), then by recency of the last placement.  ``nbytes``
+        is taken from the most recent ``put`` so a warm restore knows
+        each candidate's footprint without a tensor catalogue.
+        """
+        count: dict[int, int] = {}
+        last_put: dict[int, float] = {}
+        nbytes_of: dict[int, int] = {}
+        for op, t, uid, _dev, nbytes in self._entries:
+            if op != "put":
+                continue
+            count[uid] = count.get(uid, 0) + 1
+            last_put[uid] = t
+            nbytes_of[uid] = nbytes
+        ranked = sorted(
+            count, key=lambda uid: (-count[uid], -last_put[uid], uid)
+        )
+        return [(uid, nbytes_of[uid]) for uid in ranked]
+
+    def summary(self) -> dict:
+        """JSON-ready journal section for the serving report."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "total_recorded": self.total_recorded,
+            "restores": self.restores,
+            "prewarmed_tensors": self.prewarmed_tensors,
+            "prewarm_cost_s": self.prewarm_cost_s,
+        }
+
+    # ------------------------------------------------------------ persistence
+    def to_json(self, path: str | Path) -> None:
+        """Persist the retained window (plus counters) as JSON."""
+        dump_json(path, {"version": 1, **self.summary(), "log": self.entries()})
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "ResidencyJournal":
+        """Rebuild a journal from :meth:`to_json` output."""
+        payload = json.loads(Path(path).read_text())
+        if not isinstance(payload, dict) or "log" not in payload:
+            raise ConfigurationError(
+                f"residency journal {path} must be an object with a 'log' list"
+            )
+        journal = cls(capacity=payload.get("capacity", 4096))
+        for i, e in enumerate(payload["log"]):
+            try:
+                journal.advance(float(e["time_s"]))
+                if e["op"] == "put":
+                    journal.note_put(e["uid"], e["device"], e["nbytes"])
+                elif e["op"] == "drop":
+                    journal.note_drop(e["uid"], e["device"])
+                else:
+                    raise ConfigurationError(
+                        f"journal entry {i} has unknown op {e['op']!r}"
+                    )
+            except (KeyError, TypeError) as exc:
+                raise ConfigurationError(f"journal entry {i} is malformed: {exc}") from None
+        journal.restores = int(payload.get("restores", 0))
+        journal.prewarmed_tensors = int(payload.get("prewarmed_tensors", 0))
+        journal.prewarm_cost_s = float(payload.get("prewarm_cost_s", 0.0))
+        journal.total_recorded = max(
+            journal.total_recorded, int(payload.get("total_recorded", 0))
+        )
+        return journal

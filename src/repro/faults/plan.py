@@ -8,14 +8,19 @@ seed via :meth:`FaultPlan.generate`, which draws every timestamp and
 device through :func:`repro.utils.rng.as_generator` so identical seeds
 give identical fault timelines — chaos runs are replayable bit for bit.
 
-Four fault kinds model the failure modes a long-lived serving cluster
+Five fault kinds model the failure modes a long-lived serving cluster
 actually sees:
 
 * ``transient``   — a pair's kernel execution fails and must retry,
 * ``device_lost`` — a device (and every tensor resident on it) vanishes
   permanently,
 * ``straggler``   — a device's effective GFLOPs degrade for a window,
-* ``transfer``    — a D2D/H2D fetch fails and is re-fetched from host.
+* ``transfer``    — a D2D/H2D fetch fails and is re-fetched from host,
+* ``node_lost``   — a *correlated* failure domain: every device in the
+  node hosting ``device`` dies at once (rack power loss, network
+  partition).  The blast radius is resolved at apply time through
+  :meth:`~repro.gpusim.topology.Topology.node_of`; without a topology
+  the node degenerates to the single named device.
 """
 
 from __future__ import annotations
@@ -30,12 +35,13 @@ from repro.utils.rng import as_generator
 
 
 class FaultKind(str, Enum):
-    """The four injectable failure modes."""
+    """The five injectable failure modes."""
 
     TRANSIENT = "transient"
     DEVICE_LOST = "device_lost"
     STRAGGLER = "straggler"
     TRANSFER = "transfer"
+    NODE_LOST = "node_lost"
 
 
 @dataclass(frozen=True)
@@ -49,7 +55,9 @@ class FaultEvent:
     time_s:
         Simulated timestamp at which the fault becomes active.
     device:
-        Target device id.
+        Target device id.  For ``node_lost`` this names *any* device of
+        the doomed node; the whole node containing it fails atomically
+        (grouping via :meth:`~repro.gpusim.topology.Topology.node_of`).
     duration_s:
         Straggler window length (ignored for other kinds).
     slow_factor:
@@ -67,7 +75,13 @@ class FaultEvent:
     count: int = 1
 
     def __post_init__(self):
-        object.__setattr__(self, "kind", FaultKind(self.kind))
+        try:
+            object.__setattr__(self, "kind", FaultKind(self.kind))
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{[k.value for k in FaultKind]}"
+            ) from None
         if self.time_s < 0:
             raise ConfigurationError(f"fault time_s must be >= 0, got {self.time_s}")
         if self.device < 0:
@@ -112,6 +126,25 @@ class FaultPlan:
         kind = FaultKind(kind)
         return [e for e in self.events if e.kind is kind]
 
+    def validate_devices(self, num_devices: int) -> None:
+        """Check every event targets a device inside ``0..num_devices-1``.
+
+        Hand-written JSON plans can name devices the cluster does not
+        have (device 12 on an 8-GPU pool); catching that when the
+        injector arms the plan turns a late silent no-op into an
+        immediate :class:`~repro.errors.ConfigurationError` naming the
+        offending event.
+        """
+        if num_devices < 1:
+            raise ConfigurationError(f"num_devices must be >= 1, got {num_devices}")
+        for event in self.events:
+            if event.device >= num_devices:
+                raise ConfigurationError(
+                    f"fault event targets device {event.device} but the cluster "
+                    f"has {num_devices} devices (0..{num_devices - 1}): "
+                    f"{event.to_dict()}"
+                )
+
     # ------------------------------------------------------------ generation
     @classmethod
     def generate(
@@ -124,6 +157,7 @@ class FaultPlan:
         n_transfer: int = 2,
         n_straggler: int = 1,
         n_device_lost: int = 1,
+        n_node_lost: int = 0,
         straggler_factor: float = 4.0,
         straggler_window_frac: float = 0.25,
     ) -> "FaultPlan":
@@ -133,7 +167,11 @@ class FaultPlan:
         at ``num_devices - 1`` so at least one device always survives —
         a plan that kills the whole pool is a configuration error, not
         chaos.  Stragglers slow a device by ``straggler_factor`` for a
-        window of ``straggler_window_frac × horizon_s``.
+        window of ``straggler_window_frac × horizon_s``.  Node losses
+        (``n_node_lost``) target a uniformly drawn device each; the
+        blast radius — every device sharing that device's node — is
+        resolved at apply time from the run's topology, so the generator
+        cannot (and does not try to) guarantee survivors across domains.
         """
         if num_devices < 1:
             raise ConfigurationError(f"num_devices must be >= 1, got {num_devices}")
@@ -144,6 +182,7 @@ class FaultPlan:
             ("n_transfer", n_transfer),
             ("n_straggler", n_straggler),
             ("n_device_lost", n_device_lost),
+            ("n_node_lost", n_node_lost),
         ):
             if n < 0:
                 raise ConfigurationError(f"{name} must be >= 0, got {n}")
@@ -185,6 +224,10 @@ class FaultPlan:
         victims = rng.permutation(num_devices)[:n_lost]
         for t, dev in zip(times(n_lost), victims):
             events.append(FaultEvent(FaultKind.DEVICE_LOST, t, int(dev)))
+        for t in times(n_node_lost):
+            events.append(
+                FaultEvent(FaultKind.NODE_LOST, t, int(rng.integers(num_devices)))
+            )
         return cls(tuple(events))
 
     # ----------------------------------------------------------- persistence
@@ -193,13 +236,53 @@ class FaultPlan:
 
     @classmethod
     def from_dicts(cls, records) -> "FaultPlan":
-        return cls(tuple(FaultEvent(**r) for r in records))
+        """Build a plan from plain dicts, rejecting malformed records.
+
+        Every record must be a dict carrying only :class:`FaultEvent`
+        fields; anything else (extra keys, wrong types, unknown kinds,
+        out-of-range values) raises
+        :class:`~repro.errors.ConfigurationError` instead of tracing
+        back — corrupt plans are a user error, not a crash.
+        """
+        if isinstance(records, (str, bytes)) or not hasattr(records, "__iter__"):
+            raise ConfigurationError(
+                f"fault plan records must be a list of objects, got {records!r}"
+            )
+        known = {"kind", "time_s", "device", "duration_s", "slow_factor", "count"}
+        events = []
+        for i, r in enumerate(records):
+            if not isinstance(r, dict):
+                raise ConfigurationError(
+                    f"fault event {i} must be a JSON object, got {r!r}"
+                )
+            unknown = set(r) - known
+            if unknown:
+                raise ConfigurationError(
+                    f"fault event {i} has unknown keys {sorted(unknown)}; "
+                    f"expected a subset of {sorted(known)}"
+                )
+            try:
+                events.append(FaultEvent(**r))
+            except TypeError as exc:
+                raise ConfigurationError(f"fault event {i} is malformed: {exc}") from None
+            except ConfigurationError as exc:
+                raise ConfigurationError(f"fault event {i}: {exc}") from None
+        return cls(tuple(events))
 
     def to_json(self, path: str | Path) -> None:
         Path(path).write_text(json.dumps({"faults": self.to_dicts()}, indent=2))
 
     @classmethod
     def from_json(cls, path: str | Path) -> "FaultPlan":
+        """Load a plan written by :meth:`to_json` (or a bare event list)."""
         payload = json.loads(Path(path).read_text())
-        records = payload["faults"] if isinstance(payload, dict) else payload
+        if isinstance(payload, dict):
+            if "faults" not in payload:
+                raise ConfigurationError(
+                    f"fault plan {path} must be {{'faults': [...]}} or a bare "
+                    f"list, got an object with keys {sorted(payload)}"
+                )
+            records = payload["faults"]
+        else:
+            records = payload
         return cls.from_dicts(records)

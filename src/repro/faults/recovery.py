@@ -69,6 +69,7 @@ class FaultStats:
             "device_lost": 0,
             "straggler": 0,
             "transfer": 0,
+            "node_lost": 0,
         }
     )
     transient_failures: int = 0
@@ -76,8 +77,18 @@ class FaultStats:
     transient_abandoned: int = 0
     transfer_refetches: int = 0
     device_losses: int = 0
+    #: Correlated failure domains applied (each may kill several devices).
+    node_losses: int = 0
     orphaned_tensors: int = 0
     rescheduled_pairs: int = 0
+    #: D2D fetches that crossed a node boundary (recovery traffic on the
+    #: slow inter-node link; only counted while a topology is configured).
+    cross_node_fetches: int = 0
+    #: Tensors pre-warmed onto (re)activated devices by journal replay.
+    prewarmed_tensors: int = 0
+    #: Vectors shed at admission by fault-aware completion-probability
+    #: estimates (shed reason ``"predicted-infeasible"``).
+    predicted_infeasible: int = 0
     recovery_latency_s: dict[str, list[float]] = field(
         default_factory=lambda: {"transient": [], "device_lost": [], "transfer": []}
     )
@@ -136,10 +147,29 @@ class FaultStats:
         return 100.0 * (1.0 - dead / (makespan_s * num_devices))
 
     def degraded_device_s(self, makespan_s: float) -> float:
-        """Device-seconds spent inside straggler windows (clipped to the run)."""
+        """Device-seconds spent inside straggler windows (clipped to the run).
+
+        Overlapping windows on the *same* device are merged before
+        summing — two windows covering the same second degrade that
+        device-second once, not twice (the slowdown compounds, the time
+        does not).  Windows on different devices still add up.
+        """
+        per_device: dict[int, list[tuple[float, float]]] = {}
+        for dev, start, end, _ in self.straggler_windows:
+            lo, hi = min(start, makespan_s), min(end, makespan_s)
+            if hi > lo:
+                per_device.setdefault(dev, []).append((lo, hi))
         total = 0.0
-        for _, start, end, _ in self.straggler_windows:
-            total += max(min(end, makespan_s) - min(start, makespan_s), 0.0)
+        for intervals in per_device.values():
+            intervals.sort()
+            cur_lo, cur_hi = intervals[0]
+            for lo, hi in intervals[1:]:
+                if lo > cur_hi:
+                    total += cur_hi - cur_lo
+                    cur_lo, cur_hi = lo, hi
+                else:
+                    cur_hi = max(cur_hi, hi)
+            total += cur_hi - cur_lo
         return total
 
     def summary(self, makespan_s: float | None = None, num_devices: int | None = None) -> dict:
@@ -162,8 +192,12 @@ class FaultStats:
             "transient_abandoned": self.transient_abandoned,
             "transfer_refetches": self.transfer_refetches,
             "device_losses": self.device_losses,
+            "node_losses": self.node_losses,
             "orphaned_tensors": self.orphaned_tensors,
             "rescheduled_pairs": self.rescheduled_pairs,
+            "cross_node_fetches": self.cross_node_fetches,
+            "prewarmed_tensors": self.prewarmed_tensors,
+            "predicted_infeasible": self.predicted_infeasible,
             "recovery_latency_s": latencies,
             "availability_pct": self.availability(makespan_s, num_devices),
             "degraded_device_s": self.degraded_device_s(makespan_s),

@@ -59,6 +59,10 @@ class ClusterState:
         # via :meth:`activate_device`).
         self._alive: set[int] = set(range(len(devices)))
         self._failed: set[int] = set()
+        #: Optional :class:`~repro.faults.journal.ResidencyJournal`
+        #: observing residency deltas (attached per run by the serving
+        #: loop; ``None`` keeps the batch paths journal-free).
+        self.journal = None
 
     # ------------------------------------------------------------------ reads
     @property
@@ -139,7 +143,11 @@ class ClusterState:
                 holders.discard(device_id)
                 if not holders:
                     del self._holders[r.uid]
+            if self.journal is not None:
+                self.journal.note_drop(r.uid, device_id)
         self._holders.setdefault(spec.uid, set()).add(device_id)
+        if self.journal is not None:
+            self.journal.note_put(spec.uid, device_id, spec.nbytes)
         return evicted
 
     def touch(self, uid: int, device_id: int) -> None:
@@ -155,6 +163,8 @@ class ClusterState:
                 holders.discard(device_id)
                 if not holders:
                     del self._holders[uid]
+            if self.journal is not None:
+                self.journal.note_drop(uid, device_id)
         return nbytes
 
     def drop_everywhere(self, uid: int) -> int:
@@ -186,6 +196,8 @@ class ClusterState:
                 holders.discard(device_id)
                 if not holders:
                     del self._holders[uid]
+            if self.journal is not None:
+                self.journal.note_drop(uid, device_id)
         return orphans
 
     def fail_device(self, device_id: int) -> list[int]:
@@ -200,6 +212,43 @@ class ClusterState:
         orphans = self._take_offline(device_id)
         self._failed.add(device_id)
         return orphans
+
+    def fail_node(self, device_ids) -> dict[int, list[int]]:
+        """Atomically lose a whole failure domain (every device of a node).
+
+        All member devices leave the alive set *before* any recovery can
+        run, so orphaned work cannot be re-scheduled onto a doomed
+        sibling of the same rack.  Returns ``{device: orphan uids}`` for
+        the members that were actually alive (already-dead members
+        contribute nothing, like :meth:`fail_device`).
+        """
+        orphaned: dict[int, list[int]] = {}
+        for device_id in device_ids:
+            was_alive = self.is_alive(device_id)
+            orphans = self.fail_device(device_id)
+            if was_alive:
+                orphaned[device_id] = orphans
+        return orphaned
+
+    def prewarm(self, uid: int, nbytes: int, device_id: int) -> bool:
+        """Pre-load a journal-replayed tensor onto an alive device.
+
+        Used by warm restore: the tensor becomes resident as if fetched,
+        but only while it fits in free memory — pre-warming must never
+        evict live residency.  Returns False (no-op) when the device is
+        offline, the tensor is already resident there, or space is
+        short.
+        """
+        if not self.is_alive(device_id):
+            return False
+        pool = self.pools[device_id]
+        if uid in pool or nbytes > pool.free_bytes:
+            return False
+        pool.allocate(uid, nbytes)
+        self._holders.setdefault(uid, set()).add(device_id)
+        if self.journal is not None:
+            self.journal.note_put(uid, device_id, nbytes)
+        return True
 
     def retire_device(self, device_id: int) -> list[int]:
         """Gracefully take a healthy device offline (scale-down).
@@ -286,6 +335,8 @@ class ClusterState:
         other.balance_num = self.balance_num
         other._alive = set(self._alive)
         other._failed = set(self._failed)
+        # Look-ahead clones must not pollute the real run's journal.
+        other.journal = None
         return other
 
     # -------------------------------------------------------------- factories

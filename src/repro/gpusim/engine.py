@@ -118,6 +118,18 @@ class ExecutionEngine:
             elif copy_kind == "d2d" and cm.d2d_moves:
                 # Single-residency runtime: the source copy migrates.
                 cl.drop(spec.uid, source)
+            if (
+                copy_kind == "d2d"
+                and self.injector is not None
+                and cm.topology is not None
+                and not cm.topology.same_node(source, device_id)
+            ):
+                # Recovery traffic on the slow inter-node link: make the
+                # cross-node cost visible in the fault trace lanes.
+                self.injector.stats.cross_node_fetches += 1
+                self._note_fault(
+                    "xnode", device_id, copy_t, f"cross-node fetch {spec.uid} from {source}"
+                )
             if copy_kind == "d2d":
                 metrics.counts.d2d_transfers += 1
             else:

@@ -67,6 +67,17 @@ class Topology:
     def same_node(self, a: int, b: int) -> bool:
         return self.node_of(a) == self.node_of(b)
 
+    def devices_of_node(self, node: int) -> list[int]:
+        """Device ids hosted by ``node``, ascending.
+
+        The inverse of :meth:`node_of`; failure-domain faults use it to
+        expand one ``node_lost`` event into the full blast radius.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ConfigurationError(f"node id {node} outside 0..{self.num_nodes - 1}")
+        start = node * self.devices_per_node
+        return list(range(start, start + self.devices_per_node))
+
     def d2d_time(self, src: int, dst: int, nbytes: int, base_latency_s: float) -> float:
         """Seconds to move ``nbytes`` from ``src`` to ``dst``."""
         if self.same_node(src, dst):

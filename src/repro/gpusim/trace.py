@@ -15,8 +15,10 @@ from pathlib import Path
 
 #: Event kinds emitted by the engine, plus the serving layer's
 #: per-vector lifecycle spans (wait → schedule → execute), the chaos
-#: layer's fault lifecycle (fault → retry → recovery), and the
-#: autoscaler's pool changes (scale-up → scale-online → scale-down).
+#: layer's fault lifecycle (fault → retry → recovery), the
+#: failure-domain layer's cross-node re-fetches (xnode) and warm
+#: restores (prewarm), and the autoscaler's pool changes
+#: (scale-up → scale-online → scale-down).
 EVENT_KINDS = (
     "h2d",
     "d2d",
@@ -30,6 +32,8 @@ EVENT_KINDS = (
     "fault",
     "retry",
     "recovery",
+    "xnode",
+    "prewarm",
     "scale-up",
     "scale-down",
     "scale-online",

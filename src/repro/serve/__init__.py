@@ -15,6 +15,13 @@ Multi-tenant mode (:mod:`repro.serve.tenancy`,
 tenant streams into one timeline with weighted-fair admission and
 per-tenant SLO attainment, and an optional p99-driven autoscaler
 (:mod:`repro.serve.autoscale`) grows and shrinks the device pool.
+
+Failure-domain resilience rides on top: correlated ``node_lost`` faults
+kill whole nodes atomically (survivor rescheduling pays the slow
+inter-node link), :class:`~repro.faults.journal.ResidencyJournal`
+replay warm-restores replacement devices, and the
+:class:`repro.serve.FaultAware` admission gate sheds vectors unlikely
+to complete under the live fault rate (``"predicted-infeasible"``).
 """
 
 from repro.serve.arrivals import (
@@ -28,6 +35,7 @@ from repro.serve.autoscale import Autoscaler, AutoscalerConfig
 from repro.serve.queueing import (
     QUEUE_POLICIES,
     AdmissionQueue,
+    FaultAware,
     Fifo,
     QueuePolicy,
     Sjf,
@@ -64,6 +72,7 @@ __all__ = [
     "Fifo",
     "Sjf",
     "WeightedFair",
+    "FaultAware",
     "make_policy",
     "MiccoServer",
     "MultiTenantServer",

@@ -60,6 +60,11 @@ class AutoscalerConfig:
     down_latency_frac:
         Scale down only while the windowed p99 is below this fraction
         of ``p99_target_s`` (ignored when the latency signal is off).
+    replace_lost:
+        When True, a permanent device/node loss immediately requests
+        one replacement per lost device (bypassing the cooldown clock —
+        loss replacement is reactive, not a load decision).  The
+        replacements still pay ``warmup_s`` and honour ``max_devices``.
     """
 
     min_devices: int = 1
@@ -72,6 +77,7 @@ class AutoscalerConfig:
     warmup_s: float = 0.05
     cooldown_s: float = 0.25
     down_latency_frac: float = 0.5
+    replace_lost: bool = False
 
     def __post_init__(self):
         if self.min_devices < 1:
@@ -128,6 +134,7 @@ class AutoscalerConfig:
             "warmup_s": self.warmup_s,
             "cooldown_s": self.cooldown_s,
             "down_latency_frac": self.down_latency_frac,
+            "replace_lost": self.replace_lost,
         }
 
     @classmethod

@@ -16,6 +16,14 @@ key; three implementations ship:
   tenant's sub-stream is dispatched in proportion to its weight under
   saturation (see the class docstring).
 
+:class:`FaultAware` is not an ordering of its own but a *wrapper* over
+any of them: it keeps the inner policy's dispatch order and adds an
+admission gate that estimates each vector's completion probability from
+the live fault rate (an EWMA over the fault events the injector has
+recorded) and the surviving pool fraction, shedding doomed vectors at
+admission (reason ``"predicted-infeasible"``) instead of wasting
+execution on work that will be fault-abandoned mid-run.
+
 Passing a policy *name* string still works for backwards compatibility
 but is deprecated; construct the policy object instead.
 """
@@ -53,6 +61,16 @@ class QueuePolicy(ABC):
     @abstractmethod
     def key(self, ticket: Ticket, seq: int) -> tuple:
         """Heap key for ``ticket`` offered as the ``seq``-th ticket."""
+
+    def admit(self, ticket: Ticket, now: float) -> bool:
+        """Admission gate consulted before a ticket enters the system.
+
+        The default admits everything; :class:`FaultAware` overrides it
+        to shed vectors unlikely to complete under the live fault rate.
+        A False return sheds the ticket with reason
+        ``"predicted-infeasible"`` (it never queues or executes).
+        """
+        return True
 
     def observe_pop(self, key: tuple) -> None:
         """Hook called with the key of each popped ticket (default no-op)."""
@@ -139,6 +157,126 @@ class WeightedFair(QueuePolicy):
     def reset(self) -> None:
         self._finish.clear()
         self._vtime = 0.0
+
+
+class FaultAware(QueuePolicy):
+    """Fault-aware admission gate wrapped around any :class:`QueuePolicy`.
+
+    Dispatch order is delegated to ``inner`` untouched; what changes is
+    *admission*: each offered vector's completion probability is
+    estimated and vectors below ``min_success_prob`` are shed up front
+    (shed reason ``"predicted-infeasible"``) rather than admitted,
+    executed, and fault-abandoned mid-run — under a hostile fault plan
+    that mid-run abandonment is pure wasted work.
+
+    The estimate is deliberately simple and fully deterministic.  The
+    serving loop feeds :meth:`observe` the injector's cumulative fault
+    count (transient failures + device losses + transfer re-fetches
+    from :class:`~repro.faults.recovery.FaultStats`) plus the live pool
+    size; the wrapper maintains an exponentially weighted fault *rate*
+    ``λ`` (events/second, time constant ``tau_s``).  A vector with
+    ``P`` pairs then survives with
+
+    ``p = exp(-λ · exposure_s_per_pair · P / alive_fraction)``
+
+    — more pairs mean more exposure, and a shrunken pool both stretches
+    the run and concentrates faults on the survivors.
+
+    Parameters
+    ----------
+    inner:
+        The dispatch-order policy to wrap.
+    tau_s:
+        EWMA time constant of the fault rate; shorter forgets faster.
+    min_success_prob:
+        Admission threshold on the estimated completion probability.
+    exposure_s_per_pair:
+        Seconds of fault exposure one pair contributes (scale knob
+        matching the cost model's per-pair service time).
+    """
+
+    def __init__(
+        self,
+        inner: QueuePolicy,
+        *,
+        tau_s: float = 0.25,
+        min_success_prob: float = 0.5,
+        exposure_s_per_pair: float = 2e-3,
+    ):
+        if not isinstance(inner, QueuePolicy):
+            raise ConfigurationError(f"inner must be a QueuePolicy, got {inner!r}")
+        if isinstance(inner, FaultAware):
+            raise ConfigurationError("FaultAware cannot wrap another FaultAware")
+        if not math.isfinite(tau_s) or tau_s <= 0:
+            raise ConfigurationError(f"tau_s must be finite and > 0, got {tau_s}")
+        if not 0 < min_success_prob < 1:
+            raise ConfigurationError(
+                f"min_success_prob must be in (0, 1), got {min_success_prob}"
+            )
+        if not math.isfinite(exposure_s_per_pair) or exposure_s_per_pair <= 0:
+            raise ConfigurationError(
+                f"exposure_s_per_pair must be finite and > 0, got {exposure_s_per_pair}"
+            )
+        self.inner = inner
+        self.name = f"fault-aware({inner.name})"
+        self.tau_s = float(tau_s)
+        self.min_success_prob = float(min_success_prob)
+        self.exposure_s_per_pair = float(exposure_s_per_pair)
+        self._rate = 0.0
+        self._t_last = 0.0
+        self._events_seen = 0
+        self._alive_frac = 1.0
+        #: Vectors this gate shed (mirrors the report's shed reason).
+        self.shed_predicted = 0
+
+    # -------------------------------------------------------------- signals
+    def observe(self, now: float, fault_events: int, alive: int, total: int) -> None:
+        """Feed the live fault picture (cumulative events, pool size)."""
+        fresh = max(fault_events - self._events_seen, 0)
+        self._events_seen = max(fault_events, self._events_seen)
+        dt = max(now - self._t_last, 0.0)
+        self._t_last = max(now, self._t_last)
+        self._rate *= math.exp(-dt / self.tau_s)
+        self._rate += fresh / self.tau_s
+        self._alive_frac = alive / total if total > 0 else 0.0
+
+    def fault_rate(self, now: float) -> float:
+        """Decayed EWMA fault rate (events/second) as of ``now``."""
+        dt = max(now - self._t_last, 0.0)
+        return self._rate * math.exp(-dt / self.tau_s)
+
+    def success_probability(self, ticket: Ticket, now: float) -> float:
+        """Estimated probability the vector completes un-aborted."""
+        if self._alive_frac <= 0.0:
+            return 0.0
+        hazard = (
+            self.fault_rate(now)
+            * self.exposure_s_per_pair
+            * len(ticket.vector.pairs)
+            / self._alive_frac
+        )
+        return math.exp(-hazard)
+
+    # ------------------------------------------------------------ policy API
+    def admit(self, ticket: Ticket, now: float) -> bool:
+        ok = self.success_probability(ticket, now) >= self.min_success_prob
+        if not ok:
+            self.shed_predicted += 1
+        return ok
+
+    def key(self, ticket: Ticket, seq: int) -> tuple:
+        return self.inner.key(ticket, seq)
+
+    def observe_pop(self, key: tuple) -> None:
+        self.inner.observe_pop(key)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._rate = 0.0
+        self._t_last = 0.0
+        self._events_seen = 0
+        self._alive_frac = 1.0
+        self.shed_predicted = 0
 
 
 _POLICY_FACTORIES = {"fifo": Fifo, "sjf": Sjf, "weighted": WeightedFair}

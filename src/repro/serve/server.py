@@ -32,7 +32,8 @@ import numpy as np
 from repro.core.config import MiccoConfig
 from repro.errors import ConfigurationError, FaultError
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.journal import ResidencyJournal
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.faults.recovery import FaultStats
 from repro.gpusim.cluster import ClusterState
 from repro.gpusim.device import mi100_like
@@ -47,6 +48,7 @@ from repro.serve.autoscale import Autoscaler, AutoscalerConfig
 from repro.serve.queueing import (
     QUEUE_POLICIES,
     AdmissionQueue,
+    FaultAware,
     QueuePolicy,
     WeightedFair,
     make_policy,
@@ -107,6 +109,28 @@ class ServeConfig:
     faults:
         Fault plan injected during the run (an explicit ``faults=``
         argument to :meth:`MiccoServer.run` takes precedence).
+    warm_restore:
+        Attach a :class:`~repro.faults.journal.ResidencyJournal` to the
+        cluster for the run and replay it onto every device that comes
+        online (autoscale warm-up, loss replacement): the journal's
+        hottest currently-homeless tensors are pre-loaded into free
+        memory before the device takes traffic, instead of each being
+        re-fetched from the host on the next vectors' critical path.
+    journal_capacity:
+        Retained residency-delta window of the journal (entries).
+    prewarm_fraction:
+        At most this fraction of an activating device's memory may be
+        filled by warm restore (the rest stays free for live traffic).
+    fault_aware_admission:
+        Wrap the dispatch policy in
+        :class:`~repro.serve.queueing.FaultAware`: vectors whose
+        estimated completion probability (from the live fault rate and
+        the surviving pool fraction) falls below
+        ``admission_min_success`` are shed at admission with reason
+        ``"predicted-infeasible"`` instead of burning device time and
+        being fault-abandoned mid-run.
+    admission_min_success:
+        Completion-probability threshold of the fault-aware gate.
     """
 
     queue_capacity: int = 64
@@ -117,6 +141,11 @@ class ServeConfig:
     tenants: tuple[TenantSpec, ...] = ()
     autoscaler: AutoscalerConfig | None = None
     faults: FaultPlan | None = None
+    warm_restore: bool = False
+    journal_capacity: int = 4096
+    prewarm_fraction: float = 0.5
+    fault_aware_admission: bool = False
+    admission_min_success: float = 0.5
 
     def __post_init__(self):
         if self.queue_capacity <= 0:
@@ -137,6 +166,18 @@ class ServeConfig:
             raise ConfigurationError(
                 f"schedule_latency_per_pair_s must be >= 0, got {self.schedule_latency_per_pair_s}"
             )
+        if self.journal_capacity < 1:
+            raise ConfigurationError(
+                f"journal_capacity must be >= 1, got {self.journal_capacity}"
+            )
+        if not 0 < self.prewarm_fraction <= 1:
+            raise ConfigurationError(
+                f"prewarm_fraction must be in (0, 1], got {self.prewarm_fraction}"
+            )
+        if not 0 < self.admission_min_success < 1:
+            raise ConfigurationError(
+                f"admission_min_success must be in (0, 1), got {self.admission_min_success}"
+            )
         object.__setattr__(self, "tenants", tuple(self.tenants))
         for t in self.tenants:
             if not isinstance(t, TenantSpec):
@@ -148,6 +189,13 @@ class ServeConfig:
     def with_(self, **kwargs) -> "ServeConfig":
         """Copy with overrides (sweep convenience)."""
         return replace(self, **kwargs)
+
+    #: Schema version :meth:`to_json` writes.  Version 2 added the
+    #: resilience knobs (``warm_restore``/``journal_capacity``/
+    #: ``prewarm_fraction``/``fault_aware_admission``/
+    #: ``admission_min_success``); version-1 files still load with those
+    #: at their defaults.
+    CONFIG_VERSION = 2
 
     # ------------------------------------------------------------ persistence
     def to_dict(self) -> dict:
@@ -161,17 +209,33 @@ class ServeConfig:
             "tenants": [t.to_dict() for t in self.tenants],
             "autoscaler": self.autoscaler.to_dict() if self.autoscaler else None,
             "faults": self.faults.to_dicts() if self.faults else None,
+            "warm_restore": self.warm_restore,
+            "journal_capacity": self.journal_capacity,
+            "prewarm_fraction": self.prewarm_fraction,
+            "fault_aware_admission": self.fault_aware_admission,
+            "admission_min_success": self.admission_min_success,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "ServeConfig":
         if not isinstance(d, dict):
             raise ConfigurationError(f"serve config must be a JSON object, got {d!r}")
+        version = d.get("version", cls.CONFIG_VERSION)
+        if version not in (1, 2):
+            raise ConfigurationError(
+                f"unsupported serve config version {version!r}; this build reads 1 and 2"
+            )
         known = {
             "queue_capacity", "queue_policy", "max_inflight",
             "schedule_latency_per_pair_s", "recover_faults",
             "tenants", "autoscaler", "faults", "version",
         }
+        v2_keys = {
+            "warm_restore", "journal_capacity", "prewarm_fraction",
+            "fault_aware_admission", "admission_min_success",
+        }
+        if version >= 2:
+            known |= v2_keys
         unknown = set(d) - known
         if unknown:
             raise ConfigurationError(f"unknown serve config keys: {sorted(unknown)}")
@@ -180,6 +244,7 @@ class ServeConfig:
             for k in (
                 "queue_capacity", "queue_policy", "max_inflight",
                 "schedule_latency_per_pair_s", "recover_faults",
+                *sorted(v2_keys),
             )
             if k in d
         }
@@ -193,7 +258,7 @@ class ServeConfig:
 
     def to_json(self, path: str | Path) -> None:
         """Write the full config; :meth:`from_json` round-trips it."""
-        dump_json(path, {"version": 1, **self.to_dict()})
+        dump_json(path, {"version": self.CONFIG_VERSION, **self.to_dict()})
 
     @classmethod
     def from_json(cls, path: str | Path) -> "ServeConfig":
@@ -219,6 +284,9 @@ class ServeResult:
     tenants: dict | None = None
     #: Autoscaler section (actions, scale counts); ``None`` without one.
     autoscale: dict | None = None
+    #: Residency-journal section (restores, prewarmed tensors);
+    #: ``None`` unless :attr:`ServeConfig.warm_restore` was on.
+    journal: dict | None = None
 
     @property
     def p99(self) -> float:
@@ -245,6 +313,8 @@ class ServeResult:
             out["tenants"] = self.tenants
         if self.autoscale is not None:
             out["autoscale"] = self.autoscale
+        if self.journal is not None:
+            out["journal"] = self.journal
         return out
 
     def to_json(self, path: str | Path, *, extra: dict | None = None) -> None:
@@ -261,6 +331,8 @@ class ServeResult:
             payload["tenants"] = self.tenants
         if self.autoscale is not None:
             payload["autoscale"] = self.autoscale
+        if self.journal is not None:
+            payload["journal"] = self.journal
         if extra:
             payload.update(extra)
         dump_json(path, payload)
@@ -400,8 +472,16 @@ class MiccoServer:
         busy_until = np.zeros(self.cluster.num_devices)
         inflight = 0
         wants_bounds = self.predictor is not None and hasattr(self.scheduler, "set_bounds")
-        injector = FaultInjector(faults) if faults is not None else None
+        # Arming validates every plan event's device id against this
+        # cluster — a plan aimed at a device we don't have fails here.
+        injector = (
+            FaultInjector(faults, self.cluster.num_devices) if faults is not None else None
+        )
         scaler = Autoscaler(cfg.autoscaler) if cfg.autoscaler is not None else None
+        journal = ResidencyJournal(cfg.journal_capacity) if cfg.warm_restore else None
+        # The fault-aware admission gate, when configured (observe() is
+        # fed the live fault picture at every arrival).
+        gate = queue.policy if isinstance(queue.policy, FaultAware) else None
         #: Devices scheduled to come online, warm-up still pending.
         pending_online: set[int] = set()
         # Tickets dispatched and executed, completion event still ahead
@@ -439,14 +519,18 @@ class MiccoServer:
             refill(now)
 
         self.engine.injector = injector
+        self.cluster.journal = journal
         try:
             while timeline:
                 event = timeline.pop()
                 now = timeline.now
+                if journal is not None:
+                    journal.advance(now)
                 if injector is not None:
                     for loss in injector.poll(now):
                         self._apply_device_loss(
-                            loss, now, injector, pending, busy_until, timeline, total, abandon
+                            loss, now, injector, pending, busy_until, timeline, total,
+                            abandon, scaler=scaler, pending_online=pending_online,
                         )
                 if scaler is not None:
                     self._autoscale_step(
@@ -456,8 +540,25 @@ class MiccoServer:
                 ticket = event.ticket
 
                 if isinstance(event, VectorArrival):
+                    if gate is not None:
+                        fault_events = 0
+                        if injector is not None:
+                            s = injector.stats
+                            fault_events = (
+                                s.transient_failures
+                                + s.device_losses
+                                + s.transfer_refetches
+                            )
+                        gate.observe(
+                            now, fault_events,
+                            self.cluster.num_alive, self.cluster.num_devices,
+                        )
                     if self.cluster.num_alive == 0:
                         report.add_drop(ticket, reason="fault-abandoned")
+                    elif gate is not None and not gate.admit(ticket, now):
+                        report.add_drop(ticket, reason="predicted-infeasible")
+                        if injector is not None:
+                            injector.stats.predicted_infeasible += 1
                     elif inflight < cfg.max_inflight and not len(queue):
                         dispatch(ticket, now)
                     elif not queue.offer(ticket):
@@ -501,9 +602,12 @@ class MiccoServer:
                     refill(now)
 
                 elif isinstance(event, DeviceOnline):
-                    self._bring_online(event.device, now, scaler, pending_online, busy_until)
+                    self._bring_online(
+                        event.device, now, scaler, pending_online, busy_until, injector
+                    )
         finally:
             self.engine.injector = None
+            self.cluster.journal = None
 
         fault_summary = None
         fault_events: list[dict] = []
@@ -521,6 +625,7 @@ class MiccoServer:
             fault_events=fault_events,
             tenants=tenant_sections(report, specs) if specs else None,
             autoscale=scaler.summary() if scaler is not None else None,
+            journal=journal.summary() if journal is not None else None,
         )
 
     def _resolve_policy(self, streams: list[TenantStream]) -> QueuePolicy:
@@ -529,16 +634,19 @@ class MiccoServer:
         ``"auto"`` picks weighted-fair when tenants are configured
         (their weights seed the policy) and FIFO otherwise; explicit
         names and :class:`QueuePolicy` instances are honoured as-is.
+        With :attr:`ServeConfig.fault_aware_admission` the resolved
+        policy is wrapped in :class:`FaultAware` (unless it already is).
         """
-        policy = self.serve_config.queue_policy
-        if isinstance(policy, QueuePolicy):
-            return policy
-        weights = {s.spec.name: s.spec.weight for s in streams if s.spec is not None}
-        if policy == "auto":
-            policy = "weighted" if weights else "fifo"
-        if policy == "weighted":
-            return WeightedFair(weights)
-        return make_policy(policy)
+        cfg = self.serve_config
+        policy = cfg.queue_policy
+        if not isinstance(policy, QueuePolicy):
+            weights = {s.spec.name: s.spec.weight for s in streams if s.spec is not None}
+            if policy == "auto":
+                policy = "weighted" if weights else "fifo"
+            policy = WeightedFair(weights) if policy == "weighted" else make_policy(policy)
+        if cfg.fault_aware_admission and not isinstance(policy, FaultAware):
+            policy = FaultAware(policy, min_success_prob=cfg.admission_min_success)
+        return policy
 
     # ------------------------------------------------------------ autoscaling
     def _shrink_to_initial(self, scaler: Autoscaler) -> None:
@@ -625,20 +733,72 @@ class MiccoServer:
         scaler: Autoscaler | None,
         pending_online: set[int],
         busy_until,
+        injector: FaultInjector | None = None,
     ) -> None:
-        """A warm-up completed: the device joins the pool, cold."""
+        """A warm-up completed: the device joins the pool.
+
+        Cold by default; with :attr:`ServeConfig.warm_restore` the
+        residency journal is replayed onto it first (see
+        :meth:`_warm_restore`) and the pre-warm transfer time is charged
+        to the device's busy horizon — paid up front, off the next
+        vectors' critical path.
+        """
         pending_online.discard(device)
         if self.cluster.is_failed(device) or self.cluster.is_alive(device):
             return  # lost while warming up, or a stale event
         before = self.cluster.num_alive
         self.cluster.activate_device(device)
         busy_until[device] = now
+        restored = 0
+        if self.cluster.journal is not None:
+            restored, cost = self._warm_restore(device, now, injector)
+            busy_until[device] += cost
         self._rescale_bounds(before, self.cluster.num_alive)
         if scaler is not None:
+            reason = "warm-up complete"
+            if restored:
+                reason += f", {restored} tensors pre-warmed"
             scaler.log(
                 now, "online", device, self.cluster.num_alive,
-                reason="warm-up complete", starts_cooldown=False,
+                reason=reason, starts_cooldown=False,
             )
+
+    def _warm_restore(
+        self, device: int, now: float, injector: FaultInjector | None
+    ) -> tuple[int, float]:
+        """Replay the residency journal onto a just-activated device.
+
+        The journal's hottest tensors that are currently resident
+        *nowhere* (a live copy is one cheap D2D away; a homeless one
+        costs a host fetch on the critical path) are pre-loaded until
+        :attr:`ServeConfig.prewarm_fraction` of the device's memory is
+        used.  Returns ``(tensors restored, simulated seconds spent)``;
+        the caller charges the seconds to the device's busy horizon.
+        """
+        journal = self.cluster.journal
+        cm = self.config.cost_model
+        budget = self.serve_config.prewarm_fraction * self.cluster.devices[device].memory_bytes
+        restored = 0
+        cost = 0.0
+        for uid, nbytes in journal.hot_tensors():
+            if self.cluster.devices_holding(uid):
+                continue
+            if self.cluster.used_bytes(device) + nbytes > budget:
+                continue
+            if not self.cluster.prewarm(uid, nbytes, device):
+                continue
+            cost += cm.h2d_time(nbytes) + cm.alloc_time(nbytes)
+            restored += 1
+        if restored:
+            journal.note_restore(device, restored, cost)
+            if injector is not None:
+                injector.stats.prewarmed_tensors += restored
+                injector.stats.record_recovery("warm_restore", cost)
+                injector.stats.record_event(
+                    "prewarm", device, now, cost,
+                    label=f"warm restore: {restored} tensors",
+                )
+        return restored, cost
 
     def _rescale_bounds(self, alive_before: int, alive_after: int) -> None:
         """Re-apply the reuse bounds after a pool-size change.
@@ -660,6 +820,25 @@ class MiccoServer:
             )
 
     # ------------------------------------------------------- fault recovery
+    def _blast_radius(self, fault: FaultEvent) -> list[int]:
+        """Device ids a loss event takes down.
+
+        ``device_lost`` names exactly one device.  ``node_lost`` names
+        *any* device of the doomed node; the failure domain expands to
+        every sibling through the topology (``node_of`` →
+        ``devices_of_node``).  Without a configured topology a node is
+        indistinguishable from a device and the event degrades to a
+        single-device loss.
+        """
+        topo = self.config.cost_model.topology
+        if (
+            fault.kind is FaultKind.NODE_LOST
+            and topo is not None
+            and fault.device < topo.num_devices
+        ):
+            return topo.devices_of_node(topo.node_of(fault.device))
+        return [fault.device]
+
     def _apply_device_loss(
         self,
         fault: FaultEvent,
@@ -670,26 +849,40 @@ class MiccoServer:
         timeline: Timeline,
         total: ExecutionMetrics,
         abandon,
+        scaler: Autoscaler | None = None,
+        pending_online: set[int] | None = None,
     ) -> None:
-        """Kill a device and recover (or shed) the work it orphans.
+        """Kill a failure domain and recover (or shed) the work it orphans.
 
-        The device's resident tensors vanish, the balanced share and the
-        reuse bounds are recomputed for the shrunken pool, and every
-        in-flight vector with pairs assigned to the dead device either
-        has those pairs re-executed on survivors (recovery on) or is
-        shed as ``fault-abandoned`` (recovery off).
+        A ``device_lost`` domain is one device; a ``node_lost`` domain is
+        every device of the event's node (see :meth:`_blast_radius`).
+        All members leave the pool *atomically* — before any
+        rescheduling — so orphaned pairs can only land on devices of
+        *surviving* nodes (cross-node re-fetches there are charged
+        through :meth:`~repro.gpusim.topology.Topology.d2d_time` and
+        surface as ``xnode`` trace events).  Then the balanced share and
+        the reuse bounds are recomputed for the survivors, and every
+        in-flight vector with pairs on a dead device either has those
+        pairs re-executed (recovery on) or is shed as
+        ``fault-abandoned`` (recovery off).  With
+        :attr:`AutoscalerConfig.replace_lost`, one replacement warm-up
+        is requested per lost device.
         """
-        if self.cluster.is_failed(fault.device):
+        kind = fault.kind.value
+        members = [d for d in self._blast_radius(fault) if not self.cluster.is_failed(d)]
+        if not members:
             return  # already dead (duplicate plan entry)
         alive_before = self.cluster.num_alive
-        was_alive = self.cluster.is_alive(fault.device)
-        orphans = self.cluster.fail_device(fault.device)
-        if not was_alive:
-            return  # offline (retired) device died: nothing to recover
-        injector.note_device_lost(fault.device, fault.time_s, len(orphans))
-        injector.stats.record_event(
-            "fault", fault.device, fault.time_s, 0.0, label="device lost"
-        )
+        orphaned = self.cluster.fail_node(members)
+        if not orphaned:
+            return  # only offline (retired) devices died: nothing to recover
+        if fault.kind is FaultKind.NODE_LOST:
+            injector.stats.node_losses += 1
+        for dev, orphans in sorted(orphaned.items()):
+            injector.note_device_lost(dev, fault.time_s, len(orphans))
+            injector.stats.record_event(
+                "fault", dev, fault.time_s, 0.0, label=f"{kind.replace('_', ' ')}"
+            )
 
         if self.cluster.num_alive == 0:
             # Nothing left to serve on: everything admitted is shed.
@@ -700,40 +893,74 @@ class MiccoServer:
         # Recompute the reuse bounds for the survivors.
         self._rescale_bounds(alive_before, self.cluster.num_alive)
 
-        affected = [
-            t for t in pending.values() if fault.device in set(t.assignment)
-        ]
+        dead = set(orphaned)
+        affected = [t for t in pending.values() if dead & set(t.assignment)]
         if not self.serve_config.recover_faults:
             for ticket in affected:
                 abandon(ticket, now)
-            injector.stats.record_recovery("device_lost", 0.0)
-            return
+            injector.stats.record_recovery(kind, 0.0)
+        else:
+            latest = now
+            for ticket in affected:
+                try:
+                    complete = self._reschedule_orphans(
+                        ticket, dead, now, busy_until, total, stats=injector.stats
+                    )
+                except FaultError:
+                    abandon(ticket, now)
+                    continue
+                ticket.epoch += 1
+                timeline.push(VectorCompletion(complete, ticket, epoch=ticket.epoch))
+                latest = max(latest, complete)
+            injector.stats.record_recovery(kind, latest - fault.time_s)
+            injector.stats.record_event(
+                "recovery",
+                fault.device,
+                now,
+                max(latest - now, 0.0),
+                label=f"rescheduled {len(affected)} vectors",
+            )
 
-        latest = now
-        for ticket in affected:
-            try:
-                complete = self._reschedule_orphans(
-                    ticket, fault.device, now, busy_until, total, stats=injector.stats
-                )
-            except FaultError:
-                abandon(ticket, now)
-                continue
-            ticket.epoch += 1
-            timeline.push(VectorCompletion(complete, ticket, epoch=ticket.epoch))
-            latest = max(latest, complete)
-        injector.stats.record_recovery("device_lost", latest - fault.time_s)
-        injector.stats.record_event(
-            "recovery",
-            fault.device,
-            now,
-            max(latest - now, 0.0),
-            label=f"rescheduled {len(affected)} vectors",
-        )
+        if (
+            scaler is not None
+            and pending_online is not None
+            and scaler.config.replace_lost
+        ):
+            self._replace_lost(scaler, now, timeline, pending_online, len(orphaned))
+
+    def _replace_lost(
+        self,
+        scaler: Autoscaler,
+        now: float,
+        timeline: Timeline,
+        pending_online: set[int],
+        count: int,
+    ) -> None:
+        """Request one replacement warm-up per just-lost device.
+
+        Reactive, so it bypasses the cooldown clock (a rack dying is not
+        a load signal); replacements still pay ``warmup_s`` and stop at
+        ``max_devices`` or when the spare pool runs out.
+        """
+        c = scaler.config
+        max_devices = min(c.max_devices, self.cluster.num_devices)
+        for _ in range(count):
+            candidates = [d for d in self.cluster.offline_ids() if d not in pending_online]
+            if not candidates or self.cluster.num_alive + len(pending_online) >= max_devices:
+                return
+            dev = candidates[0]
+            pending_online.add(dev)
+            timeline.push(DeviceOnline(now + c.warmup_s, device=dev))
+            scaler.log(
+                now, "up", dev, self.cluster.num_alive,
+                reason=f"replace lost device, warm-up {c.warmup_s:g}s",
+                starts_cooldown=False,
+            )
 
     def _reschedule_orphans(
         self,
         ticket: Ticket,
-        dead: int,
+        dead: int | set[int],
         now: float,
         busy_until,
         total: ExecutionMetrics,
@@ -741,13 +968,16 @@ class MiccoServer:
     ) -> float:
         """Re-execute a ticket's dead-device pairs on the survivors.
 
-        Shared by device-*loss* recovery and autoscale scale-*down*
-        draining (``stats`` is only threaded for the former).  Returns
-        the vector's new completion timestamp.  The surviving devices'
+        ``dead`` is one device id (scale-down drain, single-device loss)
+        or the whole failure domain of a node loss.  Shared by
+        device-*loss* recovery and autoscale scale-*down* draining
+        (``stats`` is only threaded for the former).  Returns the
+        vector's new completion timestamp.  The surviving devices'
         original shares are already in ``busy_until``; only the
         re-executed pairs' busy time is appended.
         """
-        orphan_idx = [i for i, dev in enumerate(ticket.assignment) if dev == dead]
+        dead_set = {dead} if isinstance(dead, int) else set(dead)
+        orphan_idx = [i for i, dev in enumerate(ticket.assignment) if dev in dead_set]
         vector = ticket.vector
         # Fresh balance window sized to the re-scheduled slice (two
         # tensor slots per pair, matching record_assignment).

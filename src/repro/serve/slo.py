@@ -59,7 +59,11 @@ class DroppedVector:
     """A vector shed without completing, with the reason it was shed.
 
     ``"queue-full"`` vectors were rejected at admission and never
-    executed; ``"fault-abandoned"`` vectors were admitted but could not
+    executed; ``"predicted-infeasible"`` vectors were shed by the
+    fault-aware admission gate (completion probability under the live
+    fault rate fell below threshold, see
+    :class:`~repro.serve.queueing.FaultAware`) and never executed
+    either; ``"fault-abandoned"`` vectors were admitted but could not
     be completed (retry budget exhausted, or no devices left).
     """
 
@@ -118,6 +122,20 @@ class LatencyReport:
         sub = LatencyReport()
         sub.completed = [r for r in self.completed if r.tenant == tenant]
         sub.dropped = [r for r in self.dropped if r.tenant == tenant]
+        return sub
+
+    def completed_after(self, t_s: float) -> "LatencyReport":
+        """Sub-report of vectors that *completed* at or after ``t_s``.
+
+        A filtered view sharing record objects with the parent, like
+        :meth:`for_tenant`.  Chaos analyses use it to compare post-loss
+        recovery latency (e.g. warm vs cold restore after a node dies)
+        without the pre-fault steady state diluting the tail.  Drops
+        are filtered on arrival time (a shed vector never completes).
+        """
+        sub = LatencyReport()
+        sub.completed = [r for r in self.completed if r.complete_s >= t_s]
+        sub.dropped = [r for r in self.dropped if r.arrival_s >= t_s]
         return sub
 
     def drops_by_reason(self) -> dict[str, int]:

@@ -292,3 +292,63 @@ class TestServeConfigFile:
         example = Path(__file__).resolve().parent.parent / "examples" / "tenants.json"
         cfg = ServeConfig.from_json(example)
         assert len(cfg.tenants) == 2 and cfg.autoscaler is not None
+
+
+class TestFailureDomainsCli:
+    def test_new_flags_parse_with_defaults(self):
+        from repro.cli import build_chaos_parser, build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.devices_per_node is None
+        assert args.warm_restore is False
+        assert args.fault_aware is False
+        cargs = build_chaos_parser().parse_args([])
+        assert cargs.kill_nodes == 0
+
+    def test_node_loss_end_to_end(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "r.json"
+        rc = main([
+            "chaos", "--seed", "0", "--num-vectors", "8", "--vector-size", "8",
+            "--tensor-size", "64", "--batch", "2", "--num-devices", "8",
+            "--devices-per-node", "4", "--kill", "0", "--kill-nodes", "1",
+            "--json", str(report),
+        ])
+        assert rc == 0
+        payload = json.loads(report.read_text())
+        assert payload["faults"]["node_losses"] == 1
+        assert payload["faults"]["device_losses"] == 4  # whole node
+        out = capsys.readouterr().out
+        assert "node loss" in out
+
+    def test_warm_restore_and_fault_aware_flags(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "r.json"
+        rc = main([
+            "chaos", "--seed", "0", "--num-vectors", "8", "--vector-size", "8",
+            "--tensor-size", "64", "--batch", "2", "--num-devices", "4",
+            "--warm-restore", "--fault-aware", "--json", str(report),
+        ])
+        assert rc == 0
+        payload = json.loads(report.read_text())
+        assert payload["config"]["serve"]["warm_restore"] is True
+        assert payload["config"]["serve"]["fault_aware_admission"] is True
+        assert payload["queue"]["policy"] == "fault-aware(fifo)"
+        assert "journal" in payload
+
+    def test_node_loss_runs_are_byte_identical(self, tmp_path):
+        def run(tag):
+            report = tmp_path / f"{tag}.json"
+            trace = tmp_path / f"{tag}.trace.json"
+            rc = main([
+                "chaos", "--seed", "7", "--num-vectors", "8", "--vector-size", "8",
+                "--tensor-size", "64", "--batch", "2", "--num-devices", "8",
+                "--devices-per-node", "4", "--kill-nodes", "1",
+                "--json", str(report), "--trace", str(trace),
+            ])
+            assert rc == 0
+            return report.read_text(), trace.read_text()
+
+        assert run("a") == run("b")

@@ -87,6 +87,85 @@ class TestFaultPlan:
         plan = FaultPlan.from_json(path)
         assert len(plan) == 1 and plan.events[0].kind is FaultKind.TRANSIENT
 
+    def test_generate_node_losses(self):
+        plan = FaultPlan.generate(
+            3, num_devices=8, horizon_s=1.0, n_device_lost=0, n_node_lost=2
+        )
+        losses = plan.of_kind(FaultKind.NODE_LOST)
+        assert len(losses) == 2
+        assert all(0 <= e.device < 8 for e in losses)
+        assert plan == FaultPlan.generate(
+            3, num_devices=8, horizon_s=1.0, n_device_lost=0, n_node_lost=2
+        )
+
+    def test_node_lost_round_trips_through_json(self, tmp_path):
+        plan = FaultPlan((FaultEvent(FaultKind.NODE_LOST, 0.5, 3),))
+        path = tmp_path / "plan.json"
+        plan.to_json(path)
+        loaded = FaultPlan.from_json(path)
+        assert loaded == plan
+        assert loaded.events[0].kind is FaultKind.NODE_LOST
+
+    def test_validate_devices_accepts_in_range(self):
+        plan = FaultPlan((FaultEvent(FaultKind.TRANSIENT, 0.0, 3),))
+        plan.validate_devices(4)  # no raise
+
+    def test_validate_devices_names_offending_event(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.TRANSIENT, 0.0, 0),
+            FaultEvent(FaultKind.DEVICE_LOST, 1.0, 12),
+        ))
+        with pytest.raises(ConfigurationError, match="device 12"):
+            plan.validate_devices(8)
+        with pytest.raises(ConfigurationError):
+            plan.validate_devices(0)
+
+
+class TestFromJsonErrorPaths:
+    """Malformed plan files must raise ConfigurationError, not trace back."""
+
+    def write(self, tmp_path, payload) -> str:
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_unknown_kind(self, tmp_path):
+        path = self.write(tmp_path, [{"kind": "meteor", "time_s": 0.1, "device": 0}])
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultPlan.from_json(path)
+
+    def test_negative_time(self, tmp_path):
+        path = self.write(tmp_path, [{"kind": "transient", "time_s": -1.0, "device": 0}])
+        with pytest.raises(ConfigurationError, match="time_s"):
+            FaultPlan.from_json(path)
+
+    def test_extra_keys_rejected_with_index(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            [
+                {"kind": "transient", "time_s": 0.0, "device": 0},
+                {"kind": "transfer", "time_s": 0.1, "device": 1, "blast_radius": 3},
+            ],
+        )
+        with pytest.raises(ConfigurationError, match="event 1.*blast_radius"):
+            FaultPlan.from_json(path)
+
+    def test_top_level_object_needs_faults_key(self, tmp_path):
+        path = self.write(tmp_path, {"events": []})
+        with pytest.raises(ConfigurationError, match="'faults'"):
+            FaultPlan.from_json(path)
+
+    def test_non_dict_record(self, tmp_path):
+        path = self.write(tmp_path, ["transient"])
+        with pytest.raises(ConfigurationError, match="event 0"):
+            FaultPlan.from_json(path)
+
+    def test_non_list_records_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dicts("not-a-list")
+        with pytest.raises(ConfigurationError):
+            FaultPlan.from_dicts(42)
+
 
 class TestFaultInjector:
     def test_poll_arms_due_faults_only(self):
@@ -155,6 +234,20 @@ class TestFaultInjector:
         assert inj.take_transfer_fault(0)
         assert inj.drain() == []  # idempotent once empty
 
+    def test_arming_validates_devices_against_cluster(self):
+        plan = FaultPlan((FaultEvent(FaultKind.DEVICE_LOST, 1.0, 12),))
+        with pytest.raises(ConfigurationError, match="device 12"):
+            FaultInjector(plan, num_devices=8)
+        FaultInjector(plan)  # without a cluster size, no validation
+        FaultInjector(plan, num_devices=16)  # in range: fine
+
+    def test_poll_returns_node_losses_for_driver(self):
+        plan = FaultPlan((FaultEvent(FaultKind.NODE_LOST, 1.0, 2),))
+        inj = FaultInjector(plan)
+        losses = inj.poll(2.0)
+        assert [e.kind for e in losses] == [FaultKind.NODE_LOST]
+        assert inj.stats.injected["node_lost"] == 1
+
 
 class TestRetryPolicy:
     def test_backoff_is_exponential(self):
@@ -185,6 +278,26 @@ class TestFaultStats:
         stats = FaultStats()
         stats.straggler_windows.append((0, 1.0, 100.0, 2.0))
         assert stats.degraded_device_s(5.0) == pytest.approx(4.0)
+
+    def test_degraded_seconds_merge_overlaps_per_device(self):
+        # Regression: two overlapping windows on one device used to be
+        # summed independently, double-counting the shared second.
+        stats = FaultStats()
+        stats.straggler_windows.append((0, 1.0, 3.0, 2.0))
+        stats.straggler_windows.append((0, 2.0, 4.0, 3.0))
+        assert stats.degraded_device_s(10.0) == pytest.approx(3.0)  # [1,4), not 4.0
+
+    def test_degraded_seconds_distinct_devices_still_add(self):
+        stats = FaultStats()
+        stats.straggler_windows.append((0, 1.0, 3.0, 2.0))
+        stats.straggler_windows.append((1, 2.0, 4.0, 3.0))
+        assert stats.degraded_device_s(10.0) == pytest.approx(4.0)
+
+    def test_degraded_seconds_disjoint_same_device(self):
+        stats = FaultStats()
+        stats.straggler_windows.append((0, 0.0, 1.0, 2.0))
+        stats.straggler_windows.append((0, 5.0, 6.0, 2.0))
+        assert stats.degraded_device_s(10.0) == pytest.approx(2.0)
 
     def test_summary_is_json_ready_and_sorted(self):
         stats = FaultStats()

@@ -1,0 +1,109 @@
+"""Unit tests for the residency journal (warm-restore substrate)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import ResidencyJournal
+
+
+class TestRecording:
+    def test_entries_are_stamped_with_the_advanced_clock(self):
+        j = ResidencyJournal()
+        j.advance(1.5)
+        j.note_put(7, 0, 1024)
+        j.note_drop(7, 0)
+        assert j.entries() == [
+            {"op": "put", "time_s": 1.5, "uid": 7, "device": 0, "nbytes": 1024},
+            {"op": "drop", "time_s": 1.5, "uid": 7, "device": 0, "nbytes": 0},
+        ]
+        assert len(j) == 2 and j.total_recorded == 2
+
+    def test_clock_never_goes_backwards(self):
+        j = ResidencyJournal()
+        j.advance(2.0)
+        j.advance(1.0)
+        assert j.now == 2.0
+
+    def test_capacity_bounds_the_ring(self):
+        j = ResidencyJournal(capacity=3)
+        for uid in range(5):
+            j.note_put(uid, 0, 8)
+        assert len(j) == 3
+        assert [e["uid"] for e in j.entries()] == [2, 3, 4]  # oldest rotated out
+        assert j.total_recorded == 5  # counter survives rotation
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            ResidencyJournal(capacity=0)
+
+
+class TestHotTensors:
+    def test_ranked_by_put_count_then_recency(self):
+        j = ResidencyJournal()
+        j.advance(1.0)
+        j.note_put(1, 0, 100)
+        j.note_put(2, 0, 200)
+        j.advance(2.0)
+        j.note_put(1, 1, 100)  # uid 1: two puts
+        j.note_put(3, 0, 300)  # uid 3: one put, most recent
+        assert j.hot_tensors() == [(1, 100), (3, 300), (2, 200)]
+
+    def test_drops_do_not_count_toward_hotness(self):
+        j = ResidencyJournal()
+        j.note_put(1, 0, 100)
+        j.note_drop(1, 0)
+        j.note_drop(1, 1)
+        j.note_put(2, 0, 200)
+        j.note_put(2, 1, 200)
+        assert [uid for uid, _ in j.hot_tensors()] == [2, 1]
+
+    def test_empty_journal_has_no_hot_set(self):
+        assert ResidencyJournal().hot_tensors() == []
+
+
+class TestRestoreAccounting:
+    def test_note_restore_accumulates(self):
+        j = ResidencyJournal()
+        j.note_restore(3, tensors=4, cost_s=0.25)
+        j.note_restore(5, tensors=2, cost_s=0.5)
+        s = j.summary()
+        assert s["restores"] == 2
+        assert s["prewarmed_tensors"] == 6
+        assert s["prewarm_cost_s"] == pytest.approx(0.75)
+
+
+class TestPersistence:
+    def test_json_round_trip(self, tmp_path):
+        j = ResidencyJournal(capacity=16)
+        j.advance(0.5)
+        j.note_put(1, 0, 100)
+        j.note_drop(1, 0)
+        j.note_restore(2, tensors=1, cost_s=0.1)
+        path = tmp_path / "journal.json"
+        j.to_json(path)
+        back = ResidencyJournal.from_json(path)
+        assert back.entries() == j.entries()
+        assert back.capacity == 16
+        assert back.summary() == j.summary()
+
+    def test_from_json_rejects_non_object(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ConfigurationError):
+            ResidencyJournal.from_json(path)
+
+    def test_from_json_rejects_unknown_op(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text(
+            json.dumps({"log": [{"op": "swap", "time_s": 0.0, "uid": 1, "device": 0}]})
+        )
+        with pytest.raises(ConfigurationError, match="unknown op"):
+            ResidencyJournal.from_json(path)
+
+    def test_from_json_rejects_missing_fields(self, tmp_path):
+        path = tmp_path / "journal.json"
+        path.write_text(json.dumps({"log": [{"op": "put", "uid": 1}]}))
+        with pytest.raises(ConfigurationError, match="entry 0"):
+            ResidencyJournal.from_json(path)

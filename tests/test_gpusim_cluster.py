@@ -247,3 +247,76 @@ class TestElasticPool:
         other = cl.clone()
         assert other.is_failed(1)
         assert other.offline_ids() == [2]
+
+
+class TestFailureDomains:
+    def test_fail_node_kills_every_member(self):
+        cl = make_cluster(num_devices=4)
+        a, b = make_tensor(), make_tensor()
+        cl.register(a, 0)
+        cl.register(b, 1)
+        orphaned = cl.fail_node([0, 1])
+        assert set(orphaned) == {0, 1}
+        assert orphaned[0] == [a.uid] and orphaned[1] == [b.uid]
+        assert cl.alive_ids() == [2, 3]
+        assert cl.is_failed(0) and cl.is_failed(1)
+        cl.check_invariants()
+
+    def test_fail_node_skips_already_dead_members(self):
+        cl = make_cluster(num_devices=4)
+        cl.fail_device(1)
+        orphaned = cl.fail_node([0, 1])
+        assert set(orphaned) == {0}  # 1 was already gone
+
+    def test_fail_node_atomic_before_recovery(self):
+        # After fail_node returns, no member is alive: recovery code
+        # consulting alive_ids can never pick a doomed sibling.
+        cl = make_cluster(num_devices=4)
+        orphaned = cl.fail_node([2, 3])
+        assert set(orphaned) == {2, 3}
+        assert all(not cl.is_alive(d) for d in (2, 3))
+
+
+class TestPrewarm:
+    def test_prewarm_places_tensor_in_free_space(self):
+        cl = make_cluster(num_devices=2)
+        assert cl.prewarm(uid=99, nbytes=MIB, device_id=0)
+        assert cl.is_resident(99, 0)
+        assert cl.used_bytes(0) == MIB
+        cl.check_invariants()
+
+    def test_prewarm_never_evicts(self):
+        cl = make_cluster(num_devices=1, memory_bytes=2 * MIB)
+        t = make_tensor(size=256, batch=4)  # 256*256*4 floats = 1 MiB
+        cl.register(t, 0)
+        assert not cl.prewarm(uid=98, nbytes=2 * MIB, device_id=0)
+        assert cl.is_resident(t.uid, 0)  # existing residency untouched
+
+    def test_prewarm_rejects_offline_and_duplicate(self):
+        cl = make_cluster(num_devices=2)
+        cl.retire_device(1)
+        assert not cl.prewarm(uid=1, nbytes=64, device_id=1)
+        assert cl.prewarm(uid=1, nbytes=64, device_id=0)
+        assert not cl.prewarm(uid=1, nbytes=64, device_id=0)  # already there
+
+
+class TestJournalHooks:
+    def test_register_drop_and_offline_notify_journal(self):
+        from repro.faults import ResidencyJournal
+
+        cl = make_cluster(num_devices=2)
+        cl.journal = ResidencyJournal()
+        t = make_tensor()
+        cl.register(t, 0)
+        cl.drop(t.uid, 0)
+        cl.register(t, 1)
+        cl.fail_device(1)
+        ops = [e["op"] for e in cl.journal.entries()]
+        assert ops == ["put", "drop", "put", "drop"]
+
+    def test_clone_does_not_share_journal(self):
+        from repro.faults import ResidencyJournal
+
+        cl = make_cluster(num_devices=2)
+        cl.journal = ResidencyJournal()
+        assert cl.clone().journal is None

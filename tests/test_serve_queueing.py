@@ -6,6 +6,7 @@ from repro.errors import ConfigurationError
 from repro.serve.queueing import (
     QUEUE_POLICIES,
     AdmissionQueue,
+    FaultAware,
     Fifo,
     QueuePolicy,
     Sjf,
@@ -199,3 +200,76 @@ class TestValidation:
     def test_non_policy_object_rejected(self):
         with pytest.raises(ConfigurationError):
             AdmissionQueue(policy=42)
+
+
+class TestFaultAware:
+    def test_default_policy_admits_everything(self):
+        assert Fifo().admit(ticket(), now=0.0)
+
+    def test_no_faults_means_admission(self):
+        p = FaultAware(Fifo())
+        p.observe(0.0, fault_events=0, alive=4, total=4)
+        assert p.success_probability(ticket(), now=0.0) == pytest.approx(1.0)
+        assert p.admit(ticket(), now=0.0)
+        assert p.shed_predicted == 0
+
+    def test_fault_burst_sheds_then_decays(self):
+        p = FaultAware(Fifo(), tau_s=0.1, min_success_prob=0.9,
+                       exposure_s_per_pair=1e-2)
+        p.observe(1.0, fault_events=5, alive=4, total=4)
+        # rate = 5/0.1 = 50/s; hazard = 50 * 1e-2 * 2 = 1.0 -> p ~ 0.37.
+        assert not p.admit(ticket(n_pairs=2), now=1.0)
+        assert p.shed_predicted == 1
+        # Well past the time constant the rate has decayed away.
+        assert p.admit(ticket(n_pairs=2), now=3.0)
+
+    def test_shrunken_pool_raises_hazard(self):
+        p = FaultAware(Fifo())
+        p.observe(0.0, fault_events=2, alive=4, total=4)
+        full = p.success_probability(ticket(n_pairs=4), now=0.0)
+        p.observe(0.0, fault_events=2, alive=1, total=4)
+        quarter = p.success_probability(ticket(n_pairs=4), now=0.0)
+        assert quarter < full
+
+    def test_dead_pool_sheds_everything(self):
+        p = FaultAware(Fifo())
+        p.observe(0.0, fault_events=0, alive=0, total=4)
+        assert p.success_probability(ticket(), now=0.0) == 0.0
+        assert not p.admit(ticket(), now=0.0)
+
+    def test_observe_diffs_cumulative_counts(self):
+        p = FaultAware(Fifo(), tau_s=1.0)
+        p.observe(0.0, fault_events=3, alive=4, total=4)
+        r1 = p.fault_rate(0.0)
+        p.observe(0.0, fault_events=3, alive=4, total=4)  # same cumulative
+        assert p.fault_rate(0.0) == pytest.approx(r1)  # nothing new counted
+
+    def test_dispatch_order_delegates_to_inner(self):
+        q = AdmissionQueue(capacity=8, policy=FaultAware(Sjf()))
+        big, small = ticket(n_pairs=6, vector_id=0), ticket(n_pairs=1, vector_id=1)
+        q.offer(big)
+        q.offer(small)
+        assert q.pop().vector.vector_id == 1  # sjf order preserved
+        assert q.counters()["policy"] == "fault-aware(sjf)"
+
+    def test_reset_clears_rate_and_inner(self):
+        inner = WeightedFair({"a": 1.0})
+        p = FaultAware(inner)
+        p.observe(1.0, fault_events=9, alive=2, total=4)
+        p.admit(ticket(n_pairs=50), now=1.0)
+        p.reset()
+        assert p.fault_rate(1.0) == 0.0
+        assert p.shed_predicted == 0
+        assert inner._vtime == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultAware("fifo")
+        with pytest.raises(ConfigurationError):
+            FaultAware(FaultAware(Fifo()))  # no double wrapping
+        with pytest.raises(ConfigurationError):
+            FaultAware(Fifo(), tau_s=0.0)
+        with pytest.raises(ConfigurationError):
+            FaultAware(Fifo(), min_success_prob=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultAware(Fifo(), exposure_s_per_pair=-1.0)

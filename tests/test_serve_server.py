@@ -186,3 +186,72 @@ class TestServeConfig:
 
     def test_with_override(self):
         assert ServeConfig().with_(queue_capacity=3).queue_capacity == 3
+
+
+class TestServeConfigVersioning:
+    """Versioned JSON: v2 added the failure-domain resilience knobs."""
+
+    V2_KEYS = (
+        "warm_restore", "journal_capacity", "prewarm_fraction",
+        "fault_aware_admission", "admission_min_success",
+    )
+
+    def test_v2_fields_validate(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(journal_capacity=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(prewarm_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(prewarm_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(admission_min_success=1.0)
+
+    def test_v2_round_trip(self, tmp_path):
+        import json
+
+        cfg = ServeConfig(
+            warm_restore=True, journal_capacity=128, prewarm_fraction=0.25,
+            fault_aware_admission=True, admission_min_success=0.8,
+        )
+        path = tmp_path / "cfg.json"
+        cfg.to_json(path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 2
+        assert ServeConfig.from_json(path) == cfg
+
+    def test_version_1_file_loads_with_v2_defaults(self, tmp_path):
+        import json
+
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 1, "queue_capacity": 7}))
+        cfg = ServeConfig.from_json(path)
+        assert cfg.queue_capacity == 7
+        assert cfg.warm_restore is False
+        assert cfg.fault_aware_admission is False
+
+    @pytest.mark.parametrize("key, value", [
+        ("warm_restore", True),
+        ("journal_capacity", 64),
+        ("prewarm_fraction", 0.5),
+        ("fault_aware_admission", True),
+        ("admission_min_success", 0.7),
+    ])
+    def test_v2_keys_rejected_in_version_1_file(self, tmp_path, key, value):
+        import json
+
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"version": 1, key: value}))
+        with pytest.raises(ConfigurationError):
+            ServeConfig.from_json(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        import json
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"version": 3}))
+        with pytest.raises(ConfigurationError, match="version"):
+            ServeConfig.from_json(path)
+
+    def test_unversioned_dict_assumes_current(self):
+        cfg = ServeConfig.from_dict({"warm_restore": True})
+        assert cfg.warm_restore is True
