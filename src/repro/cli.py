@@ -101,7 +101,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=None,
         help="dispatch order (default auto: weighted-fair with tenants, else fifo)",
     )
-    system.add_argument("--max-inflight", type=int, default=None, help="vectors dispatched but not complete (default 1)")
+    system.add_argument("--max-inflight", type=int, default=None, help="scheduling rounds dispatched but not complete (default 1)")
+    system.add_argument(
+        "--max-batch-vectors",
+        type=int,
+        default=None,
+        help=(
+            "coalesce up to this many compatible queued vectors into one "
+            "scheduling round (repeated tensors placed once, reused across "
+            "the round; default 1: no batching)"
+        ),
+    )
+    system.add_argument(
+        "--batch-memory-frac",
+        type=float,
+        default=None,
+        help=(
+            "cap a round's combined unique-tensor footprint at this fraction "
+            "of the alive pool's memory (default 0.5)"
+        ),
+    )
     system.add_argument(
         "--devices-per-node",
         type=int,
@@ -238,6 +257,10 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         overrides["queue_policy"] = args.queue_policy
     if args.max_inflight is not None:
         overrides["max_inflight"] = args.max_inflight
+    if args.max_batch_vectors is not None:
+        overrides["max_batch_vectors"] = args.max_batch_vectors
+    if args.batch_memory_frac is not None:
+        overrides["batch_memory_frac"] = args.batch_memory_frac
     if args.warm_restore:
         overrides["warm_restore"] = True
     if args.fault_aware:
@@ -330,6 +353,14 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
     print(f"  latency   p50 {s['p50_s'] * 1e3:8.3f} ms   p95 {s['p95_s'] * 1e3:8.3f} ms   p99 {s['p99_s'] * 1e3:8.3f} ms")
     print(f"  throughput {s['throughput_vps']:8.1f} vectors/s   drop rate {s['drop_rate']:.1%} ({s['dropped']} shed)")
     print(f"  queue      peak depth {s['queue']['peak_depth']} / capacity {s['queue']['capacity']} ({s['queue']['policy']})")
+    b = s["batching"]
+    if b["batched_rounds"]:
+        print(
+            f"  batching   {b['rounds']} rounds ({b['batched_rounds']} batched, "
+            f"mean {b['mean_round_vectors']:.2f} vectors/round, "
+            f"max {b['max_round_vectors']})   "
+            f"amortized dispatch {b['amortized_schedule_s'] * 1e3:.3f} ms"
+        )
     if result.tenants is not None:
         for name, sec in result.tenants.items():
             t = sec["summary"]

@@ -40,12 +40,20 @@ class ResidencyJournal:
         estimate only needs recent history).
     """
 
+    #: Valid ``note_drop`` reasons: ``"evict"`` (capacity eviction by the
+    #: pool's replacement policy), ``"drain"`` (explicit free of finished
+    #: data — e.g. completed outputs drained off-device), ``"migrate"``
+    #: (the copy moved to another device), ``"lost"`` (the device
+    #: holding the copy died or was retired).
+    DROP_REASONS = ("evict", "drain", "migrate", "lost")
+
     def __init__(self, capacity: int = 4096):
         if capacity < 1:
             raise ConfigurationError(f"journal capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
-        #: (op, time_s, uid, device, nbytes) ring, oldest first.
-        self._entries: deque[tuple[str, float, int, int, int]] = deque(maxlen=capacity)
+        #: (op, time_s, uid, device, nbytes, reason) ring, oldest first
+        #: (``reason`` is ``""`` for puts).
+        self._entries: deque[tuple[str, float, int, int, int, str]] = deque(maxlen=capacity)
         #: Simulated clock used to stamp entries (see :meth:`advance`).
         self.now = 0.0
         #: Deltas ever recorded, including rotated-out ones.
@@ -62,12 +70,26 @@ class ResidencyJournal:
 
     def note_put(self, uid: int, device: int, nbytes: int) -> None:
         """A tensor became resident on ``device``."""
-        self._entries.append(("put", self.now, int(uid), int(device), int(nbytes)))
+        self._entries.append(("put", self.now, int(uid), int(device), int(nbytes), ""))
         self.total_recorded += 1
 
-    def note_drop(self, uid: int, device: int) -> None:
-        """A tensor left ``device`` (eviction, drain, or device loss)."""
-        self._entries.append(("drop", self.now, int(uid), int(device), 0))
+    def note_drop(self, uid: int, device: int, reason: str = "evict") -> None:
+        """A tensor left ``device``; ``reason`` says why (see DROP_REASONS).
+
+        The reason matters to :meth:`hot_tensors`: a ``"drain"`` drop
+        with no later put means the tensor was explicitly freed as
+        no-longer-needed (a completed output drained off-device) —
+        ranking it as a prewarm candidate would re-load data nothing
+        will ask for.  ``"evict"`` (capacity pressure, not a demand
+        signal), ``"migrate"`` (the copy moved, the tensor is still
+        wanted) and ``"lost"`` (the device died under it) leave the
+        tensor ranked for warm restore.
+        """
+        if reason not in self.DROP_REASONS:
+            raise ConfigurationError(
+                f"unknown drop reason {reason!r}; expected one of {self.DROP_REASONS}"
+            )
+        self._entries.append(("drop", self.now, int(uid), int(device), 0, reason))
         self.total_recorded += 1
 
     def note_restore(self, device: int, tensors: int, cost_s: float) -> None:
@@ -81,11 +103,17 @@ class ResidencyJournal:
         return len(self._entries)
 
     def entries(self) -> list[dict]:
-        """The retained deltas as JSON-ready dicts, oldest first."""
-        return [
-            {"op": op, "time_s": t, "uid": uid, "device": dev, "nbytes": nbytes}
-            for op, t, uid, dev, nbytes in self._entries
-        ]
+        """The retained deltas as JSON-ready dicts, oldest first.
+
+        Drop entries carry a ``reason`` key; puts do not.
+        """
+        out = []
+        for op, t, uid, dev, nbytes, reason in self._entries:
+            e = {"op": op, "time_s": t, "uid": uid, "device": dev, "nbytes": nbytes}
+            if op == "drop":
+                e["reason"] = reason
+            out.append(e)
+        return out
 
     def hot_tensors(self) -> list[tuple[int, int]]:
         """Rank journaled tensors hot-first: ``[(uid, nbytes), ...]``.
@@ -95,18 +123,36 @@ class ResidencyJournal:
         frequency), then by recency of the last placement.  ``nbytes``
         is taken from the most recent ``put`` so a warm restore knows
         each candidate's footprint without a tensor catalogue.
+
+        Tensors whose *latest* event is a ``"drain"`` drop and that were
+        never re-put are excluded: a drain is an explicit this-data-is-
+        finished free (completed outputs drained off-device), so
+        pre-warming them onto a fresh device would waste its memory
+        budget on data nothing will request.  ``"evict"`` drops do NOT
+        exclude — capacity eviction says the pool was full, not that
+        the tensor is cold (evicted repeated tensors are re-fetched on
+        their next use and are exactly what prewarming saves) — and
+        ``"migrate"``/``"lost"`` drops keep the tensor ranked too: the
+        data is still wanted, it just changed (or lost) its home.
         """
         count: dict[int, int] = {}
         last_put: dict[int, float] = {}
         nbytes_of: dict[int, int] = {}
-        for op, t, uid, _dev, nbytes in self._entries:
-            if op != "put":
-                continue
-            count[uid] = count.get(uid, 0) + 1
-            last_put[uid] = t
-            nbytes_of[uid] = nbytes
+        #: uids whose most recent journal event is a drain drop.
+        gone: set[int] = set()
+        for op, t, uid, _dev, nbytes, reason in self._entries:
+            if op == "put":
+                count[uid] = count.get(uid, 0) + 1
+                last_put[uid] = t
+                nbytes_of[uid] = nbytes
+                gone.discard(uid)
+            elif reason == "drain":
+                gone.add(uid)
+            else:  # "evict"/"migrate"/"lost": not a cold signal, keep ranked
+                gone.discard(uid)
         ranked = sorted(
-            count, key=lambda uid: (-count[uid], -last_put[uid], uid)
+            (uid for uid in count if uid not in gone),
+            key=lambda uid: (-count[uid], -last_put[uid], uid),
         )
         return [(uid, nbytes_of[uid]) for uid in ranked]
 
@@ -141,7 +187,7 @@ class ResidencyJournal:
                 if e["op"] == "put":
                     journal.note_put(e["uid"], e["device"], e["nbytes"])
                 elif e["op"] == "drop":
-                    journal.note_drop(e["uid"], e["device"])
+                    journal.note_drop(e["uid"], e["device"], e.get("reason", "evict"))
                 else:
                     raise ConfigurationError(
                         f"journal entry {i} has unknown op {e['op']!r}"

@@ -144,7 +144,7 @@ class ClusterState:
                 if not holders:
                     del self._holders[r.uid]
             if self.journal is not None:
-                self.journal.note_drop(r.uid, device_id)
+                self.journal.note_drop(r.uid, device_id, "evict")
         self._holders.setdefault(spec.uid, set()).add(device_id)
         if self.journal is not None:
             self.journal.note_put(spec.uid, device_id, spec.nbytes)
@@ -154,8 +154,15 @@ class ClusterState:
         """Refresh LRU recency of a reused tensor."""
         self.pools[device_id].touch(uid)
 
-    def drop(self, uid: int, device_id: int) -> int:
-        """Explicitly free a tensor from one device; returns bytes freed."""
+    def drop(self, uid: int, device_id: int, reason: str = "drain") -> int:
+        """Explicitly free a tensor from one device; returns bytes freed.
+
+        ``reason`` is journaled verbatim (see
+        :attr:`~repro.faults.ResidencyJournal.DROP_REASONS`): the default
+        ``"drain"`` means the data is finished with (completed outputs),
+        while a copy freed because it moved elsewhere should pass
+        ``"migrate"`` so the hot-set estimate keeps ranking it.
+        """
         nbytes = self.pools[device_id].free(uid)
         if nbytes:
             holders = self._holders.get(uid)
@@ -164,14 +171,14 @@ class ClusterState:
                 if not holders:
                     del self._holders[uid]
             if self.journal is not None:
-                self.journal.note_drop(uid, device_id)
+                self.journal.note_drop(uid, device_id, reason)
         return nbytes
 
-    def drop_everywhere(self, uid: int) -> int:
+    def drop_everywhere(self, uid: int, reason: str = "drain") -> int:
         """Free a tensor from every device; returns total bytes freed."""
         total = 0
         for dev in list(self._holders.get(uid, ())):
-            total += self.drop(uid, dev)
+            total += self.drop(uid, dev, reason)
         return total
 
     def _take_offline(self, device_id: int) -> list[int]:
@@ -197,7 +204,7 @@ class ClusterState:
                 if not holders:
                     del self._holders[uid]
             if self.journal is not None:
-                self.journal.note_drop(uid, device_id)
+                self.journal.note_drop(uid, device_id, "lost")
         return orphans
 
     def fail_device(self, device_id: int) -> list[int]:

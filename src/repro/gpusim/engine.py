@@ -117,7 +117,7 @@ class ExecutionEngine:
                 self._note_fault("retry", device_id, copy_t, f"refetch {spec.uid}")
             elif copy_kind == "d2d" and cm.d2d_moves:
                 # Single-residency runtime: the source copy migrates.
-                cl.drop(spec.uid, source)
+                cl.drop(spec.uid, source, reason="migrate")
             if (
                 copy_kind == "d2d"
                 and self.injector is not None

@@ -17,9 +17,11 @@ from pathlib import Path
 #: per-vector lifecycle spans (wait → schedule → execute), the chaos
 #: layer's fault lifecycle (fault → retry → recovery), the
 #: failure-domain layer's cross-node re-fetches (xnode) and warm
-#: restores (prewarm), and the autoscaler's pool changes
-#: (scale-up → scale-online → scale-down).
+#: restores (prewarm), the autoscaler's pool changes
+#: (scale-up → scale-online → scale-down), and the dispatcher's batched
+#: scheduling rounds (batch).
 EVENT_KINDS = (
+    "batch",
     "h2d",
     "d2d",
     "alloc",

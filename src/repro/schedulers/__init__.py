@@ -10,6 +10,12 @@
 """
 
 from repro.schedulers.base import Scheduler
+from repro.schedulers.batching import (
+    batch_footprint_bytes,
+    batch_shape_key,
+    merge_vectors,
+    split_assignment,
+)
 from repro.schedulers.bounds import ReuseBounds, THIRTEEN_SETTINGS, enumerate_bounds
 from repro.schedulers.reuse_patterns import ReusePattern, classify_pair, PairClassification
 from repro.schedulers.micco import MiccoScheduler
@@ -21,6 +27,10 @@ from repro.schedulers.exhaustive import ExhaustiveScheduler
 
 __all__ = [
     "Scheduler",
+    "batch_footprint_bytes",
+    "batch_shape_key",
+    "merge_vectors",
+    "split_assignment",
     "ReuseBounds",
     "THIRTEEN_SETTINGS",
     "enumerate_bounds",

@@ -60,7 +60,24 @@ class QueuePolicy(ABC):
 
     @abstractmethod
     def key(self, ticket: Ticket, seq: int) -> tuple:
-        """Heap key for ``ticket`` offered as the ``seq``-th ticket."""
+        """Heap key for ``ticket`` offered as the ``seq``-th ticket.
+
+        MUST be side-effect free: the queue may compute a key and then
+        shed the ticket without enqueueing it, and batch assembly may
+        probe keys while scanning.  Stateful policies commit any state
+        the key implies in :meth:`observe_offer`, which runs only once
+        the ticket has actually entered the queue.
+        """
+
+    def observe_offer(self, ticket: Ticket, key: tuple) -> None:
+        """Hook called after ``ticket`` successfully enqueued under ``key``.
+
+        This is where stateful policies commit what :meth:`key`
+        computed tentatively (e.g. :class:`WeightedFair` advances the
+        tenant's virtual finish clock here).  A ticket shed before
+        enqueueing — queue full, or an admission gate rejected it —
+        never reaches this hook and therefore charges nothing.
+        """
 
     def admit(self, ticket: Ticket, now: float) -> bool:
         """Admission gate consulted before a ticket enters the system.
@@ -77,6 +94,14 @@ class QueuePolicy(ABC):
 
     def reset(self) -> None:
         """Clear any accumulated state (called when a queue is built)."""
+
+    def counters(self) -> dict:
+        """Policy-specific counters merged into the queue's report section.
+
+        The default has none; wrappers (:class:`FaultAware`) must merge
+        the wrapped policy's counters into their own.
+        """
+        return {}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
@@ -145,11 +170,16 @@ class WeightedFair(QueuePolicy):
         return self.weights.get(tenant, self.default_weight)
 
     def key(self, ticket: Ticket, seq: int) -> tuple:
+        # Tentative: the finish tag is computed without touching the
+        # tenant's clock.  Charging happens in observe_offer, so a
+        # ticket shed before enqueueing (queue full, admission gate)
+        # cannot skew its tenant's share under saturation.
         cost = ticket.vector.num_tensors / self.weight_of(ticket.tenant)
         start = max(self._vtime, self._finish.get(ticket.tenant, 0.0))
-        finish = start + cost
-        self._finish[ticket.tenant] = finish
-        return (finish, seq)
+        return (start + cost, seq)
+
+    def observe_offer(self, ticket: Ticket, key: tuple) -> None:
+        self._finish[ticket.tenant] = key[0]
 
     def observe_pop(self, key: tuple) -> None:
         self._vtime = max(self._vtime, key[0])
@@ -267,6 +297,9 @@ class FaultAware(QueuePolicy):
     def key(self, ticket: Ticket, seq: int) -> tuple:
         return self.inner.key(ticket, seq)
 
+    def observe_offer(self, ticket: Ticket, key: tuple) -> None:
+        self.inner.observe_offer(ticket, key)
+
     def observe_pop(self, key: tuple) -> None:
         self.inner.observe_pop(key)
 
@@ -277,6 +310,9 @@ class FaultAware(QueuePolicy):
         self._events_seen = 0
         self._alive_frac = 1.0
         self.shed_predicted = 0
+
+    def counters(self) -> dict:
+        return {**self.inner.counters(), "shed_predicted": self.shed_predicted}
 
 
 _POLICY_FACTORIES = {"fifo": Fifo, "sjf": Sjf, "weighted": WeightedFair}
@@ -346,12 +382,20 @@ class AdmissionQueue:
         return len(self._heap) >= self.capacity
 
     def offer(self, ticket: Ticket) -> bool:
-        """Try to enqueue; returns False (and counts a drop) when full."""
+        """Try to enqueue; returns False (and counts a drop) when full.
+
+        The policy key is computed tentatively and committed via
+        :meth:`QueuePolicy.observe_offer` only once the ticket is
+        actually in the heap, so shed tickets charge no policy state
+        (e.g. no weighted-fair virtual time).
+        """
         if self.is_full:
             self.dropped += 1
             return False
         seq = next(self._seq)
-        heapq.heappush(self._heap, (*self.policy.key(ticket, seq), ticket))
+        key = self.policy.key(ticket, seq)
+        heapq.heappush(self._heap, (*key, ticket))
+        self.policy.observe_offer(ticket, key)
         self.admitted += 1
         self.peak_depth = max(self.peak_depth, len(self._heap))
         return True
@@ -364,12 +408,48 @@ class AdmissionQueue:
         self.policy.observe_pop(entry[:-1])
         return entry[-1]
 
+    def pop_batch(self, limit: int, accept=None) -> list[Ticket]:
+        """Pop up to ``limit`` tickets for one scheduling round.
+
+        The head ticket (first in policy order) is always taken.  The
+        remaining queue is then scanned *in policy order*; each
+        candidate is offered to ``accept(members, candidate)`` and
+        either joins the batch or is left queued.  Skipped tickets are
+        re-inserted under their original keys, so their relative
+        dispatch order — including weighted-fair finish tags — is
+        preserved exactly.  Returns ``[]`` when the queue is empty.
+        """
+        if limit < 1:
+            raise ConfigurationError(f"batch limit must be >= 1, got {limit}")
+        if not self._heap:
+            return []
+        first = heapq.heappop(self._heap)
+        self.policy.observe_pop(first[:-1])
+        members = [first[-1]]
+        if limit > 1 and self._heap:
+            skipped: list[tuple] = []
+            while self._heap and len(members) < limit:
+                entry = heapq.heappop(self._heap)
+                if accept is None or accept(members, entry[-1]):
+                    self.policy.observe_pop(entry[:-1])
+                    members.append(entry[-1])
+                else:
+                    skipped.append(entry)
+            for entry in skipped:
+                heapq.heappush(self._heap, entry)
+        return members
+
     def counters(self) -> dict:
-        """Snapshot of the admission counters for reports."""
+        """Snapshot of the admission counters for reports.
+
+        Policy-specific counters (e.g. :class:`FaultAware`'s
+        ``shed_predicted``) merge in alongside the queue's own.
+        """
         return {
             "capacity": self.capacity,
             "policy": self.policy.name,
             "admitted": self.admitted,
             "dropped": self.dropped,
             "peak_depth": self.peak_depth,
+            **self.policy.counters(),
         }

@@ -23,6 +23,7 @@ latency percentiles, bit for bit.
 
 from __future__ import annotations
 
+import itertools
 import json
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
@@ -42,6 +43,12 @@ from repro.gpusim.metrics import ExecutionMetrics
 from repro.gpusim.trace import TraceRecorder
 from repro.reporting import dump_json
 from repro.schedulers.base import Scheduler
+from repro.schedulers.batching import (
+    batch_footprint_bytes,
+    batch_shape_key,
+    merge_vectors,
+    split_assignment,
+)
 from repro.schedulers.micco import MiccoScheduler
 from repro.serve.arrivals import ArrivalProcess, TraceArrivals
 from repro.serve.autoscale import Autoscaler, AutoscalerConfig
@@ -56,6 +63,7 @@ from repro.serve.queueing import (
 from repro.serve.slo import LatencyReport
 from repro.serve.tenancy import TenantSpec, TenantStream, build_streams, tenant_sections
 from repro.serve.timeline import (
+    BatchRound,
     DeviceOnline,
     SchedulingDone,
     Ticket,
@@ -131,6 +139,19 @@ class ServeConfig:
         being fault-abandoned mid-run.
     admission_min_success:
         Completion-probability threshold of the fault-aware gate.
+    max_batch_vectors:
+        Upper bound on queued vectors coalesced into one *scheduling
+        round* at dispatch.  1 (default) disables batching; higher
+        values let the dispatcher merge compatible vectors (same
+        workload shape family, combined footprint within
+        ``batch_memory_frac``) into one super-vector scheduled together
+        — repeated tensors are placed once and reused across the round
+        — then de-multiplexed back into per-vector completions so
+        per-ticket latency, SLO and fault accounting stay exact.
+    batch_memory_frac:
+        Fraction of the *alive* pool's combined device memory a round's
+        unique tensor footprint may occupy.  The batch assembler stops
+        adding members when the next one would cross this budget.
     """
 
     queue_capacity: int = 64
@@ -146,6 +167,8 @@ class ServeConfig:
     prewarm_fraction: float = 0.5
     fault_aware_admission: bool = False
     admission_min_success: float = 0.5
+    max_batch_vectors: int = 1
+    batch_memory_frac: float = 0.5
 
     def __post_init__(self):
         if self.queue_capacity <= 0:
@@ -178,6 +201,14 @@ class ServeConfig:
             raise ConfigurationError(
                 f"admission_min_success must be in (0, 1), got {self.admission_min_success}"
             )
+        if self.max_batch_vectors < 1:
+            raise ConfigurationError(
+                f"max_batch_vectors must be >= 1, got {self.max_batch_vectors}"
+            )
+        if not 0 < self.batch_memory_frac <= 1:
+            raise ConfigurationError(
+                f"batch_memory_frac must be in (0, 1], got {self.batch_memory_frac}"
+            )
         object.__setattr__(self, "tenants", tuple(self.tenants))
         for t in self.tenants:
             if not isinstance(t, TenantSpec):
@@ -193,9 +224,10 @@ class ServeConfig:
     #: Schema version :meth:`to_json` writes.  Version 2 added the
     #: resilience knobs (``warm_restore``/``journal_capacity``/
     #: ``prewarm_fraction``/``fault_aware_admission``/
-    #: ``admission_min_success``); version-1 files still load with those
-    #: at their defaults.
-    CONFIG_VERSION = 2
+    #: ``admission_min_success``); version 3 added the batching knobs
+    #: (``max_batch_vectors``/``batch_memory_frac``).  Older files
+    #: still load with the later versions' knobs at their defaults.
+    CONFIG_VERSION = 3
 
     # ------------------------------------------------------------ persistence
     def to_dict(self) -> dict:
@@ -214,6 +246,8 @@ class ServeConfig:
             "prewarm_fraction": self.prewarm_fraction,
             "fault_aware_admission": self.fault_aware_admission,
             "admission_min_success": self.admission_min_success,
+            "max_batch_vectors": self.max_batch_vectors,
+            "batch_memory_frac": self.batch_memory_frac,
         }
 
     @classmethod
@@ -221,9 +255,9 @@ class ServeConfig:
         if not isinstance(d, dict):
             raise ConfigurationError(f"serve config must be a JSON object, got {d!r}")
         version = d.get("version", cls.CONFIG_VERSION)
-        if version not in (1, 2):
+        if version not in (1, 2, 3):
             raise ConfigurationError(
-                f"unsupported serve config version {version!r}; this build reads 1 and 2"
+                f"unsupported serve config version {version!r}; this build reads 1 through 3"
             )
         known = {
             "queue_capacity", "queue_policy", "max_inflight",
@@ -234,8 +268,11 @@ class ServeConfig:
             "warm_restore", "journal_capacity", "prewarm_fraction",
             "fault_aware_admission", "admission_min_success",
         }
+        v3_keys = {"max_batch_vectors", "batch_memory_frac"}
         if version >= 2:
             known |= v2_keys
+        if version >= 3:
+            known |= v3_keys
         unknown = set(d) - known
         if unknown:
             raise ConfigurationError(f"unknown serve config keys: {sorted(unknown)}")
@@ -245,6 +282,7 @@ class ServeConfig:
                 "queue_capacity", "queue_policy", "max_inflight",
                 "schedule_latency_per_pair_s", "recover_faults",
                 *sorted(v2_keys),
+                *sorted(v3_keys),
             )
             if k in d
         }
@@ -287,6 +325,11 @@ class ServeResult:
     #: Residency-journal section (restores, prewarmed tensors);
     #: ``None`` unless :attr:`ServeConfig.warm_restore` was on.
     journal: dict | None = None
+    #: Per-round dispatch log: one record per scheduling round
+    #: (``round_id``, member vector ids, pair count, dispatch/sched-done
+    #: timestamps).  Singleton rounds are logged too, so the log always
+    #: covers every dispatch.
+    rounds: list[dict] = field(default_factory=list)
 
     @property
     def p99(self) -> float:
@@ -333,6 +376,8 @@ class ServeResult:
             payload["autoscale"] = self.autoscale
         if self.journal is not None:
             payload["journal"] = self.journal
+        if self.rounds:
+            payload["rounds"] = self.rounds
         if extra:
             payload.update(extra)
         dump_json(path, payload)
@@ -340,11 +385,23 @@ class ServeResult:
     def to_trace(self) -> TraceRecorder:
         """Chrome-trace view: vector lifecycle lanes plus pool events.
 
-        Fault and autoscale events render on lane ``-(device + 1)`` so
-        they never collide with the per-vector lanes (vector ids are
+        Fault and autoscale events render on lane ``-(device + 1)``,
+        and batched scheduling rounds on a ``batch`` lane block below
+        the device lanes (``-(num_devices + 1 + round_id)``), so
+        neither collides with the per-vector lanes (vector ids are
         non-negative).
         """
         trace = self.report.to_trace()
+        for rnd in self.rounds:
+            if len(rnd["members"]) < 2:
+                continue  # singleton rounds add nothing over the vector lanes
+            trace.record_at(
+                "batch",
+                -(self.metrics.num_devices + 1 + rnd["round_id"]),
+                rnd["dispatch_s"],
+                rnd["sched_done_s"] - rnd["dispatch_s"],
+                label=f"round {rnd['round_id']}: v{rnd['members']}",
+            )
         for ev in self.fault_events:
             trace.record_at(
                 ev["kind"],
@@ -401,6 +458,11 @@ class MiccoServer:
             eviction_policy=self.config.eviction_policy,
         )
         self.engine = ExecutionEngine(self.cluster, self.config.cost_model)
+        # Baseline (bounds, alive count) captured at the start of each
+        # run; every pool-size change rescales from this anchor so that
+        # repeated shrink/grow cycles cannot compound float drift (see
+        # ``_rescale_bounds``).
+        self._bounds_anchor: tuple | None = None
 
     # ------------------------------------------------------------------- run
     def run(
@@ -487,6 +549,19 @@ class MiccoServer:
         # Tickets dispatched and executed, completion event still ahead
         # (the set device loss or scale-down can orphan work out of).
         pending: dict[int, Ticket] = {}
+        round_ids = itertools.count()
+        rounds_log: list[dict] = []
+
+        # Anchor the reuse bounds before any pool-size change so every
+        # rescale derives from the run's original (bounds, pool) pair.
+        if (
+            self.predictor is None
+            and hasattr(self.scheduler, "bounds")
+            and hasattr(self.scheduler, "set_bounds")
+        ):
+            self._bounds_anchor = (self.scheduler.bounds, self.cluster.num_alive)
+        else:
+            self._bounds_anchor = None
 
         if scaler is not None:
             self._shrink_to_initial(scaler)
@@ -495,28 +570,54 @@ class MiccoServer:
             for t, v in zip(stream.times, stream.vectors):
                 timeline.push(VectorArrival(t, Ticket(vector=v, arrival_s=t, tenant=tenant)))
 
-        def dispatch(ticket: Ticket, now: float) -> None:
+        def dispatch(members: list[Ticket], now: float) -> None:
+            """Dispatch one scheduling round (``inflight`` counts rounds)."""
             nonlocal inflight
             inflight += 1
-            ticket.dispatch_s = now
-            latency = cfg.schedule_latency_per_pair_s * len(ticket.vector.pairs)
-            timeline.push(SchedulingDone(now + latency, ticket))
+            rnd = BatchRound(round_id=next(round_ids), members=members)
+            for t in members:
+                t.dispatch_s = now
+                t.round_id = rnd.round_id
+                t.round_size = len(members)
+                t.round = rnd
+            latency = cfg.schedule_latency_per_pair_s * rnd.num_pairs
+            timeline.push(SchedulingDone(now + latency, members[0], round=rnd))
+            rounds_log.append(
+                {
+                    "round_id": rnd.round_id,
+                    "members": [t.vector.vector_id for t in members],
+                    "pairs": rnd.num_pairs,
+                    "dispatch_s": now,
+                    "sched_done_s": now + latency,
+                }
+            )
 
         def refill(now: float) -> None:
             while inflight < cfg.max_inflight:
-                nxt = queue.pop()
-                if nxt is None:
+                members = self._pop_round(queue)
+                if not members:
                     break
-                dispatch(nxt, now)
+                dispatch(members, now)
+
+        def settle(ticket: Ticket, now: float) -> None:
+            """A round member is done (completed or shed); the round's
+            scheduling slot frees only when its last member settles."""
+            nonlocal inflight
+            pending.pop(id(ticket), None)
+            rnd = ticket.round
+            ticket.round = None
+            if rnd is not None:
+                rnd.remaining -= 1
+                if rnd.remaining > 0:
+                    return
+            inflight -= 1
+            refill(now)
 
         def abandon(ticket: Ticket, now: float) -> None:
             """Shed an admitted ticket that can no longer complete."""
-            nonlocal inflight
             ticket.epoch += 1  # invalidate any queued completion event
             report.add_drop(ticket, reason="fault-abandoned")
-            pending.pop(id(ticket), None)
-            inflight -= 1
-            refill(now)
+            settle(ticket, now)
 
         self.engine.injector = injector
         self.cluster.journal = journal
@@ -560,35 +661,46 @@ class MiccoServer:
                         if injector is not None:
                             injector.stats.predicted_infeasible += 1
                     elif inflight < cfg.max_inflight and not len(queue):
-                        dispatch(ticket, now)
+                        dispatch([ticket], now)
                     elif not queue.offer(ticket):
                         report.add_drop(ticket)
 
                 elif isinstance(event, SchedulingDone):
-                    ticket.sched_done_s = now
+                    members = event.round.members if event.round is not None else [ticket]
+                    for t in members:
+                        t.sched_done_s = now
                     if self.cluster.num_alive == 0:
-                        abandon(ticket, now)
+                        for t in members:
+                            abandon(t, now)
                         continue
+                    merged = merge_vectors([t.vector for t in members])
                     try:
                         vec_metrics, assignment = self._schedule_and_execute(
-                            ticket.vector, tracker, wants_bounds
+                            merged, tracker, wants_bounds
                         )
                     except FaultError:
                         # Retry budget exhausted (or the pool died under
-                        # us): shed the vector, keep the cluster serving.
-                        abandon(ticket, now)
+                        # us): shed the round, keep the cluster serving.
+                        for t in members:
+                            abandon(t, now)
                         continue
-                    ticket.assignment = assignment
-                    ticket.devices = sorted(set(assignment))
-                    # Per-device busy seconds this vector added.
+                    # Per-device busy seconds this round added; members
+                    # share the round's horizon on the devices they use.
                     delta = vec_metrics.compute_s + vec_metrics.memop_s
-                    complete = now
-                    for dev in ticket.devices:
+                    for dev in sorted(set(assignment)):
                         busy_until[dev] = max(busy_until[dev], now) + delta[dev]
-                        complete = max(complete, busy_until[dev])
                     total.merge(vec_metrics)
-                    pending[id(ticket)] = ticket
-                    timeline.push(VectorCompletion(complete, ticket, epoch=ticket.epoch))
+                    # De-multiplex: each member keeps its own assignment
+                    # slice and completes when its own devices drain.
+                    slices = split_assignment([t.vector for t in members], assignment)
+                    for t, sl in zip(members, slices):
+                        t.assignment = sl
+                        t.devices = sorted(set(sl))
+                        complete = max((busy_until[d] for d in t.devices), default=now)
+                        pending[id(t)] = t
+                        timeline.push(
+                            VectorCompletion(max(complete, now), t, epoch=t.epoch)
+                        )
 
                 elif isinstance(event, VectorCompletion):
                     if event.epoch != ticket.epoch:
@@ -597,9 +709,7 @@ class MiccoServer:
                     rec = report.add_completion(ticket)
                     if scaler is not None:
                         scaler.observe_completion(now, rec.latency_s)
-                    pending.pop(id(ticket), None)
-                    inflight -= 1
-                    refill(now)
+                    settle(ticket, now)
 
                 elif isinstance(event, DeviceOnline):
                     self._bring_online(
@@ -626,7 +736,37 @@ class MiccoServer:
             tenants=tenant_sections(report, specs) if specs else None,
             autoscale=scaler.summary() if scaler is not None else None,
             journal=journal.summary() if journal is not None else None,
+            rounds=rounds_log,
         )
+
+    def _pop_round(self, queue: AdmissionQueue) -> list[Ticket]:
+        """Pop the next scheduling round's members from the queue.
+
+        With :attr:`ServeConfig.max_batch_vectors` at 1 this is a plain
+        policy-order pop.  Otherwise the queue head anchors the round
+        and later entries (still visited in policy order, so
+        weighted-fair and fault-aware ordering is respected) join it
+        while they share the head's workload shape family and the
+        round's combined unique-tensor footprint stays within
+        :attr:`ServeConfig.batch_memory_frac` of the alive pool's
+        memory.  Incompatible entries are skipped, not dropped — they
+        keep their queue position for later rounds.
+        """
+        cfg = self.serve_config
+        if cfg.max_batch_vectors <= 1:
+            nxt = queue.pop()
+            return [nxt] if nxt is not None else []
+        budget = cfg.batch_memory_frac * sum(
+            self.cluster.devices[d].memory_bytes for d in self.cluster.alive_ids()
+        )
+
+        def accept(members: list[Ticket], candidate: Ticket) -> bool:
+            if batch_shape_key(candidate.vector) != batch_shape_key(members[0].vector):
+                return False
+            vectors = [t.vector for t in members] + [candidate.vector]
+            return batch_footprint_bytes(vectors) <= budget
+
+        return queue.pop_batch(cfg.max_batch_vectors, accept=accept)
 
     def _resolve_policy(self, streams: list[TenantStream]) -> QueuePolicy:
         """Build the dispatch policy for this run's streams.
@@ -768,12 +908,16 @@ class MiccoServer:
     ) -> tuple[int, float]:
         """Replay the residency journal onto a just-activated device.
 
-        The journal's hottest tensors that are currently resident
-        *nowhere* (a live copy is one cheap D2D away; a homeless one
-        costs a host fetch on the critical path) are pre-loaded until
+        The journal's hottest tensors not yet resident on *this* device
+        are pre-loaded — sourced over a D2D link when a live copy
+        survives elsewhere, from the host otherwise — until
         :attr:`ServeConfig.prewarm_fraction` of the device's memory is
-        used.  Returns ``(tensors restored, simulated seconds spent)``;
-        the caller charges the seconds to the device's busy horizon.
+        used.  The point is to hand the fresh device the pool's hot
+        working set while it is still idle: the first vectors it serves
+        reuse resident inputs instead of stalling on fetches on their
+        critical path.  Returns ``(tensors restored, simulated seconds
+        spent)``; the caller charges the seconds to the device's busy
+        horizon.
         """
         journal = self.cluster.journal
         cm = self.config.cost_model
@@ -781,13 +925,18 @@ class MiccoServer:
         restored = 0
         cost = 0.0
         for uid, nbytes in journal.hot_tensors():
-            if self.cluster.devices_holding(uid):
+            if self.cluster.is_resident(uid, device):
                 continue
             if self.cluster.used_bytes(device) + nbytes > budget:
                 continue
+            holders = self.cluster.devices_holding(uid)
             if not self.cluster.prewarm(uid, nbytes, device):
                 continue
-            cost += cm.h2d_time(nbytes) + cm.alloc_time(nbytes)
+            if holders:
+                copy_t = cm.d2d_time(nbytes, min(holders), device)
+            else:
+                copy_t = cm.h2d_time(nbytes)
+            cost += copy_t + cm.alloc_time(nbytes)
             restored += 1
         if restored:
             journal.note_restore(device, restored, cost)
@@ -803,6 +952,17 @@ class MiccoServer:
     def _rescale_bounds(self, alive_before: int, alive_after: int) -> None:
         """Re-apply the reuse bounds after a pool-size change.
 
+        Rescaling always derives from the *anchor* — the (bounds, pool
+        size) pair captured when the run started — never by chaining
+        ``rescaled()`` off the previous rescale's output.  Chained
+        rescales compound float rounding: after a few shrink/grow
+        cycles that return to the original pool size, the bounds end up
+        at e.g. ``4.9999999999999964`` instead of ``5.0``, silently
+        shifting the availability test.  From the anchor, returning to
+        any previously seen pool size reproduces bit-identical bounds
+        (rescaling is evaluated once per target size, so it is
+        idempotent and composition-free by construction).
+
         Skipped when a predictor re-derives bounds per vector anyway,
         when the scheduler has no bounds to scale, or when the pool was
         empty (no meaningful previous share to scale from).
@@ -811,13 +971,13 @@ class MiccoServer:
             alive_before != alive_after
             and alive_before > 0
             and alive_after > 0
-            and self.predictor is None
-            and hasattr(self.scheduler, "bounds")
-            and hasattr(self.scheduler, "set_bounds")
+            and self._bounds_anchor is not None
         ):
-            self.scheduler.set_bounds(
-                self.scheduler.bounds.rescaled(alive_before, alive_after)
-            )
+            bounds0, alive0 = self._bounds_anchor
+            if alive_after == alive0:
+                self.scheduler.set_bounds(bounds0)
+            else:
+                self.scheduler.set_bounds(bounds0.rescaled(alive0, alive_after))
 
     # ------------------------------------------------------- fault recovery
     def _blast_radius(self, fault: FaultEvent) -> list[int]:

@@ -35,6 +35,10 @@ class VectorLatency:
     devices: tuple[int, ...] = ()
     #: Owning tenant name (``None`` for single-tenant runs).
     tenant: str | None = None
+    #: Scheduling round the vector was dispatched in (``None`` for runs
+    #: predating batched rounds) and how many vectors that round held.
+    round_id: int | None = None
+    round_size: int = 1
 
     @property
     def queue_wait_s(self) -> float:
@@ -92,6 +96,8 @@ class LatencyReport:
             pairs=len(ticket.vector.pairs),
             devices=tuple(ticket.devices),
             tenant=ticket.tenant,
+            round_id=ticket.round_id,
+            round_size=ticket.round_size,
         )
         self.completed.append(rec)
         return rec
@@ -212,6 +218,34 @@ class LatencyReport:
             for i, c in enumerate(counts)
         ]
 
+    def batching_summary(self) -> dict:
+        """Batched-round occupancy and amortized-dispatch metrics.
+
+        ``rounds`` counts distinct scheduling rounds among the
+        completions; ``mean_round_vectors`` is the mean batch occupancy
+        (vectors coalesced per round); ``amortized_schedule_s`` is the
+        mean scheduling latency a vector pays *divided by its round's
+        occupancy* — the per-vector dispatch cost after amortization
+        across the round.  Unbatched runs degenerate to one round per
+        vector and an amortized cost equal to the plain mean.
+        """
+        rounds: dict[int, int] = {}
+        for r in self.completed:
+            if r.round_id is not None:
+                rounds[r.round_id] = max(rounds.get(r.round_id, 0), r.round_size)
+        n = len(rounds)
+        return {
+            "rounds": n,
+            "batched_rounds": sum(1 for size in rounds.values() if size > 1),
+            "mean_round_vectors": (sum(rounds.values()) / n) if n else 0.0,
+            "max_round_vectors": max(rounds.values(), default=0),
+            "amortized_schedule_s": (
+                float(np.mean([r.schedule_s / r.round_size for r in self.completed]))
+                if self.completed
+                else float("nan")
+            ),
+        }
+
     def summary(self) -> dict:
         """Flat dict of the headline SLO numbers."""
         span = self.makespan_s
@@ -232,6 +266,7 @@ class LatencyReport:
             ),
             "makespan_s": span,
             "throughput_vps": len(self.completed) / span if span > 0 else 0.0,
+            "batching": self.batching_summary(),
         }
 
     # --------------------------------------------------------------- exports

@@ -44,10 +44,49 @@ class Ticket:
     devices: list[int] = field(default_factory=list)
     #: Full pair→device assignment (index-aligned with ``vector.pairs``);
     #: recovery rewrites entries when orphaned pairs are re-scheduled.
+    #: For a batched round this is the ticket's *own slice* of the merged
+    #: assignment, so per-member fault recovery needs no round context.
     assignment: list[int] = field(default_factory=list)
     #: Bumped each time recovery supersedes the ticket's completion
     #: event; stale :class:`VectorCompletion` events are skipped.
     epoch: int = 0
+    #: Scheduling round this ticket was dispatched in (``None`` before
+    #: dispatch) and how many member vectors that round coalesced.
+    round_id: int | None = None
+    round_size: int = 1
+    #: Live reference to the in-flight :class:`BatchRound`; cleared when
+    #: the ticket settles (completes or is shed) so the round's
+    #: scheduling slot is released exactly once per member.
+    round: "BatchRound | None" = None
+
+
+@dataclass
+class BatchRound:
+    """One scheduling round: the batch of tickets dispatched together.
+
+    The serving loop may coalesce several compatible queued vectors into
+    one round (see :attr:`~repro.serve.server.ServeConfig.max_batch_vectors`);
+    their pairs are scheduled as a single merged vector so repeated
+    tensors across the members are placed once, then each member gets
+    its own :class:`VectorCompletion` event.  ``remaining`` counts the
+    members still in flight — the round's scheduling slot is released
+    only when every member has completed or been shed.
+    """
+
+    round_id: int
+    members: list["Ticket"]
+    #: Members not yet completed/abandoned (inits to ``len(members)``).
+    remaining: int = -1
+
+    def __post_init__(self):
+        if not self.members:
+            raise ConfigurationError("a scheduling round needs at least one ticket")
+        if self.remaining < 0:
+            self.remaining = len(self.members)
+
+    @property
+    def num_pairs(self) -> int:
+        return sum(len(t.vector.pairs) for t in self.members)
 
 
 @dataclass(frozen=True)
@@ -73,7 +112,14 @@ class VectorArrival(Event):
 
 @dataclass(frozen=True)
 class SchedulingDone(Event):
-    """The dispatcher finished the vector's pair→GPU assignment."""
+    """The dispatcher finished the round's pair→GPU assignment.
+
+    ``round`` carries the full :class:`BatchRound` when the serving loop
+    dispatched a batched round; ``ticket`` stays the round's head member
+    so single-vector consumers keep working unchanged.
+    """
+
+    round: "BatchRound | None" = None
 
 
 @dataclass(frozen=True)

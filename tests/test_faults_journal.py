@@ -16,9 +16,15 @@ class TestRecording:
         j.note_drop(7, 0)
         assert j.entries() == [
             {"op": "put", "time_s": 1.5, "uid": 7, "device": 0, "nbytes": 1024},
-            {"op": "drop", "time_s": 1.5, "uid": 7, "device": 0, "nbytes": 0},
+            {"op": "drop", "time_s": 1.5, "uid": 7, "device": 0, "nbytes": 0,
+             "reason": "evict"},
         ]
         assert len(j) == 2 and j.total_recorded == 2
+
+    def test_drop_reason_validated(self):
+        j = ResidencyJournal()
+        with pytest.raises(ConfigurationError, match="drop reason"):
+            j.note_drop(1, 0, "misplaced")
 
     def test_clock_never_goes_backwards(self):
         j = ResidencyJournal()
@@ -53,11 +59,50 @@ class TestHotTensors:
     def test_drops_do_not_count_toward_hotness(self):
         j = ResidencyJournal()
         j.note_put(1, 0, 100)
-        j.note_drop(1, 0)
-        j.note_drop(1, 1)
+        j.note_drop(1, 0, "lost")  # involuntary: stays ranked
         j.note_put(2, 0, 200)
         j.note_put(2, 1, 200)
         assert [uid for uid, _ in j.hot_tensors()] == [2, 1]
+
+    def test_drained_never_reput_is_not_ranked(self):
+        # A drain is an explicit this-data-is-finished free (completed
+        # outputs): never ranked again unless re-put.
+        j = ResidencyJournal()
+        j.note_put(1, 0, 100)
+        j.note_drop(1, 0, "drain")
+        j.note_put(2, 0, 200)
+        assert [uid for uid, _ in j.hot_tensors()] == [2]
+
+    def test_evicted_tensor_stays_ranked(self):
+        # Capacity eviction is a pressure signal, not a cold signal:
+        # the evicted tensor is still a prewarm candidate.
+        j = ResidencyJournal()
+        j.note_put(1, 0, 100)
+        j.note_drop(1, 0, "evict")
+        assert [uid for uid, _ in j.hot_tensors()] == [1]
+
+    def test_reput_after_drain_restores_ranking(self):
+        j = ResidencyJournal()
+        j.note_put(1, 0, 100)
+        j.note_drop(1, 0, "drain")
+        j.note_put(1, 1, 100)  # wanted again: back in the hot set
+        assert [uid for uid, _ in j.hot_tensors()] == [1]
+
+    def test_migrated_tensor_stays_ranked(self):
+        # A d2d migration puts on the destination *then* drops the
+        # source copy; the trailing drop must not read as "finished".
+        j = ResidencyJournal()
+        j.note_put(1, 1, 100)  # copy lands on the destination
+        j.note_drop(1, 0, "migrate")  # source copy freed
+        assert [uid for uid, _ in j.hot_tensors()] == [1]
+
+    def test_lost_tensors_stay_ranked_for_warm_restore(self):
+        j = ResidencyJournal()
+        j.note_put(1, 0, 100)
+        j.note_put(1, 1, 100)
+        j.note_drop(1, 0, "lost")
+        j.note_drop(1, 1, "lost")
+        assert j.hot_tensors() == [(1, 100)]
 
     def test_empty_journal_has_no_hot_set(self):
         assert ResidencyJournal().hot_tensors() == []

@@ -152,6 +152,119 @@ class TestWeightedFair:
         assert p._vtime == 0.0 and p._finish == {}
 
 
+class TestWeightedFairPurity:
+    """key() must be side-effect free; clocks commit only on enqueue."""
+
+    def test_key_is_pure(self):
+        p = WeightedFair({"a": 1.0})
+        k1 = p.key(ticket(tenant="a"), 0)
+        k2 = p.key(ticket(tenant="a"), 1)
+        # Repeated probes without an offer see the same virtual clock.
+        assert k1[0] == k2[0]
+        assert p._finish == {}
+
+    def test_shed_at_full_queue_does_not_charge_virtual_time(self):
+        # Regression: a tenant whose ticket is shed (queue full) must not
+        # have its virtual finish clock advanced — otherwise overload
+        # *punishes* the shed tenant's future share under saturation.
+        p = WeightedFair({"a": 1.0, "b": 1.0})
+        q = AdmissionQueue(capacity=2, policy=p)
+        assert q.offer(ticket(vector_id=0, tenant="a"))
+        assert q.offer(ticket(vector_id=1, tenant="b"))
+        clocks = dict(p._finish)
+        assert not q.offer(ticket(vector_id=2, tenant="b"))  # full: shed
+        assert p._finish == clocks
+
+    def test_offer_commits_exactly_once(self):
+        p = WeightedFair({"a": 2.0})
+        q = AdmissionQueue(capacity=8, policy=p)
+        t = ticket(n_pairs=2, tenant="a")  # 4 tensor slots, weight 2
+        q.offer(t)
+        assert p._finish["a"] == pytest.approx(t.vector.num_tensors / 2.0)
+
+    def test_shed_tenant_keeps_fair_share_after_overload(self):
+        # b's shed tickets charge nothing, so once capacity frees up the
+        # a/b interleave is as if the overload never happened.
+        p = WeightedFair({"a": 1.0, "b": 1.0})
+        q = AdmissionQueue(capacity=4, policy=p)
+        for i in range(2):
+            q.offer(ticket(vector_id=i, tenant="a"))
+            q.offer(ticket(vector_id=100 + i, tenant="b"))
+        for i in range(3):  # queue full: all shed
+            assert not q.offer(ticket(vector_id=200 + i, tenant="b"))
+        order = [q.pop().tenant for _ in range(4)]
+        assert order.count("a") == 2 and order.count("b") == 2
+
+
+class TestPopBatch:
+    def test_empty_queue_returns_empty_batch(self):
+        assert AdmissionQueue().pop_batch(4) == []
+
+    def test_limit_validated(self):
+        q = AdmissionQueue()
+        with pytest.raises(ConfigurationError):
+            q.pop_batch(0)
+
+    def test_takes_up_to_limit_in_policy_order(self):
+        q = AdmissionQueue(capacity=8)
+        tickets = [ticket(vector_id=i) for i in range(5)]
+        for t in tickets:
+            q.offer(t)
+        batch = q.pop_batch(3)
+        assert batch == tickets[:3]
+        assert len(q) == 2
+
+    def test_head_always_taken_even_when_accept_rejects(self):
+        q = AdmissionQueue(capacity=8)
+        a, b = ticket(vector_id=0), ticket(vector_id=1)
+        q.offer(a)
+        q.offer(b)
+        batch = q.pop_batch(4, accept=lambda members, cand: False)
+        assert batch == [a]
+        assert q.pop() is b  # skipped ticket kept its position
+
+    def test_skipped_tickets_keep_relative_order(self):
+        q = AdmissionQueue(capacity=8, policy=Sjf())
+        small = ticket(n_pairs=1, vector_id=0)
+        mid = ticket(n_pairs=2, vector_id=1)
+        big = ticket(n_pairs=8, vector_id=2)
+        for t in (big, small, mid):
+            q.offer(t)
+        # Accept only vectors matching the head's pair count: mid and big
+        # are skipped and must pop later in unchanged sjf order.
+        batch = q.pop_batch(
+            4, accept=lambda m, c: len(c.vector.pairs) == len(m[0].vector.pairs)
+        )
+        assert batch == [small]
+        assert [q.pop() for _ in range(2)] == [mid, big]
+
+    def test_accept_sees_growing_member_list(self):
+        q = AdmissionQueue(capacity=8)
+        for i in range(4):
+            q.offer(ticket(vector_id=i))
+        sizes = []
+
+        def accept(members, cand):
+            sizes.append(len(members))
+            return True
+
+        q.pop_batch(4, accept=accept)
+        assert sizes == [1, 2, 3]
+
+    def test_weighted_fair_vtime_advances_only_for_taken(self):
+        p = WeightedFair({"a": 1.0, "b": 1.0})
+        q = AdmissionQueue(capacity=8, policy=p)
+        q.offer(ticket(vector_id=0, tenant="a"))
+        q.offer(ticket(vector_id=1, tenant="b"))
+        q.pop_batch(2, accept=lambda m, c: False)  # only the head taken
+        vtime_after = p._vtime
+        # The skipped b ticket still pops with its original finish tag
+        # and only then advances the queue's virtual time.
+        t = q.pop()
+        assert t.tenant == "b"
+        assert p._vtime >= vtime_after
+
+
 class TestPolicyProtocol:
     def test_registry_names(self):
         assert QUEUE_POLICIES == ("fifo", "sjf", "weighted")
@@ -261,6 +374,30 @@ class TestFaultAware:
         assert p.fault_rate(1.0) == 0.0
         assert p.shed_predicted == 0
         assert inner._vtime == 0.0
+
+    def test_observe_offer_delegates_to_inner(self):
+        # Offering through a FaultAware-wrapped queue must advance the
+        # wrapped WeightedFair's clocks exactly as offering directly would.
+        inner = WeightedFair({"a": 1.0})
+        q = AdmissionQueue(capacity=8, policy=FaultAware(inner))
+        t = ticket(n_pairs=2, tenant="a")
+        q.offer(t)
+        assert inner._finish["a"] == pytest.approx(float(t.vector.num_tensors))
+
+    def test_counters_merge_inner_counters(self):
+        class Counting(Fifo):
+            def counters(self):
+                return {"inner_stat": 42}
+
+        p = FaultAware(Counting(), min_success_prob=0.9,
+                       exposure_s_per_pair=1e-2, tau_s=0.1)
+        p.observe(1.0, fault_events=5, alive=4, total=4)
+        p.admit(ticket(n_pairs=2), now=1.0)  # shed
+        assert p.counters() == {"inner_stat": 42, "shed_predicted": 1}
+
+    def test_queue_counters_include_policy_counters(self):
+        q = AdmissionQueue(capacity=4, policy=FaultAware(Fifo()))
+        assert q.counters()["shed_predicted"] == 0
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):

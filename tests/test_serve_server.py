@@ -189,12 +189,13 @@ class TestServeConfig:
 
 
 class TestServeConfigVersioning:
-    """Versioned JSON: v2 added the failure-domain resilience knobs."""
+    """Versioned JSON: v2 added the resilience knobs, v3 the batching knobs."""
 
     V2_KEYS = (
         "warm_restore", "journal_capacity", "prewarm_fraction",
         "fault_aware_admission", "admission_min_success",
     )
+    V3_KEYS = ("max_batch_vectors", "batch_memory_frac")
 
     def test_v2_fields_validate(self):
         with pytest.raises(ConfigurationError):
@@ -206,20 +207,29 @@ class TestServeConfigVersioning:
         with pytest.raises(ConfigurationError):
             ServeConfig(admission_min_success=1.0)
 
-    def test_v2_round_trip(self, tmp_path):
+    def test_v3_fields_validate(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(max_batch_vectors=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(batch_memory_frac=0.0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(batch_memory_frac=1.5)
+
+    def test_v3_round_trip(self, tmp_path):
         import json
 
         cfg = ServeConfig(
             warm_restore=True, journal_capacity=128, prewarm_fraction=0.25,
             fault_aware_admission=True, admission_min_success=0.8,
+            max_batch_vectors=4, batch_memory_frac=0.3,
         )
         path = tmp_path / "cfg.json"
         cfg.to_json(path)
         on_disk = json.loads(path.read_text())
-        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 2
+        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 3
         assert ServeConfig.from_json(path) == cfg
 
-    def test_version_1_file_loads_with_v2_defaults(self, tmp_path):
+    def test_version_1_file_loads_with_later_defaults(self, tmp_path):
         import json
 
         path = tmp_path / "old.json"
@@ -228,6 +238,17 @@ class TestServeConfigVersioning:
         assert cfg.queue_capacity == 7
         assert cfg.warm_restore is False
         assert cfg.fault_aware_admission is False
+        assert cfg.max_batch_vectors == 1
+
+    def test_version_2_file_loads_with_v3_defaults(self, tmp_path):
+        import json
+
+        path = tmp_path / "v2.json"
+        path.write_text(json.dumps({"version": 2, "warm_restore": True}))
+        cfg = ServeConfig.from_json(path)
+        assert cfg.warm_restore is True
+        assert cfg.max_batch_vectors == 1
+        assert cfg.batch_memory_frac == 0.5
 
     @pytest.mark.parametrize("key, value", [
         ("warm_restore", True),
@@ -235,8 +256,10 @@ class TestServeConfigVersioning:
         ("prewarm_fraction", 0.5),
         ("fault_aware_admission", True),
         ("admission_min_success", 0.7),
+        ("max_batch_vectors", 4),
+        ("batch_memory_frac", 0.3),
     ])
-    def test_v2_keys_rejected_in_version_1_file(self, tmp_path, key, value):
+    def test_newer_keys_rejected_in_version_1_file(self, tmp_path, key, value):
         import json
 
         path = tmp_path / "old.json"
@@ -244,14 +267,27 @@ class TestServeConfigVersioning:
         with pytest.raises(ConfigurationError):
             ServeConfig.from_json(path)
 
+    @pytest.mark.parametrize("key, value", [
+        ("max_batch_vectors", 4),
+        ("batch_memory_frac", 0.3),
+    ])
+    def test_v3_keys_rejected_in_version_2_file(self, tmp_path, key, value):
+        import json
+
+        path = tmp_path / "v2.json"
+        path.write_text(json.dumps({"version": 2, key: value}))
+        with pytest.raises(ConfigurationError):
+            ServeConfig.from_json(path)
+
     def test_unknown_version_rejected(self, tmp_path):
         import json
 
         path = tmp_path / "future.json"
-        path.write_text(json.dumps({"version": 3}))
+        path.write_text(json.dumps({"version": 4}))
         with pytest.raises(ConfigurationError, match="version"):
             ServeConfig.from_json(path)
 
     def test_unversioned_dict_assumes_current(self):
-        cfg = ServeConfig.from_dict({"warm_restore": True})
+        cfg = ServeConfig.from_dict({"warm_restore": True, "max_batch_vectors": 2})
         assert cfg.warm_restore is True
+        assert cfg.max_batch_vectors == 2
