@@ -132,6 +132,31 @@ def build_serve_parser() -> argparse.ArgumentParser:
         ),
     )
     system.add_argument(
+        "--sharded",
+        action="store_true",
+        help=(
+            "two-level sharded control plane: a global router routes each "
+            "vector to a per-node local scheduler (needs --devices-per-node)"
+        ),
+    )
+    system.add_argument(
+        "--sync-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --sharded: how often node runtimes report load/residency "
+            "digests to the global router (default 0.05; between syncs the "
+            "router routes on stale summaries)"
+        ),
+    )
+    system.add_argument(
+        "--routing",
+        choices=("least-loaded", "residency-affinity", "threshold-local"),
+        default=None,
+        help="with --sharded: global routing policy (default least-loaded)",
+    )
+    system.add_argument(
         "--warm-restore",
         action="store_true",
         help=(
@@ -186,6 +211,16 @@ def build_chaos_parser() -> argparse.ArgumentParser:
             "needs --devices-per-node to expand beyond one device; default 0)"
         ),
     )
+    faults.add_argument(
+        "--cut-links",
+        type=int,
+        default=0,
+        help=(
+            "nodes whose inter-node links to sever (link_lost faults: the "
+            "node's devices stay alive but cross-node fetches are staged "
+            "through the host; needs --devices-per-node; default 0)"
+        ),
+    )
     faults.add_argument("--transient", type=int, default=2, help="transient kernel faults to inject (default 2)")
     faults.add_argument("--transfer", type=int, default=2, help="transfer faults to inject (default 2)")
     faults.add_argument("--stragglers", type=int, default=1, help="straggler windows to open (default 1)")
@@ -230,6 +265,7 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         MultiTenantServer,
         PoissonArrivals,
         ServeConfig,
+        ShardedServer,
         TraceArrivals,
     )
     from repro.workloads import SyntheticWorkload, WorkloadParams
@@ -261,6 +297,12 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         overrides["max_batch_vectors"] = args.max_batch_vectors
     if args.batch_memory_frac is not None:
         overrides["batch_memory_frac"] = args.batch_memory_frac
+    if args.sharded:
+        overrides["sharded"] = True
+    if args.sync_interval is not None:
+        overrides["sync_interval_s"] = args.sync_interval
+    if args.routing is not None:
+        overrides["routing"] = args.routing
     if args.warm_restore:
         overrides["warm_restore"] = True
     if args.fault_aware:
@@ -315,6 +357,7 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             n_straggler=args.stragglers,
             n_device_lost=args.kill,
             n_node_lost=args.kill_nodes,
+            n_link_lost=args.cut_links,
             straggler_factor=args.straggler_factor,
         )
     if chaos and args.save_plan and plan is not None:
@@ -324,7 +367,8 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
     if serve_cfg.tenants:
         # Multi-tenant mode: the tenant specs define the traffic, so the
         # single-stream workload/arrival flags are unused.
-        server = MultiTenantServer(
+        server_cls = ShardedServer if serve_cfg.sharded else MultiTenantServer
+        server = server_cls(
             schedulers[args.scheduler](),
             micco_cfg,
             serve_cfg,
@@ -340,7 +384,8 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             batch=args.batch,
         )
         vectors = SyntheticWorkload(params, seed=args.seed).vectors()
-        server = MiccoServer(
+        server_cls = ShardedServer if serve_cfg.sharded else MiccoServer
+        server = server_cls(
             schedulers[args.scheduler](),
             micco_cfg,
             serve_cfg,
@@ -360,6 +405,16 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             f"mean {b['mean_round_vectors']:.2f} vectors/round, "
             f"max {b['max_round_vectors']})   "
             f"amortized dispatch {b['amortized_schedule_s'] * 1e3:.3f} ms"
+        )
+    if result.sharding is not None:
+        sh = result.sharding
+        alive = sum(1 for x in sh["shards"] if not x["dead"])
+        print(
+            f"  sharding   {sh['num_shards']} shard(s), {alive} alive   "
+            f"routing {sh['routing']} (sync every {sh['sync_interval_s']:g}s, "
+            f"{sh['syncs']} syncs)   "
+            f"{sh['forwards']} forward(s), {sh['rerouted']} rerouted, "
+            f"{sh['cross_node_fetches']} cross-node fetch(es)"
         )
     if result.tenants is not None:
         for name, sec in result.tenants.items():

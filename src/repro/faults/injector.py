@@ -57,6 +57,9 @@ class FaultInjector:
         self._armed_transfer: dict[int, int] = {}
         # (device, start_s, end_s, slow_factor) active/known windows.
         self._slow: list[tuple[int, float, float, float]] = []
+        #: Devices whose node lost its inter-node links (``link_lost``);
+        #: they stay alive but are D2D-unreachable from other nodes.
+        self._linkless: set[int] = set()
 
     # ------------------------------------------------------------ driver side
     def poll(self, now: float) -> list[FaultEvent]:
@@ -64,10 +67,11 @@ class FaultInjector:
 
         Transient/transfer faults arm against their device (the next
         ``count`` matching operations fail); straggler windows open.
-        ``device_lost`` and ``node_lost`` events are *returned* — the
-        driver must apply them (clear residency, re-schedule orphans,
-        expand a node loss to its failure domain via the topology) and
-        then call :meth:`note_device_lost` per dead device so
+        ``device_lost``, ``node_lost`` and ``link_lost`` events are
+        *returned* — the driver must apply them (clear residency,
+        re-schedule orphans, expand a node loss to its failure domain
+        via the topology) and then call :meth:`note_device_lost` per
+        dead device (or :meth:`note_link_lost` for a degraded node) so
         availability accounting sees them.
         """
         self.now = max(self.now, now)
@@ -92,7 +96,7 @@ class FaultInjector:
                 )
                 self._slow.append(window)
                 self.stats.straggler_windows.append(window)
-            else:  # FaultKind.DEVICE_LOST / FaultKind.NODE_LOST
+            else:  # DEVICE_LOST / NODE_LOST / LINK_LOST: driver applies
                 losses.append(fault)
         return losses
 
@@ -109,6 +113,36 @@ class FaultInjector:
         self._armed_kernel.pop(device, None)
         self._armed_transfer.pop(device, None)
         self._slow = [w for w in self._slow if w[0] != device]
+
+    def note_link_lost(self, devices, time_s: float) -> None:
+        """Record an applied link loss: ``devices`` are D2D-isolated.
+
+        The devices stay alive — only their node's inter-node links are
+        gone.  Subsequent cross-node fetches that can only be served by
+        an unreachable holder fall back to host staging (see
+        :meth:`reachable_holders`).
+        """
+        self.stats.link_losses += 1
+        self._linkless.update(int(d) for d in devices)
+
+    @property
+    def linkless_devices(self) -> frozenset[int]:
+        """Devices currently isolated by ``link_lost`` faults."""
+        return frozenset(self._linkless)
+
+    def reachable_holders(self, holders, dst: int, topology) -> frozenset:
+        """Holders of a tensor that ``dst`` can still reach over D2D.
+
+        A holder is reachable when it shares ``dst``'s node (intra-node
+        links survive a ``link_lost``) or when *neither* endpoint sits
+        on a link-degraded node.
+        """
+        return frozenset(
+            h
+            for h in holders
+            if topology.same_node(h, dst)
+            or (h not in self._linkless and dst not in self._linkless)
+        )
 
     # ------------------------------------------------------------ engine side
     def take_kernel_fault(self, device: int) -> bool:

@@ -8,7 +8,7 @@ seed via :meth:`FaultPlan.generate`, which draws every timestamp and
 device through :func:`repro.utils.rng.as_generator` so identical seeds
 give identical fault timelines — chaos runs are replayable bit for bit.
 
-Five fault kinds model the failure modes a long-lived serving cluster
+Six fault kinds model the failure modes a long-lived serving cluster
 actually sees:
 
 * ``transient``   — a pair's kernel execution fails and must retry,
@@ -20,7 +20,12 @@ actually sees:
   node hosting ``device`` dies at once (rack power loss, network
   partition).  The blast radius is resolved at apply time through
   :meth:`~repro.gpusim.topology.Topology.node_of`; without a topology
-  the node degenerates to the single named device.
+  the node degenerates to the single named device,
+* ``link_lost``   — partial-node degradation: the node hosting
+  ``device`` loses its inter-node links.  Its devices stay alive and
+  keep computing, but D2D fetches crossing the severed links are staged
+  through the host instead, and the sharded router routes around the
+  degraded node.
 """
 
 from __future__ import annotations
@@ -35,13 +40,14 @@ from repro.utils.rng import as_generator
 
 
 class FaultKind(str, Enum):
-    """The five injectable failure modes."""
+    """The six injectable failure modes."""
 
     TRANSIENT = "transient"
     DEVICE_LOST = "device_lost"
     STRAGGLER = "straggler"
     TRANSFER = "transfer"
     NODE_LOST = "node_lost"
+    LINK_LOST = "link_lost"
 
 
 @dataclass(frozen=True)
@@ -158,6 +164,7 @@ class FaultPlan:
         n_straggler: int = 1,
         n_device_lost: int = 1,
         n_node_lost: int = 0,
+        n_link_lost: int = 0,
         straggler_factor: float = 4.0,
         straggler_window_frac: float = 0.25,
     ) -> "FaultPlan":
@@ -172,6 +179,9 @@ class FaultPlan:
         blast radius — every device sharing that device's node — is
         resolved at apply time from the run's topology, so the generator
         cannot (and does not try to) guarantee survivors across domains.
+        Link losses (``n_link_lost``) likewise target a uniformly drawn
+        device; the node containing it keeps computing but loses its
+        inter-node links.
         """
         if num_devices < 1:
             raise ConfigurationError(f"num_devices must be >= 1, got {num_devices}")
@@ -183,6 +193,7 @@ class FaultPlan:
             ("n_straggler", n_straggler),
             ("n_device_lost", n_device_lost),
             ("n_node_lost", n_node_lost),
+            ("n_link_lost", n_link_lost),
         ):
             if n < 0:
                 raise ConfigurationError(f"{name} must be >= 0, got {n}")
@@ -227,6 +238,10 @@ class FaultPlan:
         for t in times(n_node_lost):
             events.append(
                 FaultEvent(FaultKind.NODE_LOST, t, int(rng.integers(num_devices)))
+            )
+        for t in times(n_link_lost):
+            events.append(
+                FaultEvent(FaultKind.LINK_LOST, t, int(rng.integers(num_devices)))
             )
         return cls(tuple(events))
 

@@ -70,6 +70,7 @@ class FaultStats:
             "straggler": 0,
             "transfer": 0,
             "node_lost": 0,
+            "link_lost": 0,
         }
     )
     transient_failures: int = 0
@@ -79,6 +80,11 @@ class FaultStats:
     device_losses: int = 0
     #: Correlated failure domains applied (each may kill several devices).
     node_losses: int = 0
+    #: Nodes that lost their inter-node links while staying alive.
+    link_losses: int = 0
+    #: D2D fetches forced through the host because every holder sat
+    #: behind a severed inter-node link (``link_lost`` degradation).
+    host_staged_fetches: int = 0
     orphaned_tensors: int = 0
     rescheduled_pairs: int = 0
     #: D2D fetches that crossed a node boundary (recovery traffic on the
@@ -193,6 +199,8 @@ class FaultStats:
             "transfer_refetches": self.transfer_refetches,
             "device_losses": self.device_losses,
             "node_losses": self.node_losses,
+            "link_losses": self.link_losses,
+            "host_staged_fetches": self.host_staged_fetches,
             "orphaned_tensors": self.orphaned_tensors,
             "rescheduled_pairs": self.rescheduled_pairs,
             "cross_node_fetches": self.cross_node_fetches,

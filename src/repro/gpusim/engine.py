@@ -92,6 +92,19 @@ class ExecutionEngine:
                 cl.touch(spec.uid, device_id)
                 continue
             holders = cl.devices_holding(spec.uid)
+            host_staged = False
+            if holders and self.injector is not None and cm.topology is not None:
+                # Partial-node degradation: a ``link_lost`` fault severs
+                # a node's inter-node links while its devices stay
+                # alive.  Holders unreachable over D2D are dropped; if
+                # that empties the set the fetch is staged through the
+                # host instead (the copy exists on-device, but only the
+                # PCIe path can reach it).
+                reachable = self.injector.reachable_holders(holders, device_id, cm.topology)
+                if not reachable:
+                    host_staged = True
+                    self.injector.stats.host_staged_fetches += 1
+                holders = reachable
             if holders:
                 # Fetch from the cheapest holder (ties break on lowest
                 # id) — on a multi-node Topology an intra-node peer
@@ -103,6 +116,10 @@ class ExecutionEngine:
                 source = None
                 copy_t = cm.h2d_time(spec.nbytes)
                 copy_kind = "h2d"
+                if host_staged:
+                    self._note_fault(
+                        "xnode", device_id, copy_t, f"host-staged fetch {spec.uid} (links down)"
+                    )
             if self.injector is not None and self.injector.take_transfer_fault(device_id):
                 # The fetch failed mid-flight: the attempt's link time
                 # is wasted (the source keeps its copy) and the tensor
@@ -120,16 +137,17 @@ class ExecutionEngine:
                 cl.drop(spec.uid, source, reason="migrate")
             if (
                 copy_kind == "d2d"
-                and self.injector is not None
                 and cm.topology is not None
                 and not cm.topology.same_node(source, device_id)
             ):
-                # Recovery traffic on the slow inter-node link: make the
-                # cross-node cost visible in the fault trace lanes.
-                self.injector.stats.cross_node_fetches += 1
-                self._note_fault(
-                    "xnode", device_id, copy_t, f"cross-node fetch {spec.uid} from {source}"
-                )
+                metrics.counts.cross_node_fetches += 1
+                if self.injector is not None:
+                    # Traffic on the slow inter-node link: make the
+                    # cross-node cost visible in the fault trace lanes.
+                    self.injector.stats.cross_node_fetches += 1
+                    self._note_fault(
+                        "xnode", device_id, copy_t, f"cross-node fetch {spec.uid} from {source}"
+                    )
             if copy_kind == "d2d":
                 metrics.counts.d2d_transfers += 1
             else:

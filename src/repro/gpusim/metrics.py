@@ -23,6 +23,11 @@ class MemoryOpCounts:
     evictions: int = 0
     eviction_bytes: int = 0
     transferred_bytes: int = 0
+    #: D2D transfers that crossed a node boundary (multi-node topology
+    #: only; a subset of ``d2d_transfers``).  In sharded serving this is
+    #: the cost a mis-routed or forwarded vector pays for fetching
+    #: tensors resident on another shard's node.
+    cross_node_fetches: int = 0
 
     def merge(self, other: "MemoryOpCounts") -> None:
         self.reuse_hits += other.reuse_hits
@@ -32,6 +37,7 @@ class MemoryOpCounts:
         self.evictions += other.evictions
         self.eviction_bytes += other.eviction_bytes
         self.transferred_bytes += other.transferred_bytes
+        self.cross_node_fetches += other.cross_node_fetches
 
     @property
     def input_fetches(self) -> int:

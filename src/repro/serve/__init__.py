@@ -22,6 +22,12 @@ inter-node link), :class:`~repro.faults.journal.ResidencyJournal`
 replay warm-restores replacement devices, and the
 :class:`repro.serve.FaultAware` admission gate sheds vectors unlikely
 to complete under the live fault rate (``"predicted-infeasible"``).
+
+The two-level sharded control plane (:mod:`repro.serve.sharded`,
+enabled with ``ServeConfig(sharded=True)``) replaces the single loop
+with a global router over per-node local schedulers coordinated through
+periodically synced load/residency digests — same timeline, same
+determinism, distributed control decisions.
 """
 
 from repro.serve.arrivals import (
@@ -43,6 +49,16 @@ from repro.serve.queueing import (
     make_policy,
 )
 from repro.serve.server import MiccoServer, MultiTenantServer, ServeConfig, ServeResult
+from repro.serve.sharded import (
+    ROUTING_POLICIES,
+    GlobalScheduler,
+    NodeRuntime,
+    RoutingPolicy,
+    ShardSnapshot,
+    ShardView,
+    ShardedServer,
+    make_routing_policy,
+)
 from repro.serve.slo import DroppedVector, LatencyReport, VectorLatency
 from repro.serve.tenancy import (
     SloTargets,
@@ -52,6 +68,7 @@ from repro.serve.tenancy import (
 )
 from repro.serve.timeline import (
     DeviceOnline,
+    DigestSync,
     Event,
     SchedulingDone,
     Ticket,
@@ -94,4 +111,13 @@ __all__ = [
     "SchedulingDone",
     "VectorCompletion",
     "DeviceOnline",
+    "DigestSync",
+    "ShardedServer",
+    "GlobalScheduler",
+    "NodeRuntime",
+    "ShardView",
+    "ShardSnapshot",
+    "RoutingPolicy",
+    "ROUTING_POLICIES",
+    "make_routing_policy",
 ]

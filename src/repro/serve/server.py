@@ -152,6 +152,21 @@ class ServeConfig:
         Fraction of the *alive* pool's combined device memory a round's
         unique tensor footprint may occupy.  The batch assembler stops
         adding members when the next one would cross this budget.
+    sharded:
+        Run the two-level sharded control plane
+        (:class:`~repro.serve.sharded.ShardedServer`): a global router
+        admits and routes tickets to per-node local schedulers, each
+        owning only its node's devices.  Requires a multi-node
+        :class:`~repro.gpusim.topology.Topology` on the cost model.
+    sync_interval_s:
+        How often (simulated seconds) node runtimes report load/
+        residency digests back to the global router.  Between syncs the
+        router works from deliberately stale summaries.
+    routing:
+        Global routing policy name — one of
+        :data:`~repro.serve.sharded.routing.ROUTING_POLICIES`
+        (``"least-loaded"``, ``"residency-affinity"``,
+        ``"threshold-local"``).
     """
 
     queue_capacity: int = 64
@@ -169,6 +184,9 @@ class ServeConfig:
     admission_min_success: float = 0.5
     max_batch_vectors: int = 1
     batch_memory_frac: float = 0.5
+    sharded: bool = False
+    sync_interval_s: float = 0.05
+    routing: str = "least-loaded"
 
     def __post_init__(self):
         if self.queue_capacity <= 0:
@@ -209,6 +227,17 @@ class ServeConfig:
             raise ConfigurationError(
                 f"batch_memory_frac must be in (0, 1], got {self.batch_memory_frac}"
             )
+        if self.sync_interval_s <= 0:
+            raise ConfigurationError(
+                f"sync_interval_s must be > 0, got {self.sync_interval_s}"
+            )
+        # Imported lazily: repro.serve.sharded imports this module.
+        from repro.serve.sharded.routing import ROUTING_POLICIES
+
+        if self.routing not in ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"unknown routing policy {self.routing!r}; expected one of {ROUTING_POLICIES}"
+            )
         object.__setattr__(self, "tenants", tuple(self.tenants))
         for t in self.tenants:
             if not isinstance(t, TenantSpec):
@@ -225,9 +254,11 @@ class ServeConfig:
     #: resilience knobs (``warm_restore``/``journal_capacity``/
     #: ``prewarm_fraction``/``fault_aware_admission``/
     #: ``admission_min_success``); version 3 added the batching knobs
-    #: (``max_batch_vectors``/``batch_memory_frac``).  Older files
-    #: still load with the later versions' knobs at their defaults.
-    CONFIG_VERSION = 3
+    #: (``max_batch_vectors``/``batch_memory_frac``); version 4 added
+    #: the sharded-control-plane knobs (``sharded``/``sync_interval_s``/
+    #: ``routing``).  Older files still load with the later versions'
+    #: knobs at their defaults.
+    CONFIG_VERSION = 4
 
     # ------------------------------------------------------------ persistence
     def to_dict(self) -> dict:
@@ -248,6 +279,9 @@ class ServeConfig:
             "admission_min_success": self.admission_min_success,
             "max_batch_vectors": self.max_batch_vectors,
             "batch_memory_frac": self.batch_memory_frac,
+            "sharded": self.sharded,
+            "sync_interval_s": self.sync_interval_s,
+            "routing": self.routing,
         }
 
     @classmethod
@@ -255,9 +289,9 @@ class ServeConfig:
         if not isinstance(d, dict):
             raise ConfigurationError(f"serve config must be a JSON object, got {d!r}")
         version = d.get("version", cls.CONFIG_VERSION)
-        if version not in (1, 2, 3):
+        if version not in (1, 2, 3, 4):
             raise ConfigurationError(
-                f"unsupported serve config version {version!r}; this build reads 1 through 3"
+                f"unsupported serve config version {version!r}; this build reads 1 through 4"
             )
         known = {
             "queue_capacity", "queue_policy", "max_inflight",
@@ -269,10 +303,13 @@ class ServeConfig:
             "fault_aware_admission", "admission_min_success",
         }
         v3_keys = {"max_batch_vectors", "batch_memory_frac"}
+        v4_keys = {"sharded", "sync_interval_s", "routing"}
         if version >= 2:
             known |= v2_keys
         if version >= 3:
             known |= v3_keys
+        if version >= 4:
+            known |= v4_keys
         unknown = set(d) - known
         if unknown:
             raise ConfigurationError(f"unknown serve config keys: {sorted(unknown)}")
@@ -283,6 +320,7 @@ class ServeConfig:
                 "schedule_latency_per_pair_s", "recover_faults",
                 *sorted(v2_keys),
                 *sorted(v3_keys),
+                *sorted(v4_keys),
             )
             if k in d
         }
@@ -330,6 +368,12 @@ class ServeResult:
     #: timestamps).  Singleton rounds are logged too, so the log always
     #: covers every dispatch.
     rounds: list[dict] = field(default_factory=list)
+    #: Sharded-control-plane section (routing counters, per-shard
+    #: records); ``None`` for single-control-plane runs.
+    sharding: dict | None = None
+    #: Timeline events processed by the serving loop (control-plane
+    #: work, the denominator of the events/sec benchmark figure).
+    events_processed: int = 0
 
     @property
     def p99(self) -> float:
@@ -358,6 +402,9 @@ class ServeResult:
             out["autoscale"] = self.autoscale
         if self.journal is not None:
             out["journal"] = self.journal
+        if self.sharding is not None:
+            out["sharding"] = self.sharding
+        out["events_processed"] = self.events_processed
         return out
 
     def to_json(self, path: str | Path, *, extra: dict | None = None) -> None:
@@ -376,6 +423,8 @@ class ServeResult:
             payload["autoscale"] = self.autoscale
         if self.journal is not None:
             payload["journal"] = self.journal
+        if self.sharding is not None:
+            payload["sharding"] = self.sharding
         if self.rounds:
             payload["rounds"] = self.rounds
         if extra:
@@ -551,6 +600,7 @@ class MiccoServer:
         pending: dict[int, Ticket] = {}
         round_ids = itertools.count()
         rounds_log: list[dict] = []
+        events_processed = 0
 
         # Anchor the reuse bounds before any pool-size change so every
         # rescale derives from the run's original (bounds, pool) pair.
@@ -567,8 +617,15 @@ class MiccoServer:
             self._shrink_to_initial(scaler)
         for stream in streams:
             tenant = stream.spec.name if stream.spec is not None else None
+            p99_target = stream.spec.slo.p99_s if stream.spec is not None else None
             for t, v in zip(stream.times, stream.vectors):
-                timeline.push(VectorArrival(t, Ticket(vector=v, arrival_s=t, tenant=tenant)))
+                deadline = t + p99_target if p99_target is not None else None
+                timeline.push(
+                    VectorArrival(
+                        t,
+                        Ticket(vector=v, arrival_s=t, tenant=tenant, deadline_s=deadline),
+                    )
+                )
 
         def dispatch(members: list[Ticket], now: float) -> None:
             """Dispatch one scheduling round (``inflight`` counts rounds)."""
@@ -594,7 +651,7 @@ class MiccoServer:
 
         def refill(now: float) -> None:
             while inflight < cfg.max_inflight:
-                members = self._pop_round(queue)
+                members = self._pop_round(queue, now)
                 if not members:
                     break
                 dispatch(members, now)
@@ -625,10 +682,14 @@ class MiccoServer:
             while timeline:
                 event = timeline.pop()
                 now = timeline.now
+                events_processed += 1
                 if journal is not None:
                     journal.advance(now)
                 if injector is not None:
                     for loss in injector.poll(now):
+                        if loss.kind is FaultKind.LINK_LOST:
+                            self._apply_link_loss(loss, now, injector)
+                            continue
                         self._apply_device_loss(
                             loss, now, injector, pending, busy_until, timeline, total,
                             abandon, scaler=scaler, pending_online=pending_online,
@@ -737,20 +798,23 @@ class MiccoServer:
             autoscale=scaler.summary() if scaler is not None else None,
             journal=journal.summary() if journal is not None else None,
             rounds=rounds_log,
+            events_processed=events_processed,
         )
 
-    def _pop_round(self, queue: AdmissionQueue) -> list[Ticket]:
+    def _pop_round(self, queue: AdmissionQueue, now: float = 0.0) -> list[Ticket]:
         """Pop the next scheduling round's members from the queue.
 
         With :attr:`ServeConfig.max_batch_vectors` at 1 this is a plain
         policy-order pop.  Otherwise the queue head anchors the round
         and later entries (still visited in policy order, so
         weighted-fair and fault-aware ordering is respected) join it
-        while they share the head's workload shape family and the
-        round's combined unique-tensor footprint stays within
+        while they share the head's workload shape family, the round's
+        combined unique-tensor footprint stays within
         :attr:`ServeConfig.batch_memory_frac` of the alive pool's
-        memory.  Incompatible entries are skipped, not dropped — they
-        keep their queue position for later rounds.
+        memory, and growing the round would not push its
+        earliest-deadline member past its SLO (see :meth:`_batch_accept`).
+        Incompatible entries are skipped, not dropped — they keep their
+        queue position for later rounds.
         """
         cfg = self.serve_config
         if cfg.max_batch_vectors <= 1:
@@ -759,14 +823,38 @@ class MiccoServer:
         budget = cfg.batch_memory_frac * sum(
             self.cluster.devices[d].memory_bytes for d in self.cluster.alive_ids()
         )
+        return queue.pop_batch(cfg.max_batch_vectors, accept=self._batch_accept(budget, now))
+
+    def _batch_accept(self, budget: float, now: float):
+        """Build the batch-membership predicate for one round assembly.
+
+        A candidate joins the round only when (a) it shares the head's
+        workload shape family, (b) the combined unique-tensor footprint
+        stays within ``budget`` bytes, and (c) — the deadline-aware
+        cutoff — the grown round's scheduling latency would not push its
+        earliest-deadline member past that member's SLO deadline.
+        Tickets without a deadline (no tenant p99 target) never
+        constrain growth.  Shared by the single-loop and per-shard round
+        assemblers.
+        """
+        latency_per_pair = self.serve_config.schedule_latency_per_pair_s
 
         def accept(members: list[Ticket], candidate: Ticket) -> bool:
             if batch_shape_key(candidate.vector) != batch_shape_key(members[0].vector):
                 return False
             vectors = [t.vector for t in members] + [candidate.vector]
-            return batch_footprint_bytes(vectors) <= budget
+            if batch_footprint_bytes(vectors) > budget:
+                return False
+            deadlines = [
+                t.deadline_s for t in (*members, candidate) if t.deadline_s is not None
+            ]
+            if deadlines:
+                pairs = sum(len(v.pairs) for v in vectors)
+                if now + latency_per_pair * pairs > min(deadlines):
+                    return False
+            return True
 
-        return queue.pop_batch(cfg.max_batch_vectors, accept=accept)
+        return accept
 
     def _resolve_policy(self, streams: list[TenantStream]) -> QueuePolicy:
         """Build the dispatch policy for this run's streams.
@@ -981,23 +1069,44 @@ class MiccoServer:
 
     # ------------------------------------------------------- fault recovery
     def _blast_radius(self, fault: FaultEvent) -> list[int]:
-        """Device ids a loss event takes down.
+        """Device ids a loss event takes down (or degrades).
 
-        ``device_lost`` names exactly one device.  ``node_lost`` names
-        *any* device of the doomed node; the failure domain expands to
-        every sibling through the topology (``node_of`` →
-        ``devices_of_node``).  Without a configured topology a node is
-        indistinguishable from a device and the event degrades to a
-        single-device loss.
+        ``device_lost`` names exactly one device.  ``node_lost`` and
+        ``link_lost`` name *any* device of the affected node; the
+        failure domain expands to every sibling through the topology
+        (``node_of`` → ``devices_of_node``).  Without a configured
+        topology a node is indistinguishable from a device and the event
+        degrades to a single-device radius.
         """
         topo = self.config.cost_model.topology
         if (
-            fault.kind is FaultKind.NODE_LOST
+            fault.kind in (FaultKind.NODE_LOST, FaultKind.LINK_LOST)
             and topo is not None
             and fault.device < topo.num_devices
         ):
             return topo.devices_of_node(topo.node_of(fault.device))
         return [fault.device]
+
+    def _apply_link_loss(self, fault: FaultEvent, now: float, injector: FaultInjector) -> None:
+        """Apply a ``link_lost`` fault: the node degrades, devices live on.
+
+        The node's devices stay alive and keep executing, but their
+        inter-node links are gone: subsequent cross-node fetches whose
+        only holders sit across a severed link are staged through the
+        host (counted as ``host_staged_fetches``), and the sharded
+        router deprioritises the degraded node.  No orphan recovery is
+        needed — nothing dies.
+        """
+        devices = [d for d in self._blast_radius(fault) if self.cluster.is_alive(d)]
+        already = injector.linkless_devices
+        devices = [d for d in devices if d not in already]
+        if not devices:
+            return  # dead node or duplicate plan entry: nothing to degrade
+        injector.note_link_lost(devices, now)
+        injector.stats.record_event(
+            "fault", fault.device, fault.time_s, 0.0,
+            label=f"link lost: devices {devices} host-staged",
+        )
 
     def _apply_device_loss(
         self,
@@ -1125,6 +1234,8 @@ class MiccoServer:
         busy_until,
         total: ExecutionMetrics,
         stats: FaultStats | None = None,
+        scheduler: Scheduler | None = None,
+        cluster: ClusterState | None = None,
     ) -> float:
         """Re-execute a ticket's dead-device pairs on the survivors.
 
@@ -1135,18 +1246,25 @@ class MiccoServer:
         vector's new completion timestamp.  The surviving devices'
         original shares are already in ``busy_until``; only the
         re-executed pairs' busy time is appended.
+
+        ``scheduler``/``cluster`` override the server's own (default) —
+        the sharded control plane re-homes orphans through a *surviving
+        shard's* scheduler and shard-scoped cluster view, so recovered
+        pairs land only on that shard's devices.
         """
+        scheduler = scheduler if scheduler is not None else self.scheduler
+        cluster = cluster if cluster is not None else self.cluster
         dead_set = {dead} if isinstance(dead, int) else set(dead)
         orphan_idx = [i for i, dev in enumerate(ticket.assignment) if dev in dead_set]
         vector = ticket.vector
         # Fresh balance window sized to the re-scheduled slice (two
         # tensor slots per pair, matching record_assignment).
-        self.cluster.begin_vector(2 * len(orphan_idx))
-        self.scheduler.begin_vector(vector, self.cluster)
+        cluster.begin_vector(2 * len(orphan_idx))
+        scheduler.begin_vector(vector, cluster)
         vec_metrics = ExecutionMetrics(num_devices=self.cluster.num_devices)
         for i in orphan_idx:
             pair = vector.pairs[i]
-            dev = self.scheduler.choose(pair, self.cluster)
+            dev = scheduler.choose(pair, cluster)
             self.engine.execute_pair(pair, dev, vec_metrics)
             ticket.assignment[i] = dev
             if stats is not None:

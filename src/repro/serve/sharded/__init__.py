@@ -1,0 +1,35 @@
+"""Two-level sharded control plane: global router + per-node schedulers.
+
+The package splits the serving control loop into a global routing tier
+(:class:`GlobalScheduler`) and one local scheduler per topology node
+(:class:`NodeRuntime`), coordinated only through periodically synced
+load/residency digests.  :class:`ShardedServer` is the façade; enable
+it with ``ServeConfig(sharded=True)`` or ``micco serve --sharded``.
+"""
+
+from repro.serve.sharded.node import NodeDigest, NodeRuntime, ShardView
+from repro.serve.sharded.routing import (
+    ROUTING_POLICIES,
+    LeastLoaded,
+    ResidencyAffinity,
+    RoutingPolicy,
+    ShardSnapshot,
+    ThresholdLocal,
+    make_routing_policy,
+)
+from repro.serve.sharded.server import GlobalScheduler, ShardedServer
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "GlobalScheduler",
+    "LeastLoaded",
+    "NodeDigest",
+    "NodeRuntime",
+    "ResidencyAffinity",
+    "RoutingPolicy",
+    "ShardSnapshot",
+    "ShardView",
+    "ShardedServer",
+    "ThresholdLocal",
+    "make_routing_policy",
+]

@@ -1,0 +1,191 @@
+"""Per-node local scheduling runtime for the sharded control plane.
+
+A :class:`NodeRuntime` is one node's slice of the serving machinery:
+its own bounded :class:`~repro.serve.queueing.AdmissionQueue`, its own
+copy of the placement scheduler (MICCO reuse-bound state is per-shard),
+and a :class:`ShardView` that scopes the shared
+:class:`~repro.gpusim.cluster.ClusterState` down to the node's devices.
+The runtime never sees other nodes' queues; coordination happens only
+through the digests it reports to the global tier
+(:meth:`NodeRuntime.digest`) on the configured sync interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.gpusim.cluster import ClusterState
+from repro.serve.queueing import AdmissionQueue
+from repro.serve.sharded.routing import ShardSnapshot
+
+
+class ShardView:
+    """A node-scoped façade over the shared :class:`ClusterState`.
+
+    Schedulers run unmodified against this view: every attribute
+    delegates to the global cluster, but the *candidate-generating*
+    surface — ``alive_ids``, ``num_alive``, ``devices_holding`` and the
+    per-vector balance window (``begin_vector``) — is restricted to the
+    shard's devices, so MICCO's Alg. 1/2 can only ever place pairs
+    inside the shard.  The balance share ``balanceNum`` spreads each
+    vector over the shard's survivors, not the whole cluster.
+
+    The view is safe because the sharded server reuses the *single*
+    deterministic timeline: exactly one scheduling round runs at a
+    time, so the global ``assigned_slots``/``balance_num`` counters the
+    view resets are never shared between concurrent rounds.
+    """
+
+    def __init__(self, cluster: ClusterState, devices):
+        self._cluster = cluster
+        self.devices = tuple(sorted(int(d) for d in devices))
+        self._device_set = frozenset(self.devices)
+        if not self.devices:
+            raise SchedulingError("a shard view needs at least one device")
+
+    def __getattr__(self, name):
+        # Anything not shard-scoped (pools, compute_s, free_bytes,
+        # is_resident, record_assignment, ...) is the global state.
+        return getattr(self._cluster, name)
+
+    # ---------------------------------------------------- shard-scoped surface
+    def alive_ids(self) -> list[int]:
+        return [d for d in self.devices if self._cluster.is_alive(d)]
+
+    @property
+    def num_alive(self) -> int:
+        return len(self.alive_ids())
+
+    def devices_holding(self, uid: int) -> frozenset[int]:
+        """Holders *inside the shard* — candidates must stay local.
+
+        The execution engine still fetches from the globally cheapest
+        holder, so a vector routed away from its data pays the
+        cross-node transfer through the cost model rather than being
+        silently co-located.
+        """
+        return self._cluster.devices_holding(uid) & self._device_set
+
+    def begin_vector(self, num_tensors: int) -> None:
+        """Shard-local balance window: spread over the shard's survivors."""
+        if num_tensors <= 0:
+            raise SchedulingError(
+                f"vector must have positive tensor slots, got {num_tensors}"
+            )
+        alive = self.num_alive
+        if alive == 0:
+            raise SchedulingError("cannot begin a vector: the shard has no alive devices")
+        self._cluster.assigned_slots[:] = 0
+        self._cluster.balance_num = num_tensors / alive
+
+
+@dataclass(frozen=True)
+class NodeDigest:
+    """One shard's load/residency report to the global tier.
+
+    Built by :meth:`NodeRuntime.digest` at sync time and *not* updated
+    in between — the router's view is deliberately stale by up to one
+    sync interval (plus its own routed-since-sync correction).
+    """
+
+    node: int
+    time_s: float
+    alive: int
+    queue_depth: int
+    inflight: int
+    linkless: bool
+    #: uid -> resident bytes across the shard's alive devices.
+    residency: dict
+
+
+class NodeRuntime:
+    """One node's local scheduler: queue + placement over its devices.
+
+    Parameters
+    ----------
+    node:
+        Topology node id (also the shard id).
+    devices:
+        The node's device ids (from ``Topology.devices_of_node``).
+    view:
+        Shard-scoped cluster view the local scheduler places through.
+    scheduler:
+        This shard's *own* scheduler instance (per-shard reuse-bound
+        state; never shared with other shards).
+    queue:
+        This shard's bounded admission queue.
+    tracker:
+        Per-shard workload-characteristics tracker (bounds prediction).
+    scaler:
+        Optional per-shard autoscaler (the global config clamped to the
+        shard's device count).
+    """
+
+    def __init__(self, node, devices, view, scheduler, queue: AdmissionQueue,
+                 tracker, scaler=None):
+        self.node = int(node)
+        self.devices = tuple(sorted(int(d) for d in devices))
+        self.view: ShardView = view
+        self.scheduler = scheduler
+        self.queue = queue
+        self.tracker = tracker
+        self.scaler = scaler
+        #: Scheduling rounds dispatched and not yet fully settled.
+        self.inflight = 0
+        #: True once the node's failure domain died; a dead shard takes
+        #: no more traffic and its queued work re-routes globally.
+        self.dead = False
+        #: Devices of this shard warming up (autoscale / replacement).
+        self.pending_online: set[int] = set()
+        #: Tickets the router sent here since the last digest sync.
+        self.routed_since_sync = 0
+        #: (bounds, alive-count) anchor for per-shard bound rescaling.
+        self.bounds_anchor: tuple | None = None
+        # ----- counters for the report's sharding section -----
+        #: Tickets placed on this shard (queued or directly dispatched).
+        self.routed = 0
+        #: Of those, tickets that arrived after >= 1 full-queue forward.
+        self.forwarded_in = 0
+        #: Tickets re-homed here after their original shard died.
+        self.rerouted_in = 0
+
+    # ------------------------------------------------------------------ digest
+    def digest(self, now: float, linkless_devices=frozenset()) -> NodeDigest:
+        """Snapshot this shard's load and residency for the global tier."""
+        residency: dict[int, int] = {}
+        cluster = self.view._cluster
+        for d in self.view.alive_ids():
+            pool = cluster.pools[d]
+            for uid in pool.resident_uids():
+                residency[uid] = pool.nbytes_of(uid)
+        return NodeDigest(
+            node=self.node,
+            time_s=now,
+            alive=self.view.num_alive,
+            queue_depth=len(self.queue),
+            inflight=self.inflight,
+            linkless=any(d in linkless_devices for d in self.devices),
+            residency=residency,
+        )
+
+    def snapshot(self, digest: NodeDigest) -> ShardSnapshot:
+        """Combine the last digest with the router-side correction."""
+        return ShardSnapshot(
+            node=self.node,
+            alive=digest.alive,
+            queue_depth=digest.queue_depth,
+            inflight=digest.inflight,
+            linkless=digest.linkless,
+            residency=digest.residency,
+            pending=self.routed_since_sync,
+        )
+
+    def drain_queue(self):
+        """Pop every queued ticket (policy order) — shard-death re-routing."""
+        out = []
+        while True:
+            t = self.queue.pop()
+            if t is None:
+                return out
+            out.append(t)

@@ -1,0 +1,903 @@
+"""Two-level sharded control plane: a global router over node schedulers.
+
+:class:`ShardedServer` splits the single serving control loop into a
+*global tier* (:class:`GlobalScheduler`: admission + routing from stale
+per-node digests) and one :class:`~repro.serve.sharded.node.NodeRuntime`
+per topology node, each running its own admission queue, MICCO
+reuse-bound placement and batching over only its node's devices.  The
+whole plane still executes on one deterministic
+:class:`~repro.serve.timeline.Timeline`, so fixed-seed runs replay bit
+for bit; what changes is the *scope* of every control decision:
+
+* arrivals are routed (``least-loaded`` / ``residency-affinity`` /
+  ``threshold-local``) to a shard, forwarded to the next-best shard
+  when the target's queue is full;
+* each shard batches and places only over its own devices — the
+  balance share, the reuse bounds and the candidate tiers are all
+  shard-local;
+* node runtimes report load/residency digests every
+  :attr:`~repro.serve.server.ServeConfig.sync_interval_s`; between
+  syncs the router works from stale summaries, corrected only by its
+  own routing decisions;
+* a ``node_lost`` fault kills exactly one shard — its queued tickets
+  re-route through the global tier (arrival timestamps intact, so
+  per-tenant SLO accounting stays exact) and its in-flight work is
+  re-executed on a surviving shard chosen by the router;
+* a ``link_lost`` fault degrades a shard without killing it: the
+  router deprioritises it and its cross-node fetches are host-staged.
+
+Tensors still live in one shared
+:class:`~repro.gpusim.cluster.ClusterState`; a vector routed away from
+its data pays real ``cross_node_fetches`` through the cost model
+rather than being silently co-located.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+
+import numpy as np
+
+from repro.core.config import MiccoConfig
+from repro.errors import ConfigurationError, FaultError
+from repro.faults.injector import FaultInjector
+from repro.faults.journal import ResidencyJournal
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.gpusim.metrics import ExecutionMetrics
+from repro.schedulers.base import Scheduler
+from repro.schedulers.batching import merge_vectors, split_assignment
+from repro.serve.arrivals import ArrivalProcess, TraceArrivals
+from repro.serve.autoscale import Autoscaler
+from repro.serve.queueing import (
+    AdmissionQueue,
+    FaultAware,
+    Fifo,
+    QueuePolicy,
+    WeightedFair,
+    make_policy,
+)
+from repro.serve.server import MiccoServer, ServeConfig, ServeResult
+from repro.serve.sharded.node import NodeRuntime, ShardView
+from repro.serve.sharded.routing import RoutingPolicy, make_routing_policy
+from repro.serve.slo import LatencyReport
+from repro.serve.tenancy import TenantStream, build_streams, tenant_sections
+from repro.serve.timeline import (
+    BatchRound,
+    DeviceOnline,
+    DigestSync,
+    SchedulingDone,
+    Ticket,
+    Timeline,
+    VectorArrival,
+    VectorCompletion,
+)
+from repro.tensor.spec import VectorSpec
+from repro.workloads.characteristics import CharacteristicsTracker
+
+
+class GlobalScheduler:
+    """The global routing tier: stale digests in, shard choices out.
+
+    Holds the per-node digests refreshed at every
+    :class:`~repro.serve.timeline.DigestSync` and the routing policy.
+    Between syncs each shard's estimated backlog is its last digest
+    plus the tickets routed there since (``routed_since_sync``) — the
+    router corrects for its *own* actions but not for completions it
+    has not heard about, exactly the coordination gap of a real
+    two-level control plane.
+
+    Shard *death* is visible immediately (failure detection is modelled
+    as out-of-band heartbeats): a dead shard never receives traffic,
+    however stale its last digest.
+    """
+
+    def __init__(
+        self,
+        shards: dict[int, NodeRuntime],
+        policy: RoutingPolicy,
+        sync_interval_s: float,
+    ):
+        self.shards = shards
+        self.policy = policy
+        self.sync_interval_s = sync_interval_s
+        #: node -> last :class:`NodeDigest` (dropped when a shard dies).
+        self.digests: dict = {}
+        #: Digest refreshes performed.
+        self.syncs = 0
+        #: Full-queue forward hops (ticket bounced to the next shard).
+        self.forwards = 0
+        #: Tickets re-homed after their shard died.
+        self.reroutes = 0
+
+    def sync(self, now: float, linkless_devices=frozenset()) -> None:
+        """Refresh every live shard's digest; reset staleness corrections."""
+        self.syncs += 1
+        for node in sorted(self.shards):
+            shard = self.shards[node]
+            if shard.dead:
+                self.digests.pop(node, None)
+                continue
+            self.digests[node] = shard.digest(now, linkless_devices)
+            shard.routed_since_sync = 0
+
+    def route(self, vector: VectorSpec, exclude=frozenset()) -> int | None:
+        """Choose a live shard for ``vector``; ``None`` when none remain."""
+        candidates = [
+            self.shards[node].snapshot(digest)
+            for node, digest in sorted(self.digests.items())
+            if node not in exclude and not self.shards[node].dead
+        ]
+        if not candidates:
+            return None
+        node = self.policy.choose(vector, candidates)
+        self.shards[node].routed_since_sync += 1
+        return node
+
+
+class ShardedServer(MiccoServer):
+    """Sharded-control-plane mode of :class:`MiccoServer`.
+
+    Requires a multi-node :class:`~repro.gpusim.topology.Topology` on
+    the cost model — each topology node becomes one shard.  The serving
+    knobs come from the same :class:`~repro.serve.server.ServeConfig`
+    (``sync_interval_s``, ``routing``); tenants and the autoscaler are
+    applied *per shard* (weighted-fair admission inside each shard's
+    queue, the autoscaler config clamped to each shard's device count).
+
+    Example
+    -------
+    >>> topo = Topology(num_devices=8, devices_per_node=4)
+    >>> cfg = MiccoConfig(num_devices=8, cost_model=CostModel(topology=topo))
+    >>> serve = ServeConfig(sharded=True, routing="residency-affinity")
+    >>> result = ShardedServer(config=cfg, serve=serve).run(vectors, arrivals)
+    >>> result.sharding["shards"][0]["routed"]
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        config: MiccoConfig | None = None,
+        serve: ServeConfig | None = None,
+        predictor=None,
+    ):
+        super().__init__(scheduler, config, serve, predictor)
+        topo = self.config.cost_model.topology
+        if topo is None:
+            raise ConfigurationError(
+                "ShardedServer needs a multi-node Topology on the cost model "
+                "(set CostModel(topology=Topology(...)) on MiccoConfig)"
+            )
+        if topo.num_devices != self.cluster.num_devices:
+            raise ConfigurationError(
+                f"topology covers {topo.num_devices} devices but the cluster "
+                f"has {self.cluster.num_devices}"
+            )
+        self.topology = topo
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        vectors: list[VectorSpec] | None = None,
+        arrivals=None,
+        *,
+        seed=0,
+        reset: bool = True,
+        faults: FaultPlan | None = None,
+    ) -> ServeResult:
+        """Serve one stream (``vectors`` + ``arrivals``) or the tenant roster.
+
+        With :attr:`ServeConfig.tenants` configured the streams come
+        from the tenant specs (multi-tenant sharded serving) and
+        ``vectors``/``arrivals`` must be omitted; otherwise this
+        mirrors :meth:`MiccoServer.run`'s single-stream signature.
+        """
+        if self.serve_config.tenants:
+            if vectors is not None or arrivals is not None:
+                raise ConfigurationError(
+                    "ServeConfig.tenants is set: streams come from the tenant "
+                    "specs, do not pass vectors/arrivals"
+                )
+            streams = build_streams(self.serve_config.tenants, seed)
+        else:
+            if not vectors:
+                raise ConfigurationError(
+                    "serving run needs at least one vector (or ServeConfig.tenants)"
+                )
+            if isinstance(arrivals, ArrivalProcess):
+                times = arrivals.arrival_times(len(vectors), seed)
+            else:
+                times = TraceArrivals(list(arrivals)).arrival_times(len(vectors))
+            streams = [TenantStream(spec=None, vectors=list(vectors), times=times)]
+        return self._serve_sharded(streams, faults=faults, reset=reset)
+
+    # ----------------------------------------------------------- shard set-up
+    def _shard_policy(self, streams: list[TenantStream]) -> QueuePolicy:
+        """A fresh per-shard dispatch policy (never shared across shards).
+
+        Same resolution as the single loop's
+        :meth:`MiccoServer._resolve_policy`, minus the fault-aware wrap
+        — in sharded mode the :class:`FaultAware` gate runs once at the
+        global tier, before routing, so shed accounting is not split
+        across shards.
+        """
+        cfg = self.serve_config
+        policy = cfg.queue_policy
+        if isinstance(policy, QueuePolicy):
+            return copy.deepcopy(policy)
+        weights = {s.spec.name: s.spec.weight for s in streams if s.spec is not None}
+        if policy == "auto":
+            policy = "weighted" if weights else "fifo"
+        return WeightedFair(weights) if policy == "weighted" else make_policy(policy)
+
+    def _build_shards(self, streams: list[TenantStream]) -> dict[int, NodeRuntime]:
+        """One :class:`NodeRuntime` per topology node."""
+        cfg = self.serve_config
+        shards: dict[int, NodeRuntime] = {}
+        for node in range(self.topology.num_nodes):
+            devices = self.topology.devices_of_node(node)
+            scaler = None
+            if cfg.autoscaler is not None:
+                c = cfg.autoscaler
+                n = len(devices)
+                # The global autoscaler config, clamped to this shard's
+                # physical device count (per-shard scaling decisions).
+                min_d = max(1, min(c.min_devices, n))
+                max_d = max(min_d, min(c.max_devices, n))
+                initial = (
+                    None
+                    if c.initial_devices is None
+                    else max(min_d, min(c.initial_devices, max_d))
+                )
+                scaler = Autoscaler(
+                    c.with_(min_devices=min_d, max_devices=max_d, initial_devices=initial)
+                )
+            shards[node] = NodeRuntime(
+                node=node,
+                devices=devices,
+                view=ShardView(self.cluster, devices),
+                scheduler=copy.deepcopy(self.scheduler),
+                queue=AdmissionQueue(cfg.queue_capacity, self._shard_policy(streams)),
+                tracker=CharacteristicsTracker(),
+                scaler=scaler,
+            )
+        return shards
+
+    # ------------------------------------------------------------- event loop
+    def _serve_sharded(
+        self,
+        streams: list[TenantStream],
+        *,
+        faults: FaultPlan | None,
+        reset: bool = True,
+    ) -> ServeResult:
+        """The sharded discrete-event loop (single shared timeline)."""
+        if reset:
+            self.cluster.reset()
+            if hasattr(self.scheduler, "reset_stats"):
+                self.scheduler.reset_stats()
+
+        cfg = self.serve_config
+        topo = self.topology
+        if faults is None:
+            faults = cfg.faults
+        timeline = Timeline()
+        report = LatencyReport()
+        total = ExecutionMetrics(num_devices=self.cluster.num_devices)
+        busy_until = np.zeros(self.cluster.num_devices)
+        wants_bounds = self.predictor is not None and hasattr(self.scheduler, "set_bounds")
+        injector = (
+            FaultInjector(faults, self.cluster.num_devices) if faults is not None else None
+        )
+        journal = ResidencyJournal(cfg.journal_capacity) if cfg.warm_restore else None
+        # Fault-aware admission runs once at the global tier (the shard
+        # queues keep plain policies — see _shard_policy).
+        gate = (
+            FaultAware(Fifo(), min_success_prob=cfg.admission_min_success)
+            if cfg.fault_aware_admission
+            else None
+        )
+        shards = self._build_shards(streams)
+        router = GlobalScheduler(
+            shards, make_routing_policy(cfg.routing), cfg.sync_interval_s
+        )
+        pending: dict[int, Ticket] = {}
+        round_ids = itertools.count()
+        rounds_log: list[dict] = []
+        events_processed = 0
+
+        # Per-shard reuse-bound anchors (each shard rescales its own
+        # scheduler's bounds from its own starting pool).
+        for shard in shards.values():
+            if (
+                self.predictor is None
+                and hasattr(shard.scheduler, "bounds")
+                and hasattr(shard.scheduler, "set_bounds")
+            ):
+                shard.bounds_anchor = (shard.scheduler.bounds, shard.view.num_alive)
+            if shard.scaler is not None:
+                self._shrink_shard_to_initial(shard)
+
+        for stream in streams:
+            tenant = stream.spec.name if stream.spec is not None else None
+            p99_target = stream.spec.slo.p99_s if stream.spec is not None else None
+            for t, v in zip(stream.times, stream.vectors):
+                deadline = t + p99_target if p99_target is not None else None
+                timeline.push(
+                    VectorArrival(
+                        t,
+                        Ticket(vector=v, arrival_s=t, tenant=tenant, deadline_s=deadline),
+                    )
+                )
+
+        def linkless() -> frozenset[int]:
+            return injector.linkless_devices if injector is not None else frozenset()
+
+        def dispatch(shard: NodeRuntime, members: list[Ticket], now: float) -> None:
+            """Dispatch one scheduling round on ``shard``."""
+            shard.inflight += 1
+            rnd = BatchRound(round_id=next(round_ids), members=members)
+            for t in members:
+                t.dispatch_s = now
+                t.round_id = rnd.round_id
+                t.round_size = len(members)
+                t.round = rnd
+                t.shard = shard.node
+            latency = cfg.schedule_latency_per_pair_s * rnd.num_pairs
+            timeline.push(SchedulingDone(now + latency, members[0], round=rnd))
+            rounds_log.append(
+                {
+                    "round_id": rnd.round_id,
+                    "shard": shard.node,
+                    "members": [t.vector.vector_id for t in members],
+                    "pairs": rnd.num_pairs,
+                    "dispatch_s": now,
+                    "sched_done_s": now + latency,
+                }
+            )
+
+        def refill(shard: NodeRuntime, now: float) -> None:
+            if shard.dead:
+                return
+            while shard.inflight < cfg.max_inflight:
+                members = self._pop_shard_round(shard, now)
+                if not members:
+                    break
+                dispatch(shard, members, now)
+
+        def settle(ticket: Ticket, now: float) -> None:
+            """A round member settled; free the shard slot on the last one."""
+            pending.pop(id(ticket), None)
+            rnd = ticket.round
+            ticket.round = None
+            if rnd is None:
+                return  # never dispatched (e.g. dropped while queued)
+            rnd.remaining -= 1
+            if rnd.remaining > 0:
+                return
+            shard = shards.get(ticket.shard)
+            if shard is not None and not shard.dead:
+                shard.inflight -= 1
+                refill(shard, now)
+
+        def abandon(ticket: Ticket, now: float) -> None:
+            ticket.epoch += 1
+            report.add_drop(ticket, reason="fault-abandoned")
+            settle(ticket, now)
+
+        def place(ticket: Ticket, now: float, rerouted: bool = False) -> None:
+            """Route ``ticket`` to a shard; forward past full queues.
+
+            The router proposes shards in policy order; a full shard
+            costs one forward hop and is excluded from the retry.  When
+            every live shard is full the ticket is shed ``queue-full``;
+            with no live shard at all it is ``fault-abandoned``.
+            """
+            tried: set[int] = set()
+            while True:
+                node = router.route(ticket.vector, exclude=tried)
+                if node is None:
+                    if tried:
+                        report.add_drop(ticket)  # every live shard was full
+                    else:
+                        report.add_drop(ticket, reason="fault-abandoned")
+                    return
+                shard = shards[node]
+                if shard.inflight < cfg.max_inflight and not len(shard.queue):
+                    dispatch(shard, [ticket], now)
+                elif not shard.queue.offer(ticket):
+                    tried.add(node)
+                    ticket.forwards += 1
+                    router.forwards += 1
+                    continue
+                else:
+                    ticket.shard = node
+                shard.routed += 1
+                if ticket.forwards:
+                    shard.forwarded_in += 1
+                if rerouted:
+                    shard.rerouted_in += 1
+                return
+
+        def reroute(ticket: Ticket, now: float) -> None:
+            """Re-home a ticket whose shard died (arrival clock intact)."""
+            ticket.round = None
+            ticket.round_id = None
+            ticket.dispatch_s = None
+            ticket.sched_done_s = None
+            ticket.shard = None
+            router.reroutes += 1
+            place(ticket, now, rerouted=True)
+
+        def apply_loss(fault, now: float) -> None:
+            """Kill a failure domain; recover through shard or router."""
+            kind = fault.kind.value
+            members = [
+                d for d in self._blast_radius(fault) if not self.cluster.is_failed(d)
+            ]
+            if not members:
+                return
+            orphaned = self.cluster.fail_node(members)
+            if not orphaned:
+                return
+            if fault.kind is FaultKind.NODE_LOST:
+                injector.stats.node_losses += 1
+            for dev, orphans in sorted(orphaned.items()):
+                injector.note_device_lost(dev, fault.time_s, len(orphans))
+                injector.stats.record_event(
+                    "fault", dev, fault.time_s, 0.0, label=kind.replace("_", " ")
+                )
+            dead = set(orphaned)
+            by_shard: dict[int, set[int]] = {}
+            for d in dead:
+                by_shard.setdefault(topo.node_of(d), set()).add(d)
+
+            latest = now
+            rescheduled = 0
+            for node in sorted(by_shard):
+                shard = shards[node]
+                if shard.view.num_alive == 0:
+                    # The whole shard died: queued work re-routes through
+                    # the global tier, in-flight work re-homes on a
+                    # router-chosen surviving shard.
+                    shard.dead = True
+                    shard.inflight = 0
+                    shard.pending_online.clear()
+                    router.digests.pop(node, None)
+                    for t in shard.drain_queue():
+                        reroute(t, now)
+                    affected = [
+                        t for t in pending.values() if by_shard[node] & set(t.assignment)
+                    ]
+                    for ticket in sorted(affected, key=lambda t: t.vector.vector_id):
+                        if not cfg.recover_faults:
+                            abandon(ticket, now)
+                            continue
+                        target_node = router.route(ticket.vector)
+                        if target_node is None:
+                            abandon(ticket, now)
+                            continue
+                        target = shards[target_node]
+                        try:
+                            complete = self._reschedule_orphans(
+                                ticket, by_shard[node], now, busy_until, total,
+                                stats=injector.stats,
+                                scheduler=target.scheduler, cluster=target.view,
+                            )
+                        except FaultError:
+                            abandon(ticket, now)
+                            continue
+                        router.reroutes += 1
+                        target.rerouted_in += 1
+                        ticket.epoch += 1
+                        timeline.push(VectorCompletion(complete, ticket, epoch=ticket.epoch))
+                        latest = max(latest, complete)
+                        rescheduled += 1
+                else:
+                    # Partial loss: the shard recovers on its own
+                    # survivors, with its own rescaled bounds.
+                    alive_before = shard.view.num_alive + len(by_shard[node])
+                    self._rescale_shard_bounds(shard, alive_before, shard.view.num_alive)
+                    affected = [
+                        t for t in pending.values() if by_shard[node] & set(t.assignment)
+                    ]
+                    for ticket in sorted(affected, key=lambda t: t.vector.vector_id):
+                        if not cfg.recover_faults:
+                            abandon(ticket, now)
+                            continue
+                        try:
+                            complete = self._reschedule_orphans(
+                                ticket, by_shard[node], now, busy_until, total,
+                                stats=injector.stats,
+                                scheduler=shard.scheduler, cluster=shard.view,
+                            )
+                        except FaultError:
+                            abandon(ticket, now)
+                            continue
+                        ticket.epoch += 1
+                        timeline.push(VectorCompletion(complete, ticket, epoch=ticket.epoch))
+                        latest = max(latest, complete)
+                        rescheduled += 1
+                    if (
+                        shard.scaler is not None
+                        and shard.scaler.config.replace_lost
+                    ):
+                        self._replace_lost_shard(
+                            shard, now, timeline, len(by_shard[node])
+                        )
+            if cfg.recover_faults:
+                injector.stats.record_recovery(kind, latest - fault.time_s)
+                injector.stats.record_event(
+                    "recovery", fault.device, now, max(latest - now, 0.0),
+                    label=f"rescheduled {rescheduled} vectors",
+                )
+            else:
+                injector.stats.record_recovery(kind, 0.0)
+
+        self.engine.injector = injector
+        self.cluster.journal = journal
+        # Initial digests so routing works before the first sync fires.
+        router.sync(0.0, linkless())
+        timeline.push(DigestSync(cfg.sync_interval_s))
+        try:
+            while timeline:
+                event = timeline.pop()
+                now = timeline.now
+                events_processed += 1
+                if journal is not None:
+                    journal.advance(now)
+                if injector is not None:
+                    for loss in injector.poll(now):
+                        if loss.kind is FaultKind.LINK_LOST:
+                            self._apply_link_loss(loss, now, injector)
+                        else:
+                            apply_loss(loss, now)
+                for node in sorted(shards):
+                    self._autoscale_shard_step(
+                        shards[node], now, timeline, pending, busy_until,
+                        total, injector, abandon,
+                    )
+                ticket = event.ticket
+
+                if isinstance(event, DigestSync):
+                    router.sync(now, linkless())
+                    if timeline:
+                        # Stop syncing once nothing else remains: digests
+                        # with no traffic left would tick forever.
+                        timeline.push(DigestSync(now + cfg.sync_interval_s))
+
+                elif isinstance(event, VectorArrival):
+                    if gate is not None:
+                        fault_events = 0
+                        if injector is not None:
+                            s = injector.stats
+                            fault_events = (
+                                s.transient_failures
+                                + s.device_losses
+                                + s.transfer_refetches
+                            )
+                        gate.observe(
+                            now, fault_events,
+                            self.cluster.num_alive, self.cluster.num_devices,
+                        )
+                    if self.cluster.num_alive == 0:
+                        report.add_drop(ticket, reason="fault-abandoned")
+                    elif gate is not None and not gate.admit(ticket, now):
+                        report.add_drop(ticket, reason="predicted-infeasible")
+                        if injector is not None:
+                            injector.stats.predicted_infeasible += 1
+                    else:
+                        place(ticket, now)
+
+                elif isinstance(event, SchedulingDone):
+                    members = event.round.members if event.round is not None else [ticket]
+                    for t in members:
+                        t.sched_done_s = now
+                    shard = shards.get(members[0].shard)
+                    if shard is None or shard.dead or shard.view.num_alive == 0:
+                        # The shard died between dispatch and sched-done;
+                        # its inflight slots were already zeroed.
+                        for t in members:
+                            reroute(t, now)
+                        continue
+                    merged = merge_vectors([t.vector for t in members])
+                    try:
+                        vec_metrics, assignment = self._schedule_on_shard(
+                            merged, shard, wants_bounds
+                        )
+                    except FaultError:
+                        for t in members:
+                            abandon(t, now)
+                        continue
+                    delta = vec_metrics.compute_s + vec_metrics.memop_s
+                    for dev in sorted(set(assignment)):
+                        busy_until[dev] = max(busy_until[dev], now) + delta[dev]
+                    total.merge(vec_metrics)
+                    slices = split_assignment([t.vector for t in members], assignment)
+                    for t, sl in zip(members, slices):
+                        t.assignment = sl
+                        t.devices = sorted(set(sl))
+                        complete = max((busy_until[d] for d in t.devices), default=now)
+                        pending[id(t)] = t
+                        timeline.push(
+                            VectorCompletion(max(complete, now), t, epoch=t.epoch)
+                        )
+
+                elif isinstance(event, VectorCompletion):
+                    if event.epoch != ticket.epoch:
+                        continue
+                    ticket.complete_s = now
+                    rec = report.add_completion(ticket)
+                    owner = shards.get(ticket.shard)
+                    if owner is not None and owner.scaler is not None:
+                        owner.scaler.observe_completion(now, rec.latency_s)
+                    settle(ticket, now)
+
+                elif isinstance(event, DeviceOnline):
+                    shard = shards[topo.node_of(event.device)]
+                    if shard.dead:
+                        continue
+                    self._bring_online_shard(shard, event.device, now, busy_until, injector)
+        finally:
+            self.engine.injector = None
+            self.cluster.journal = None
+
+        fault_summary = None
+        fault_events: list[dict] = []
+        if injector is not None:
+            injector.stats.finalize(report.makespan_s, self.cluster.num_devices)
+            fault_summary = injector.stats.summary()
+            fault_events = list(injector.stats.events)
+        specs = [s.spec for s in streams if s.spec is not None]
+        ordered = [shards[n] for n in sorted(shards)]
+        queue_counters = {
+            "capacity": cfg.queue_capacity,
+            "policy": ordered[0].queue.policy.name,
+            "admitted": sum(s.queue.admitted for s in ordered),
+            "dropped": sum(s.queue.dropped for s in ordered),
+            "peak_depth": max(s.queue.peak_depth for s in ordered),
+        }
+        autoscale = None
+        if any(s.scaler is not None for s in ordered):
+            actions = sorted(
+                (a for s in ordered if s.scaler is not None for a in s.scaler.actions),
+                key=lambda a: (a["time_s"], a["device"]),
+            )
+            autoscale = {
+                "scale_ups": sum(1 for a in actions if a["action"] == "up"),
+                "scale_downs": sum(1 for a in actions if a["action"] == "down"),
+                "actions": actions,
+                "per_shard": {
+                    str(s.node): {
+                        "scale_ups": sum(
+                            1 for a in s.scaler.actions if a["action"] == "up"
+                        ),
+                        "scale_downs": sum(
+                            1 for a in s.scaler.actions if a["action"] == "down"
+                        ),
+                    }
+                    for s in ordered
+                    if s.scaler is not None
+                },
+            }
+        sharding = {
+            "routing": router.policy.name,
+            "sync_interval_s": cfg.sync_interval_s,
+            "num_shards": len(ordered),
+            "syncs": router.syncs,
+            "forwards": router.forwards,
+            "rerouted": router.reroutes,
+            "cross_node_fetches": total.counts.cross_node_fetches,
+            "shards": [
+                {
+                    "node": s.node,
+                    "devices": list(s.devices),
+                    "alive": s.view.num_alive,
+                    "dead": s.dead,
+                    "routed": s.routed,
+                    "forwarded_in": s.forwarded_in,
+                    "rerouted_in": s.rerouted_in,
+                    "queue": s.queue.counters(),
+                }
+                for s in ordered
+            ],
+        }
+        return ServeResult(
+            report=report,
+            metrics=total,
+            queue=queue_counters,
+            arrival_s=sorted(t for s in streams for t in s.times),
+            faults=fault_summary,
+            fault_events=fault_events,
+            tenants=tenant_sections(report, specs) if specs else None,
+            autoscale=autoscale,
+            journal=journal.summary() if journal is not None else None,
+            rounds=rounds_log,
+            sharding=sharding,
+            events_processed=events_processed,
+        )
+
+    # ------------------------------------------------------- per-shard pieces
+    def _pop_shard_round(self, shard: NodeRuntime, now: float) -> list[Ticket]:
+        """Per-shard round assembly (same rules, shard-local budget)."""
+        cfg = self.serve_config
+        if cfg.max_batch_vectors <= 1:
+            nxt = shard.queue.pop()
+            return [nxt] if nxt is not None else []
+        budget = cfg.batch_memory_frac * sum(
+            self.cluster.devices[d].memory_bytes for d in shard.view.alive_ids()
+        )
+        return shard.queue.pop_batch(
+            cfg.max_batch_vectors, accept=self._batch_accept(budget, now)
+        )
+
+    def _schedule_on_shard(
+        self, vector: VectorSpec, shard: NodeRuntime, wants_bounds: bool
+    ) -> tuple[ExecutionMetrics, list[int]]:
+        """One merged round through the shard's scheduler and view."""
+        chars = shard.tracker.observe(vector)
+        if wants_bounds:
+            shard.scheduler.set_bounds(self.predictor.predict_bounds(chars))
+        shard.view.begin_vector(vector.num_tensors)
+        shard.scheduler.begin_vector(vector, shard.view)
+        vec_metrics = ExecutionMetrics(num_devices=self.cluster.num_devices)
+        assignment: list[int] = []
+        for pair in vector.pairs:
+            dev = shard.scheduler.choose(pair, shard.view)
+            self.engine.execute_pair(pair, dev, vec_metrics)
+            assignment.append(dev)
+        if not self.config.keep_outputs:
+            self.engine.drain_outputs(vector, assignment, vec_metrics)
+        return vec_metrics, assignment
+
+    def _rescale_shard_bounds(self, shard: NodeRuntime, before: int, after: int) -> None:
+        """Per-shard analogue of :meth:`MiccoServer._rescale_bounds`."""
+        if (
+            before != after
+            and before > 0
+            and after > 0
+            and shard.bounds_anchor is not None
+        ):
+            bounds0, alive0 = shard.bounds_anchor
+            if after == alive0:
+                shard.scheduler.set_bounds(bounds0)
+            else:
+                shard.scheduler.set_bounds(bounds0.rescaled(alive0, after))
+
+    def _shrink_shard_to_initial(self, shard: NodeRuntime) -> None:
+        """Retire shard devices down to the clamped initial pool size."""
+        c = shard.scaler.config
+        target = max(
+            c.min_devices,
+            min(
+                c.initial_devices if c.initial_devices is not None else c.min_devices,
+                c.max_devices,
+                shard.view.num_alive,
+            ),
+        )
+        while shard.view.num_alive > target:
+            before = shard.view.num_alive
+            self.cluster.retire_device(shard.view.alive_ids()[-1])
+            self._rescale_shard_bounds(shard, before, shard.view.num_alive)
+
+    def _shard_offline(self, shard: NodeRuntime) -> list[int]:
+        """The shard's retired (re-activatable) devices, id order."""
+        return [
+            d
+            for d in shard.devices
+            if not self.cluster.is_alive(d)
+            and not self.cluster.is_failed(d)
+            and d not in shard.pending_online
+        ]
+
+    def _autoscale_shard_step(
+        self,
+        shard: NodeRuntime,
+        now: float,
+        timeline: Timeline,
+        pending: dict[int, Ticket],
+        busy_until,
+        total: ExecutionMetrics,
+        injector: FaultInjector | None,
+        abandon,
+    ) -> None:
+        """Per-shard scaling: each shard grows/shrinks only its own devices."""
+        if shard.dead or shard.scaler is None:
+            return
+        c = shard.scaler.config
+        decision = shard.scaler.decide(
+            now,
+            queue_depth=len(shard.queue),
+            num_alive=shard.view.num_alive + len(shard.pending_online),
+        )
+        if decision == "up":
+            candidates = self._shard_offline(shard)
+            if (
+                not candidates
+                or shard.view.num_alive + len(shard.pending_online) >= c.max_devices
+            ):
+                return
+            dev = candidates[0]
+            shard.pending_online.add(dev)
+            timeline.push(DeviceOnline(now + c.warmup_s, device=dev))
+            shard.scaler.log(
+                now, "up", dev, shard.view.num_alive,
+                reason=f"shard {shard.node} queue depth {len(shard.queue)}, "
+                f"warm-up {c.warmup_s:g}s",
+            )
+        elif decision == "down":
+            if shard.pending_online or shard.view.num_alive <= c.min_devices:
+                return
+            dev = shard.view.alive_ids()[-1]
+            before = shard.view.num_alive
+            self.cluster.retire_device(dev)
+            self._rescale_shard_bounds(shard, before, shard.view.num_alive)
+            moved = 0
+            for ticket in [t for t in pending.values() if dev in set(t.assignment)]:
+                try:
+                    complete = self._reschedule_orphans(
+                        ticket, dev, now, busy_until, total,
+                        stats=injector.stats if injector is not None else None,
+                        scheduler=shard.scheduler, cluster=shard.view,
+                    )
+                except FaultError:
+                    abandon(ticket, now)
+                    continue
+                ticket.epoch += 1
+                timeline.push(VectorCompletion(complete, ticket, epoch=ticket.epoch))
+                moved += 1
+            shard.scaler.log(
+                now, "down", dev, shard.view.num_alive,
+                reason=f"shard {shard.node} drained {moved} in-flight vectors",
+            )
+
+    def _bring_online_shard(
+        self,
+        shard: NodeRuntime,
+        device: int,
+        now: float,
+        busy_until,
+        injector: FaultInjector | None,
+    ) -> None:
+        """A shard device finished warming up (per-shard ``_bring_online``)."""
+        shard.pending_online.discard(device)
+        if self.cluster.is_failed(device) or self.cluster.is_alive(device):
+            return
+        before = shard.view.num_alive
+        self.cluster.activate_device(device)
+        busy_until[device] = now
+        restored = 0
+        if self.cluster.journal is not None:
+            restored, cost = self._warm_restore(device, now, injector)
+            busy_until[device] += cost
+        self._rescale_shard_bounds(shard, before, shard.view.num_alive)
+        if shard.scaler is not None:
+            reason = "warm-up complete"
+            if restored:
+                reason += f", {restored} tensors pre-warmed"
+            shard.scaler.log(
+                now, "online", device, shard.view.num_alive,
+                reason=reason, starts_cooldown=False,
+            )
+
+    def _replace_lost_shard(
+        self, shard: NodeRuntime, now: float, timeline: Timeline, count: int
+    ) -> None:
+        """One replacement warm-up per lost device, from the shard's spares."""
+        c = shard.scaler.config
+        for _ in range(count):
+            candidates = self._shard_offline(shard)
+            if (
+                not candidates
+                or shard.view.num_alive + len(shard.pending_online) >= c.max_devices
+            ):
+                return
+            dev = candidates[0]
+            shard.pending_online.add(dev)
+            timeline.push(DeviceOnline(now + c.warmup_s, device=dev))
+            shard.scaler.log(
+                now, "up", dev, shard.view.num_alive,
+                reason=f"shard {shard.node}: replace lost device, "
+                f"warm-up {c.warmup_s:g}s",
+                starts_cooldown=False,
+            )

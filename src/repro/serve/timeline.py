@@ -9,7 +9,9 @@ simulated wall-clock time.  Three event kinds drive a serving run
   vector's pairs to devices,
 * :class:`VectorCompletion` — the last device finished the vector,
 * :class:`DeviceOnline` — a scaled-up device finished warming up and
-  joins the schedulable pool (no ticket attached).
+  joins the schedulable pool (no ticket attached),
+* :class:`DigestSync` — the sharded control plane's global router
+  refreshes its per-node load/residency digests (no ticket attached).
 
 Ties at the same timestamp resolve in push order (a monotonic sequence
 number), so event processing is fully deterministic.
@@ -58,6 +60,17 @@ class Ticket:
     #: the ticket settles (completes or is shed) so the round's
     #: scheduling slot is released exactly once per member.
     round: "BatchRound | None" = None
+    #: Node shard the global router assigned the ticket to (``None``
+    #: outside sharded serving, and before routing).
+    shard: int | None = None
+    #: Times the ticket was forwarded to another shard because its
+    #: routed shard's queue was full (sharded serving only).
+    forwards: int = 0
+    #: Absolute completion deadline derived from the owning tenant's
+    #: SLO (``arrival_s + p99 target``); ``None`` when no target is
+    #: configured.  Batch assembly stops growing a round when adding a
+    #: member would push the earliest deadline past this.
+    deadline_s: float | None = None
 
 
 @dataclass
@@ -132,6 +145,19 @@ class VectorCompletion(Event):
     """
 
     epoch: int = 0
+
+
+@dataclass(frozen=True)
+class DigestSync(Event):
+    """The sharded control plane refreshes its per-node digests.
+
+    Fired every :attr:`~repro.serve.server.ServeConfig.sync_interval_s`
+    simulated seconds by :class:`~repro.serve.sharded.ShardedServer`.
+    Between syncs the global router deliberately works from stale
+    summaries (corrected only by its own routing decisions since the
+    last sync), modelling the coordination gap of a real two-level
+    control plane.  No ticket attached.
+    """
 
 
 @dataclass(frozen=True)

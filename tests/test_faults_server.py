@@ -363,3 +363,57 @@ class TestFaultAwareAdmission:
         serve = ServeConfig(queue_policy=Sjf(), fault_aware_admission=True)
         _, result = run_chaos(None, serve=serve)
         assert result.queue["policy"] == "fault-aware(sjf)"
+
+
+class TestLinkLossDegradation:
+    """``link_lost``: the node degrades (host-staged fetches), nothing dies."""
+
+    def test_devices_stay_alive_and_run_completes(self):
+        plan = FaultPlan((FaultEvent(FaultKind.LINK_LOST, 1e-4, 1),))
+        server, result = run_multinode(plan)
+        assert server.cluster.num_alive == 8  # nobody died
+        assert result.faults["injected"]["link_lost"] == 1
+        assert result.faults["link_losses"] == 1
+        assert result.faults["device_losses"] == 0
+        s = result.summary()
+        assert s["completed"] + s["dropped"] == s["offered"]
+
+    def test_cross_node_fetches_become_host_staged(self):
+        # Repeated tensors make cross-node reuse likely; severing node 0's
+        # links forces those fetches through the host instead.
+        plan = FaultPlan((FaultEvent(FaultKind.LINK_LOST, 1e-4, 0),))
+        _, degraded = run_multinode(plan)
+        _, healthy = run_multinode(None)
+        assert degraded.faults["host_staged_fetches"] > 0
+        # Host staging replaces (never adds to) cross-node D2D traffic.
+        assert (
+            degraded.metrics.counts.cross_node_fetches
+            <= healthy.metrics.counts.cross_node_fetches
+        )
+
+    def test_same_node_reuse_survives_link_loss(self):
+        # Holders on the destination's own node stay reachable: the run
+        # still gets reuse hits after every inter-node link is severed.
+        plan = FaultPlan((
+            FaultEvent(FaultKind.LINK_LOST, 1e-4, 0),
+            FaultEvent(FaultKind.LINK_LOST, 1e-4, 4),
+        ))
+        _, result = run_multinode(plan)
+        assert result.metrics.counts.reuse_hits > 0
+
+    def test_duplicate_link_loss_is_idempotent(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.LINK_LOST, 1e-4, 0),
+            FaultEvent(FaultKind.LINK_LOST, 2e-4, 1),  # same node again
+        ))
+        _, result = run_multinode(plan)
+        assert result.faults["link_losses"] == 1
+
+    def test_generate_draws_link_lost_events(self):
+        plan = FaultPlan.generate(
+            7, num_devices=8, horizon_s=1.0, n_transient=0, n_transfer=0,
+            n_straggler=0, n_device_lost=0, n_link_lost=3,
+        )
+        kinds = [e.kind for e in plan.events]
+        assert kinds.count(FaultKind.LINK_LOST) == 3
+        assert FaultPlan.from_dicts(plan.to_dicts()) == plan
