@@ -157,6 +157,25 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="with --sharded: global routing policy (default least-loaded)",
     )
     system.add_argument(
+        "--health",
+        action="store_true",
+        help=(
+            "with --sharded: heartbeat health tracking on the global tier "
+            "(suspicion scoring, quarantine/probation lifecycle, forwarding "
+            "circuit breakers) — the defence against gray faults that are "
+            "never announced"
+        ),
+    )
+    system.add_argument(
+        "--hedge",
+        action="store_true",
+        help=(
+            "with --health: hedged dispatch — clone tickets stuck past the "
+            "hedging deadline on suspect shards; first completion wins, the "
+            "loser is cancelled exactly once"
+        ),
+    )
+    system.add_argument(
         "--warm-restore",
         action="store_true",
         help=(
@@ -221,6 +240,26 @@ def build_chaos_parser() -> argparse.ArgumentParser:
             "through the host; needs --devices-per-node; default 0)"
         ),
     )
+    faults.add_argument(
+        "--flap-nodes",
+        type=int,
+        default=0,
+        help=(
+            "nodes to flap (node_flap gray faults: repeated short down/up "
+            "cycles, never announced to the router; needs --devices-per-node "
+            "to expand beyond one device; default 0)"
+        ),
+    )
+    faults.add_argument(
+        "--silence-nodes",
+        type=int,
+        default=0,
+        help=(
+            "nodes to silence (heartbeat_loss gray faults: devices keep "
+            "executing but report nothing for a window; needs "
+            "--devices-per-node; default 0)"
+        ),
+    )
     faults.add_argument("--transient", type=int, default=2, help="transient kernel faults to inject (default 2)")
     faults.add_argument("--transfer", type=int, default=2, help="transfer faults to inject (default 2)")
     faults.add_argument("--stragglers", type=int, default=1, help="straggler windows to open (default 1)")
@@ -261,6 +300,7 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
     from repro.schedulers.roundrobin import RoundRobinScheduler
     from repro.serve import (
         BurstyArrivals,
+        HealthConfig,
         MiccoServer,
         MultiTenantServer,
         PoissonArrivals,
@@ -303,6 +343,11 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         overrides["sync_interval_s"] = args.sync_interval
     if args.routing is not None:
         overrides["routing"] = args.routing
+    if args.health or args.hedge:
+        # --hedge implies --health; either flag layers onto any health
+        # block the config file already carries.
+        base = serve_cfg.health or HealthConfig()
+        overrides["health"] = base.with_(hedging=base.hedging or args.hedge)
     if args.warm_restore:
         overrides["warm_restore"] = True
     if args.fault_aware:
@@ -358,6 +403,8 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             n_device_lost=args.kill,
             n_node_lost=args.kill_nodes,
             n_link_lost=args.cut_links,
+            n_node_flap=args.flap_nodes,
+            n_heartbeat_loss=args.silence_nodes,
             straggler_factor=args.straggler_factor,
         )
     if chaos and args.save_plan and plan is not None:
@@ -456,6 +503,17 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
                 f"  resilience {f['prewarmed_tensors']} tensor(s) pre-warmed, "
                 f"{f['predicted_infeasible']} vector(s) shed predicted-infeasible"
             )
+    if result.health is not None:
+        h = result.health
+        hedges = h["hedges"]
+        print(
+            f"  gray       {len(h['quarantine_episodes'])} quarantine(s), "
+            f"{h['missed']} missed heartbeat(s), "
+            f"{h['breakers']['opens']} breaker open(s)   "
+            f"hedges: {hedges['launched']} launched, "
+            f"{hedges['won_by_clone']} won by clone, "
+            f"{hedges['cancelled']} cancelled"
+        )
 
     extra = {
         "config": {

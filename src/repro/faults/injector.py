@@ -48,7 +48,27 @@ class FaultInjector:
         if num_devices is not None:
             plan.validate_devices(num_devices)
         self.plan = plan
-        self._pending = deque(plan.events)  # plan is already time-sorted
+        # Expand multi-cycle node_flap events into one single-cycle event
+        # per down phase so each loss/restore pair is polled (and counted
+        # in ``injected``) on its own clock tick.
+        expanded: list[FaultEvent] = []
+        for event in plan.events:
+            if event.kind is FaultKind.NODE_FLAP and event.count > 1:
+                period = event.period_s or 2.0 * event.duration_s
+                for i in range(event.count):
+                    expanded.append(
+                        FaultEvent(
+                            FaultKind.NODE_FLAP,
+                            event.time_s + i * period,
+                            event.device,
+                            duration_s=event.duration_s,
+                            period_s=period,
+                        )
+                    )
+            else:
+                expanded.append(event)
+        expanded.sort(key=lambda e: (e.time_s, e.device, e.kind.value))
+        self._pending = deque(expanded)
         self.stats = FaultStats()
         #: Current simulated time, advanced by :meth:`poll`.
         self.now = 0.0
@@ -60,6 +80,9 @@ class FaultInjector:
         #: Devices whose node lost its inter-node links (``link_lost``);
         #: they stay alive but are D2D-unreachable from other nodes.
         self._linkless: set[int] = set()
+        #: (device, start_s, end_s) heartbeat-silence windows — the
+        #: device computes normally but its node reports nothing.
+        self._silent: list[tuple[int, float, float]] = []
 
     # ------------------------------------------------------------ driver side
     def poll(self, now: float) -> list[FaultEvent]:
@@ -96,7 +119,7 @@ class FaultInjector:
                 )
                 self._slow.append(window)
                 self.stats.straggler_windows.append(window)
-            else:  # DEVICE_LOST / NODE_LOST / LINK_LOST: driver applies
+            else:  # DEVICE_LOST / NODE_LOST / LINK_LOST / gray kinds: driver applies
                 losses.append(fault)
         return losses
 
@@ -109,10 +132,32 @@ class FaultInjector:
         self.stats.device_losses += 1
         self.stats.orphaned_tensors += orphans
         self.stats.lost_at.setdefault(device, float(time_s))
+        self.stats.open_down_window(device, time_s)
         # A dead device can no longer fault or straggle.
         self._armed_kernel.pop(device, None)
         self._armed_transfer.pop(device, None)
         self._slow = [w for w in self._slow if w[0] != device]
+
+    def note_device_restored(self, device: int, time_s: float) -> None:
+        """Record an applied restore (``node_flap`` up phase)."""
+        self.stats.device_restores += 1
+        self.stats.close_down_window(device, time_s)
+
+    def note_heartbeat_loss(self, devices, start_s: float, end_s: float) -> None:
+        """Record an applied gray silence: ``devices`` stop reporting.
+
+        The devices keep computing — only the control-plane signal is
+        lost for ``[start_s, end_s)``; health monitoring has to notice.
+        """
+        self.stats.heartbeat_losses += 1
+        for d in devices:
+            self._silent.append((int(d), float(start_s), float(end_s)))
+
+    def silent_devices(self, now: float) -> frozenset[int]:
+        """Devices inside an active heartbeat-silence window at ``now``."""
+        return frozenset(
+            d for d, start, end in self._silent if start <= now < end
+        )
 
     def note_link_lost(self, devices, time_s: float) -> None:
         """Record an applied link loss: ``devices`` are D2D-isolated.

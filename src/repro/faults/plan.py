@@ -8,7 +8,7 @@ seed via :meth:`FaultPlan.generate`, which draws every timestamp and
 device through :func:`repro.utils.rng.as_generator` so identical seeds
 give identical fault timelines — chaos runs are replayable bit for bit.
 
-Six fault kinds model the failure modes a long-lived serving cluster
+Eight fault kinds model the failure modes a long-lived serving cluster
 actually sees:
 
 * ``transient``   — a pair's kernel execution fails and must retry,
@@ -26,6 +26,19 @@ actually sees:
   keep computing, but D2D fetches crossing the severed links are staged
   through the host instead, and the sharded router routes around the
   degraded node.
+
+Two *gray* kinds model failures that are never announced — the control
+plane has to infer them from missing heartbeats (see
+:mod:`repro.serve.health`):
+
+* ``heartbeat_loss`` — the node hosting ``device`` stays alive and
+  keeps computing, but stops reporting for ``duration_s`` seconds: no
+  heartbeats, no digests.  Purely a control-plane signal loss,
+* ``node_flap``   — repeated short loss/restore cycles: the node's
+  devices all fail, come back cold ``duration_s`` later, and repeat
+  ``count`` times every ``period_s`` seconds (default ``2×duration_s``).
+  Unlike ``node_lost`` the failure is *not* announced to the router —
+  its digest merely goes stale while the node is down.
 """
 
 from __future__ import annotations
@@ -40,7 +53,7 @@ from repro.utils.rng import as_generator
 
 
 class FaultKind(str, Enum):
-    """The six injectable failure modes."""
+    """The eight injectable failure modes."""
 
     TRANSIENT = "transient"
     DEVICE_LOST = "device_lost"
@@ -48,6 +61,8 @@ class FaultKind(str, Enum):
     TRANSFER = "transfer"
     NODE_LOST = "node_lost"
     LINK_LOST = "link_lost"
+    HEARTBEAT_LOSS = "heartbeat_loss"
+    NODE_FLAP = "node_flap"
 
 
 @dataclass(frozen=True)
@@ -65,12 +80,19 @@ class FaultEvent:
         the doomed node; the whole node containing it fails atomically
         (grouping via :meth:`~repro.gpusim.topology.Topology.node_of`).
     duration_s:
-        Straggler window length (ignored for other kinds).
+        Window length: straggler slowdown window, ``heartbeat_loss``
+        silence window, or ``node_flap`` down time per cycle (ignored
+        for other kinds).
     slow_factor:
         Straggler kernel-time multiplier, > 1 (ignored otherwise).
     count:
         Consecutive failures to inject for ``transient``/``transfer``
-        faults before the operation succeeds again.
+        faults before the operation succeeds again, or loss/restore
+        cycles for ``node_flap``.
+    period_s:
+        ``node_flap`` cycle period — down phases start every
+        ``period_s`` seconds.  0 (the default) means ``2 × duration_s``
+        (equal down and up time); ignored for other kinds.
     """
 
     kind: FaultKind
@@ -79,6 +101,7 @@ class FaultEvent:
     duration_s: float = 0.0
     slow_factor: float = 1.0
     count: int = 1
+    period_s: float = 0.0
 
     def __post_init__(self):
         try:
@@ -94,6 +117,8 @@ class FaultEvent:
             raise ConfigurationError(f"fault device must be >= 0, got {self.device}")
         if self.count < 1:
             raise ConfigurationError(f"fault count must be >= 1, got {self.count}")
+        if self.period_s < 0:
+            raise ConfigurationError(f"fault period_s must be >= 0, got {self.period_s}")
         if self.kind is FaultKind.STRAGGLER:
             if self.duration_s <= 0:
                 raise ConfigurationError(
@@ -102,6 +127,20 @@ class FaultEvent:
             if self.slow_factor <= 1.0:
                 raise ConfigurationError(
                     f"straggler slow_factor must be > 1, got {self.slow_factor}"
+                )
+        if self.kind is FaultKind.HEARTBEAT_LOSS and self.duration_s <= 0:
+            raise ConfigurationError(
+                f"heartbeat_loss duration_s must be > 0, got {self.duration_s}"
+            )
+        if self.kind is FaultKind.NODE_FLAP:
+            if self.duration_s <= 0:
+                raise ConfigurationError(
+                    f"node_flap duration_s must be > 0, got {self.duration_s}"
+                )
+            if self.period_s and self.period_s < self.duration_s:
+                raise ConfigurationError(
+                    f"node_flap period_s must be >= duration_s "
+                    f"({self.duration_s}), got {self.period_s}"
                 )
 
     def to_dict(self) -> dict:
@@ -165,8 +204,13 @@ class FaultPlan:
         n_device_lost: int = 1,
         n_node_lost: int = 0,
         n_link_lost: int = 0,
+        n_heartbeat_loss: int = 0,
+        n_node_flap: int = 0,
         straggler_factor: float = 4.0,
         straggler_window_frac: float = 0.25,
+        silence_window_frac: float = 0.25,
+        flap_cycles: int = 2,
+        flap_down_frac: float = 0.05,
     ) -> "FaultPlan":
         """Draw a random plan over ``[0, horizon_s)`` from ``seed``.
 
@@ -181,7 +225,12 @@ class FaultPlan:
         cannot (and does not try to) guarantee survivors across domains.
         Link losses (``n_link_lost``) likewise target a uniformly drawn
         device; the node containing it keeps computing but loses its
-        inter-node links.
+        inter-node links.  Gray faults: heartbeat losses
+        (``n_heartbeat_loss``) silence a uniformly drawn device's node
+        for ``silence_window_frac × horizon_s``; node flaps
+        (``n_node_flap``) cycle a node down/up ``flap_cycles`` times,
+        ``flap_down_frac × horizon_s`` down per cycle with equal up
+        time between cycles.
         """
         if num_devices < 1:
             raise ConfigurationError(f"num_devices must be >= 1, got {num_devices}")
@@ -194,6 +243,8 @@ class FaultPlan:
             ("n_device_lost", n_device_lost),
             ("n_node_lost", n_node_lost),
             ("n_link_lost", n_link_lost),
+            ("n_heartbeat_loss", n_heartbeat_loss),
+            ("n_node_flap", n_node_flap),
         ):
             if n < 0:
                 raise ConfigurationError(f"{name} must be >= 0, got {n}")
@@ -243,6 +294,27 @@ class FaultPlan:
             events.append(
                 FaultEvent(FaultKind.LINK_LOST, t, int(rng.integers(num_devices)))
             )
+        for t in times(n_heartbeat_loss):
+            events.append(
+                FaultEvent(
+                    FaultKind.HEARTBEAT_LOSS,
+                    t,
+                    int(rng.integers(num_devices)),
+                    duration_s=silence_window_frac * horizon_s,
+                )
+            )
+        flap_down = flap_down_frac * horizon_s
+        for t in times(n_node_flap):
+            events.append(
+                FaultEvent(
+                    FaultKind.NODE_FLAP,
+                    t,
+                    int(rng.integers(num_devices)),
+                    duration_s=flap_down,
+                    count=max(flap_cycles, 1),
+                    period_s=2.0 * flap_down,
+                )
+            )
         return cls(tuple(events))
 
     # ----------------------------------------------------------- persistence
@@ -263,7 +335,10 @@ class FaultPlan:
             raise ConfigurationError(
                 f"fault plan records must be a list of objects, got {records!r}"
             )
-        known = {"kind", "time_s", "device", "duration_s", "slow_factor", "count"}
+        known = {
+            "kind", "time_s", "device", "duration_s", "slow_factor", "count",
+            "period_s",
+        }
         events = []
         for i, r in enumerate(records):
             if not isinstance(r, dict):

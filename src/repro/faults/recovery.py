@@ -71,6 +71,8 @@ class FaultStats:
             "transfer": 0,
             "node_lost": 0,
             "link_lost": 0,
+            "heartbeat_loss": 0,
+            "node_flap": 0,
         }
     )
     transient_failures: int = 0
@@ -82,6 +84,12 @@ class FaultStats:
     node_losses: int = 0
     #: Nodes that lost their inter-node links while staying alive.
     link_losses: int = 0
+    #: Gray silences applied: nodes that stayed alive but stopped
+    #: reporting (``heartbeat_loss``).
+    heartbeat_losses: int = 0
+    #: Devices brought back after a non-permanent loss (``node_flap``
+    #: restore phases).
+    device_restores: int = 0
     #: D2D fetches forced through the host because every holder sat
     #: behind a severed inter-node link (``link_lost`` degradation).
     host_staged_fetches: int = 0
@@ -99,8 +107,16 @@ class FaultStats:
         default_factory=lambda: {"transient": [], "device_lost": [], "transfer": []}
     )
     events: list[dict] = field(default_factory=list)
-    #: device id -> simulated time of permanent loss.
+    #: device id -> simulated time of *first* loss.  Kept for backward
+    #: compatibility with manually-constructed stats; availability is
+    #: charged from ``down_windows`` when any exist for the device.
     lost_at: dict[int, float] = field(default_factory=dict)
+    #: ``[device, start_s, end_s]`` down windows; ``end_s is None``
+    #: while the device is still down (closed by restore or clipped to
+    #: the makespan).  Repeated loss/restore of one device appends one
+    #: window per down phase, so availability sums disjoint windows
+    #: instead of charging loss-to-makespan once per loss.
+    down_windows: list[list] = field(default_factory=list)
     #: (device, start_s, end_s, slow_factor) straggler windows seen.
     straggler_windows: list[tuple[int, float, float, float]] = field(default_factory=list)
     #: Run context bound by :meth:`finalize` so :meth:`summary` needs no
@@ -126,6 +142,20 @@ class FaultStats:
     def record_recovery(self, fault_kind: str, latency_s: float) -> None:
         self.recovery_latency_s.setdefault(fault_kind, []).append(float(latency_s))
 
+    def open_down_window(self, device: int, time_s: float) -> None:
+        """Mark ``device`` down at ``time_s`` (idempotent while open)."""
+        for w in self.down_windows:
+            if w[0] == device and w[2] is None:
+                return
+        self.down_windows.append([int(device), float(time_s), None])
+
+    def close_down_window(self, device: int, time_s: float) -> None:
+        """Close ``device``'s open down window at ``time_s`` (restore)."""
+        for w in self.down_windows:
+            if w[0] == device and w[2] is None:
+                w[2] = float(time_s)
+                return
+
     def finalize(self, makespan_s: float, num_devices: int) -> "FaultStats":
         """Bind the run context availability accounting needs.
 
@@ -141,15 +171,40 @@ class FaultStats:
     def availability(self, makespan_s: float, num_devices: int) -> float:
         """Healthy device-seconds over total device-seconds, in percent.
 
-        A device lost at time ``t`` contributes dead time ``makespan - t``.
+        Dead time is the union of each device's down windows clipped to
+        ``[0, makespan]`` — a window still open at the end of the run
+        (permanent loss) extends to the makespan, and repeated
+        loss/restore cycles (``node_flap``) sum *disjoint* windows
+        instead of charging loss-to-makespan once per loss.  A device in
+        ``lost_at`` with no recorded window (manually constructed stats)
+        falls back to the legacy charge ``makespan - lost_at[device]``.
         Straggling degrades but does not remove capacity, so it is
         reported separately (:meth:`degraded_device_s`), not charged here.
         """
         if makespan_s <= 0 or num_devices <= 0:
             return 100.0
-        dead = sum(
-            max(makespan_s - t, 0.0) for t in self.lost_at.values()
-        )
+        per_device: dict[int, list[tuple[float, float]]] = {}
+        for dev, start, end in self.down_windows:
+            lo = min(max(start, 0.0), makespan_s)
+            hi = makespan_s if end is None else min(max(end, 0.0), makespan_s)
+            if hi > lo:
+                per_device.setdefault(dev, []).append((lo, hi))
+        for dev, t in self.lost_at.items():
+            if dev not in per_device and not any(w[0] == dev for w in self.down_windows):
+                lo = min(max(t, 0.0), makespan_s)
+                if makespan_s > lo:
+                    per_device.setdefault(dev, []).append((lo, makespan_s))
+        dead = 0.0
+        for intervals in per_device.values():
+            intervals.sort()
+            cur_lo, cur_hi = intervals[0]
+            for lo, hi in intervals[1:]:
+                if lo > cur_hi:
+                    dead += cur_hi - cur_lo
+                    cur_lo, cur_hi = lo, hi
+                else:
+                    cur_hi = max(cur_hi, hi)
+            dead += cur_hi - cur_lo
         return 100.0 * (1.0 - dead / (makespan_s * num_devices))
 
     def degraded_device_s(self, makespan_s: float) -> float:
@@ -200,6 +255,8 @@ class FaultStats:
             "device_losses": self.device_losses,
             "node_losses": self.node_losses,
             "link_losses": self.link_losses,
+            "heartbeat_losses": self.heartbeat_losses,
+            "device_restores": self.device_restores,
             "host_staged_fetches": self.host_staged_fetches,
             "orphaned_tensors": self.orphaned_tensors,
             "rescheduled_pairs": self.rescheduled_pairs,

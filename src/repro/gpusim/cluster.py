@@ -289,6 +289,27 @@ class ClusterState:
         self.pools[device_id].clear()
         self._alive.add(device_id)
 
+    def restore_device(self, device_id: int) -> None:
+        """Bring a *failed* device back online with a cold memory pool.
+
+        The flap-recovery counterpart of :meth:`activate_device`: a
+        device that died in a ``node_flap`` down phase rejoins the pool
+        when the node comes back.  The failure mark is cleared — the
+        device is healthy again — but nothing survives the bounce: the
+        pool restarts cold and residency must be re-fetched (or
+        pre-warmed via journal replay).  Restoring an alive device is a
+        no-op.
+        """
+        if not (0 <= device_id < self.num_devices):
+            raise SchedulingError(
+                f"device id {device_id} out of range 0..{self.num_devices - 1}"
+            )
+        if device_id in self._alive:
+            return
+        self._failed.discard(device_id)
+        self.pools[device_id].clear()
+        self._alive.add(device_id)
+
     def check_invariants(self) -> None:
         """Assert pool accounting and the residency index agree.
 

@@ -15,11 +15,13 @@ from pathlib import Path
 
 #: Event kinds emitted by the engine, plus the serving layer's
 #: per-vector lifecycle spans (wait → schedule → execute), the chaos
-#: layer's fault lifecycle (fault → retry → recovery), the
-#: failure-domain layer's cross-node re-fetches (xnode) and warm
-#: restores (prewarm), the autoscaler's pool changes
-#: (scale-up → scale-online → scale-down), and the dispatcher's batched
-#: scheduling rounds (batch).
+#: layer's fault lifecycle (fault → retry → recovery) and flap-cycle
+#: restores (restore), the failure-domain layer's cross-node
+#: re-fetches (xnode) and warm restores (prewarm), the autoscaler's
+#: pool changes (scale-up → scale-online → scale-down), the
+#: dispatcher's batched scheduling rounds (batch), and the health
+#: subsystem's lifecycle / hedge / breaker transitions
+#: (health, hedge, breaker).
 EVENT_KINDS = (
     "batch",
     "h2d",
@@ -34,11 +36,15 @@ EVENT_KINDS = (
     "fault",
     "retry",
     "recovery",
+    "restore",
     "xnode",
     "prewarm",
     "scale-up",
     "scale-down",
     "scale-online",
+    "health",
+    "hedge",
+    "breaker",
 )
 
 

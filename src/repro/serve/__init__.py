@@ -28,6 +28,18 @@ enabled with ``ServeConfig(sharded=True)``) replaces the single loop
 with a global router over per-node local schedulers coordinated through
 periodically synced load/residency digests — same timeline, same
 determinism, distributed control decisions.
+
+Gray-failure resilience (:mod:`repro.serve.health`, enabled with
+``ServeConfig(health=HealthConfig())`` on sharded runs) handles the
+faults that are *not* announced: ``heartbeat_loss`` (a node alive but
+silent) and ``node_flap`` (repeated short down/up cycles).  A
+phi-accrual-style :class:`repro.serve.HealthMonitor` on the global tier
+turns missed heartbeats into a healthy → suspect → quarantined →
+probation lifecycle, quarantined shards drain their queues through the
+router without being killed, per-shard forwarding circuit breakers stop
+hammering full shards, and optional hedged dispatch clones tickets
+stuck on suspect shards (first completion wins, exactly-once
+accounting).
 """
 
 from repro.serve.arrivals import (
@@ -38,6 +50,13 @@ from repro.serve.arrivals import (
     arrivals_from_dict,
 )
 from repro.serve.autoscale import Autoscaler, AutoscalerConfig
+from repro.serve.health import (
+    CircuitBreaker,
+    HealthConfig,
+    HealthMonitor,
+    HedgePair,
+    ShardHealthState,
+)
 from repro.serve.queueing import (
     QUEUE_POLICIES,
     AdmissionQueue,
@@ -68,8 +87,10 @@ from repro.serve.tenancy import (
 )
 from repro.serve.timeline import (
     DeviceOnline,
+    DeviceRestore,
     DigestSync,
     Event,
+    HealthTick,
     SchedulingDone,
     Ticket,
     Timeline,
@@ -111,7 +132,14 @@ __all__ = [
     "SchedulingDone",
     "VectorCompletion",
     "DeviceOnline",
+    "DeviceRestore",
     "DigestSync",
+    "HealthTick",
+    "HealthConfig",
+    "HealthMonitor",
+    "ShardHealthState",
+    "CircuitBreaker",
+    "HedgePair",
     "ShardedServer",
     "GlobalScheduler",
     "NodeRuntime",

@@ -400,6 +400,16 @@ class AdmissionQueue:
         self.peak_depth = max(self.peak_depth, len(self._heap))
         return True
 
+    def tickets(self) -> list[Ticket]:
+        """Queued tickets in policy (pop) order, without removing them.
+
+        Used by the hedging sweep to find overdue tickets still waiting
+        on a suspect shard.  Policy keys end in a unique sequence
+        number, so sorting on the key prefix is total and deterministic
+        (the trailing :class:`Ticket` never participates in comparison).
+        """
+        return [e[-1] for e in sorted(self._heap, key=lambda e: e[:-1])]
+
     def pop(self) -> Ticket | None:
         """Remove and return the next ticket per policy; None when empty."""
         if not self._heap:

@@ -52,6 +52,7 @@ from repro.schedulers.batching import (
 from repro.schedulers.micco import MiccoScheduler
 from repro.serve.arrivals import ArrivalProcess, TraceArrivals
 from repro.serve.autoscale import Autoscaler, AutoscalerConfig
+from repro.serve.health import HealthConfig
 from repro.serve.queueing import (
     QUEUE_POLICIES,
     AdmissionQueue,
@@ -65,6 +66,7 @@ from repro.serve.tenancy import TenantSpec, TenantStream, build_streams, tenant_
 from repro.serve.timeline import (
     BatchRound,
     DeviceOnline,
+    DeviceRestore,
     SchedulingDone,
     Ticket,
     Timeline,
@@ -167,6 +169,14 @@ class ServeConfig:
         :data:`~repro.serve.sharded.routing.ROUTING_POLICIES`
         (``"least-loaded"``, ``"residency-affinity"``,
         ``"threshold-local"``).
+    health:
+        Gray-failure health subsystem
+        (:class:`~repro.serve.health.HealthConfig`): heartbeat-driven
+        suspicion tracking, quarantine/probation lifecycle, forwarding
+        circuit breakers and (optionally) hedged dispatch on the
+        sharded control plane.  ``None`` (default) disables health
+        inference — gray faults then go entirely unnoticed by the
+        router.
     """
 
     queue_capacity: int = 64
@@ -187,6 +197,7 @@ class ServeConfig:
     sharded: bool = False
     sync_interval_s: float = 0.05
     routing: str = "least-loaded"
+    health: HealthConfig | None = None
 
     def __post_init__(self):
         if self.queue_capacity <= 0:
@@ -238,6 +249,10 @@ class ServeConfig:
             raise ConfigurationError(
                 f"unknown routing policy {self.routing!r}; expected one of {ROUTING_POLICIES}"
             )
+        if self.health is not None and not isinstance(self.health, HealthConfig):
+            raise ConfigurationError(
+                f"health must be a HealthConfig or None, got {self.health!r}"
+            )
         object.__setattr__(self, "tenants", tuple(self.tenants))
         for t in self.tenants:
             if not isinstance(t, TenantSpec):
@@ -256,9 +271,10 @@ class ServeConfig:
     #: ``admission_min_success``); version 3 added the batching knobs
     #: (``max_batch_vectors``/``batch_memory_frac``); version 4 added
     #: the sharded-control-plane knobs (``sharded``/``sync_interval_s``/
-    #: ``routing``).  Older files still load with the later versions'
-    #: knobs at their defaults.
-    CONFIG_VERSION = 4
+    #: ``routing``); version 5 added the ``health`` block (heartbeat
+    #: health tracking, circuit breakers, hedged dispatch).  Older files
+    #: still load with the later versions' knobs at their defaults.
+    CONFIG_VERSION = 5
 
     # ------------------------------------------------------------ persistence
     def to_dict(self) -> dict:
@@ -282,6 +298,7 @@ class ServeConfig:
             "sharded": self.sharded,
             "sync_interval_s": self.sync_interval_s,
             "routing": self.routing,
+            "health": self.health.to_dict() if self.health else None,
         }
 
     @classmethod
@@ -289,9 +306,9 @@ class ServeConfig:
         if not isinstance(d, dict):
             raise ConfigurationError(f"serve config must be a JSON object, got {d!r}")
         version = d.get("version", cls.CONFIG_VERSION)
-        if version not in (1, 2, 3, 4):
+        if version not in (1, 2, 3, 4, 5):
             raise ConfigurationError(
-                f"unsupported serve config version {version!r}; this build reads 1 through 4"
+                f"unsupported serve config version {version!r}; this build reads 1 through 5"
             )
         known = {
             "queue_capacity", "queue_policy", "max_inflight",
@@ -304,12 +321,15 @@ class ServeConfig:
         }
         v3_keys = {"max_batch_vectors", "batch_memory_frac"}
         v4_keys = {"sharded", "sync_interval_s", "routing"}
+        v5_keys = {"health"}
         if version >= 2:
             known |= v2_keys
         if version >= 3:
             known |= v3_keys
         if version >= 4:
             known |= v4_keys
+        if version >= 5:
+            known |= v5_keys
         unknown = set(d) - known
         if unknown:
             raise ConfigurationError(f"unknown serve config keys: {sorted(unknown)}")
@@ -330,6 +350,8 @@ class ServeConfig:
             kwargs["autoscaler"] = AutoscalerConfig.from_dict(d["autoscaler"])
         if d.get("faults"):
             kwargs["faults"] = FaultPlan.from_dicts(d["faults"])
+        if d.get("health"):
+            kwargs["health"] = HealthConfig.from_dict(d["health"])
         return cls(**kwargs)
 
     def to_json(self, path: str | Path) -> None:
@@ -371,6 +393,13 @@ class ServeResult:
     #: Sharded-control-plane section (routing counters, per-shard
     #: records); ``None`` for single-control-plane runs.
     sharding: dict | None = None
+    #: Health-subsystem section (suspicion timeline, quarantine
+    #: episodes, hedge/breaker counters); ``None`` unless
+    #: :attr:`ServeConfig.health` was set on a sharded run.
+    health: dict | None = None
+    #: Replayable health/hedge/breaker event log (empty without the
+    #: health subsystem).
+    health_events: list[dict] = field(default_factory=list)
     #: Timeline events processed by the serving loop (control-plane
     #: work, the denominator of the events/sec benchmark figure).
     events_processed: int = 0
@@ -404,6 +433,8 @@ class ServeResult:
             out["journal"] = self.journal
         if self.sharding is not None:
             out["sharding"] = self.sharding
+        if self.health is not None:
+            out["health"] = self.health
         out["events_processed"] = self.events_processed
         return out
 
@@ -425,6 +456,9 @@ class ServeResult:
             payload["journal"] = self.journal
         if self.sharding is not None:
             payload["sharding"] = self.sharding
+        if self.health is not None:
+            payload["health"] = self.health
+            payload["health_events"] = self.health_events
         if self.rounds:
             payload["rounds"] = self.rounds
         if extra:
@@ -435,10 +469,11 @@ class ServeResult:
         """Chrome-trace view: vector lifecycle lanes plus pool events.
 
         Fault and autoscale events render on lane ``-(device + 1)``,
-        and batched scheduling rounds on a ``batch`` lane block below
-        the device lanes (``-(num_devices + 1 + round_id)``), so
-        neither collides with the per-vector lanes (vector ids are
-        non-negative).
+        batched scheduling rounds on a ``batch`` lane block below the
+        device lanes (``-(num_devices + 1 + round_id)``), and health /
+        hedge / breaker events on a per-node lane block far below both
+        (``-(100_000 + node)``), so none of them collide with the
+        per-vector lanes (vector ids are non-negative).
         """
         trace = self.report.to_trace()
         for rnd in self.rounds:
@@ -466,6 +501,14 @@ class ServeResult:
                 act["time_s"],
                 0.0,
                 label=act["reason"] or act["action"],
+            )
+        for ev in self.health_events:
+            trace.record_at(
+                ev["kind"],
+                -(100_000 + ev["node"]),
+                ev["time_s"],
+                0.0,
+                label=ev["label"],
             )
         return trace
 
@@ -689,11 +732,27 @@ class MiccoServer:
                     for loss in injector.poll(now):
                         if loss.kind is FaultKind.LINK_LOST:
                             self._apply_link_loss(loss, now, injector)
-                            continue
-                        self._apply_device_loss(
-                            loss, now, injector, pending, busy_until, timeline, total,
-                            abandon, scaler=scaler, pending_online=pending_online,
-                        )
+                        elif loss.kind is FaultKind.HEARTBEAT_LOSS:
+                            self._apply_heartbeat_loss(loss, now, injector)
+                        elif loss.kind is FaultKind.NODE_FLAP:
+                            # Transient: the devices come back on their
+                            # own, so no replacement warm-up is requested.
+                            for dev in self._apply_device_loss(
+                                loss, now, injector, pending, busy_until,
+                                timeline, total, abandon,
+                            ):
+                                timeline.push(
+                                    DeviceRestore(
+                                        max(now, loss.time_s + loss.duration_s),
+                                        device=dev,
+                                    )
+                                )
+                        else:
+                            self._apply_device_loss(
+                                loss, now, injector, pending, busy_until, timeline,
+                                total, abandon, scaler=scaler,
+                                pending_online=pending_online,
+                            )
                 if scaler is not None:
                     self._autoscale_step(
                         scaler, now, queue, timeline, pending, pending_online,
@@ -776,6 +835,9 @@ class MiccoServer:
                     self._bring_online(
                         event.device, now, scaler, pending_online, busy_until, injector
                     )
+
+                elif isinstance(event, DeviceRestore):
+                    self._restore_device(event.device, now, busy_until, injector)
         finally:
             self.engine.injector = None
             self.cluster.journal = None
@@ -1051,13 +1113,14 @@ class MiccoServer:
         (rescaling is evaluated once per target size, so it is
         idempotent and composition-free by construction).
 
-        Skipped when a predictor re-derives bounds per vector anyway,
-        when the scheduler has no bounds to scale, or when the pool was
-        empty (no meaningful previous share to scale from).
+        Skipped when a predictor re-derives bounds per vector anyway or
+        when the scheduler has no bounds to scale.  An empty *previous*
+        pool is fine — the anchor, not the previous size, is the scale
+        source — which matters when a fully flapped-down cluster
+        restores its first device.
         """
         if (
             alive_before != alive_after
-            and alive_before > 0
             and alive_after > 0
             and self._bounds_anchor is not None
         ):
@@ -1071,16 +1134,23 @@ class MiccoServer:
     def _blast_radius(self, fault: FaultEvent) -> list[int]:
         """Device ids a loss event takes down (or degrades).
 
-        ``device_lost`` names exactly one device.  ``node_lost`` and
-        ``link_lost`` name *any* device of the affected node; the
-        failure domain expands to every sibling through the topology
-        (``node_of`` → ``devices_of_node``).  Without a configured
-        topology a node is indistinguishable from a device and the event
-        degrades to a single-device radius.
+        ``device_lost`` names exactly one device.  The node-scoped
+        kinds — ``node_lost``, ``link_lost``, ``node_flap`` and
+        ``heartbeat_loss`` — name *any* device of the affected node;
+        the failure domain expands to every sibling through the
+        topology (``node_of`` → ``devices_of_node``).  Without a
+        configured topology a node is indistinguishable from a device
+        and the event degrades to a single-device radius.
         """
         topo = self.config.cost_model.topology
+        node_scoped = (
+            FaultKind.NODE_LOST,
+            FaultKind.LINK_LOST,
+            FaultKind.NODE_FLAP,
+            FaultKind.HEARTBEAT_LOSS,
+        )
         if (
-            fault.kind in (FaultKind.NODE_LOST, FaultKind.LINK_LOST)
+            fault.kind in node_scoped
             and topo is not None
             and fault.device < topo.num_devices
         ):
@@ -1108,6 +1178,58 @@ class MiccoServer:
             label=f"link lost: devices {devices} host-staged",
         )
 
+    def _apply_heartbeat_loss(
+        self, fault: FaultEvent, now: float, injector: FaultInjector
+    ) -> None:
+        """Apply a ``heartbeat_loss`` gray fault: silence, not death.
+
+        The node's devices keep executing; only their *telemetry* goes
+        dark for ``duration_s``.  The single control plane colocates
+        the scheduler with its devices, so nothing operational changes
+        here — the silence window is recorded (for the trace and for
+        :meth:`FaultInjector.silent_devices`) so the same plan replays
+        identically on the sharded server, where the health monitor
+        actually reacts to it.
+        """
+        devices = [d for d in self._blast_radius(fault) if self.cluster.is_alive(d)]
+        if not devices:
+            return  # dead node: nothing left to go silent
+        injector.note_heartbeat_loss(
+            devices, fault.time_s, fault.time_s + fault.duration_s
+        )
+        injector.stats.record_event(
+            "fault", fault.device, fault.time_s, fault.duration_s,
+            label=f"heartbeat loss: devices {devices} silent",
+        )
+
+    def _restore_device(
+        self, device: int, now: float, busy_until, injector: FaultInjector | None
+    ) -> None:
+        """A flapped device comes back: rejoin the pool, cold (or warm).
+
+        Mirrors :meth:`_bring_online` but for a *failed* device (flap
+        cycles go down as failures, not retirements).  A device that is
+        no longer marked failed is a stale event — an overlapping
+        fail-stop loss or an earlier restore already settled it — and
+        is skipped: restores only resurrect flap victims.
+        """
+        if not self.cluster.is_failed(device):
+            return
+        before = self.cluster.num_alive
+        self.cluster.restore_device(device)
+        busy_until[device] = now
+        restored = 0
+        if self.cluster.journal is not None:
+            restored, cost = self._warm_restore(device, now, injector)
+            busy_until[device] += cost
+        self._rescale_bounds(before, self.cluster.num_alive)
+        if injector is not None:
+            injector.note_device_restored(device, now)
+            label = "node flap up"
+            if restored:
+                label += f", {restored} tensors pre-warmed"
+            injector.stats.record_event("restore", device, now, 0.0, label=label)
+
     def _apply_device_loss(
         self,
         fault: FaultEvent,
@@ -1120,8 +1242,12 @@ class MiccoServer:
         abandon,
         scaler: Autoscaler | None = None,
         pending_online: set[int] | None = None,
-    ) -> None:
+    ) -> list[int]:
         """Kill a failure domain and recover (or shed) the work it orphans.
+
+        Returns the sorted device ids that actually died, so callers
+        handling transient kinds (``node_flap``) can schedule their
+        restores.
 
         A ``device_lost`` domain is one device; a ``node_lost`` domain is
         every device of the event's node (see :meth:`_blast_radius`).
@@ -1138,26 +1264,29 @@ class MiccoServer:
         is requested per lost device.
         """
         kind = fault.kind.value
+        flap = fault.kind is FaultKind.NODE_FLAP
         members = [d for d in self._blast_radius(fault) if not self.cluster.is_failed(d)]
         if not members:
-            return  # already dead (duplicate plan entry)
+            return []  # already dead (duplicate plan entry)
         alive_before = self.cluster.num_alive
         orphaned = self.cluster.fail_node(members)
         if not orphaned:
-            return  # only offline (retired) devices died: nothing to recover
+            return []  # only offline (retired) devices died: nothing to recover
         if fault.kind is FaultKind.NODE_LOST:
             injector.stats.node_losses += 1
         for dev, orphans in sorted(orphaned.items()):
             injector.note_device_lost(dev, fault.time_s, len(orphans))
             injector.stats.record_event(
-                "fault", dev, fault.time_s, 0.0, label=f"{kind.replace('_', ' ')}"
+                "fault", dev, fault.time_s,
+                fault.duration_s if flap else 0.0,
+                label="node flap down" if flap else f"{kind.replace('_', ' ')}",
             )
 
         if self.cluster.num_alive == 0:
             # Nothing left to serve on: everything admitted is shed.
             for ticket in list(pending.values()):
                 abandon(ticket, now)
-            return
+            return sorted(orphaned)
 
         # Recompute the reuse bounds for the survivors.
         self._rescale_bounds(alive_before, self.cluster.num_alive)
@@ -1196,6 +1325,7 @@ class MiccoServer:
             and scaler.config.replace_lost
         ):
             self._replace_lost(scaler, now, timeline, pending_online, len(orphaned))
+        return sorted(orphaned)
 
     def _replace_lost(
         self,

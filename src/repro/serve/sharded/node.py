@@ -149,6 +149,10 @@ class NodeRuntime:
         self.forwarded_in = 0
         #: Tickets re-homed here after their original shard died.
         self.rerouted_in = 0
+        #: Tickets drained *out* of this shard's queue by quarantine.
+        self.drained_out = 0
+        #: Speculative hedge clones placed on this shard.
+        self.hedged_in = 0
 
     # ------------------------------------------------------------------ digest
     def digest(self, now: float, linkless_devices=frozenset()) -> NodeDigest:
@@ -169,7 +173,7 @@ class NodeRuntime:
             residency=residency,
         )
 
-    def snapshot(self, digest: NodeDigest) -> ShardSnapshot:
+    def snapshot(self, digest: NodeDigest, suspect: bool = False) -> ShardSnapshot:
         """Combine the last digest with the router-side correction."""
         return ShardSnapshot(
             node=self.node,
@@ -177,6 +181,7 @@ class NodeRuntime:
             queue_depth=digest.queue_depth,
             inflight=digest.inflight,
             linkless=digest.linkless,
+            suspect=suspect,
             residency=digest.residency,
             pending=self.routed_since_sync,
         )

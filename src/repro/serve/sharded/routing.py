@@ -36,7 +36,10 @@ class ShardSnapshot:
     routed to the shard *since* that digest — so the estimated backlog
     does not collapse to zero between syncs.  ``linkless`` marks a node
     degraded by a ``link_lost`` fault: alive, but every fetch into or
-    out of it is host-staged, so policies deprioritise it.
+    out of it is host-staged, so policies deprioritise it.  ``suspect``
+    marks a shard the health monitor no longer fully trusts (missed
+    heartbeats); every policy ranks suspect shards after healthy ones,
+    ahead only of link-degraded suspects.
     """
 
     node: int
@@ -45,6 +48,8 @@ class ShardSnapshot:
     queue_depth: int
     inflight: int
     linkless: bool = False
+    #: Health monitor doubts this shard (suspicion above threshold).
+    suspect: bool = False
     #: uid -> resident bytes on the shard's devices (digest summary).
     residency: dict = field(default_factory=dict)
     #: Tickets routed to this shard since its digest was taken.
@@ -86,7 +91,9 @@ class LeastLoaded(RoutingPolicy):
     name = "least-loaded"
 
     def choose(self, vector, snapshots: list[ShardSnapshot]) -> int:
-        return min(snapshots, key=lambda s: (s.linkless, s.backlog, s.node)).node
+        return min(
+            snapshots, key=lambda s: (s.suspect, s.linkless, s.backlog, s.node)
+        ).node
 
 
 class ResidencyAffinity(RoutingPolicy):
@@ -110,7 +117,8 @@ class ResidencyAffinity(RoutingPolicy):
             return sum(nbytes for uid, nbytes in uids.items() if uid in snap.residency)
 
         return min(
-            snapshots, key=lambda s: (-overlap(s), s.linkless, s.backlog, s.node)
+            snapshots,
+            key=lambda s: (s.suspect, -overlap(s), s.linkless, s.backlog, s.node),
         ).node
 
 
@@ -134,9 +142,11 @@ class ThresholdLocal(RoutingPolicy):
     def choose(self, vector, snapshots: list[ShardSnapshot]) -> int:
         ordered = sorted(snapshots, key=lambda s: s.node)
         home = ordered[vector.vector_id % len(ordered)]
-        if not home.linkless and home.backlog <= self.threshold:
+        if not home.suspect and not home.linkless and home.backlog <= self.threshold:
             return home.node
-        return min(snapshots, key=lambda s: (s.linkless, s.backlog, s.node)).node
+        return min(
+            snapshots, key=lambda s: (s.suspect, s.linkless, s.backlog, s.node)
+        ).node
 
     def __repr__(self):
         return f"ThresholdLocal(threshold={self.threshold})"

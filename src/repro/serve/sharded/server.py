@@ -49,6 +49,12 @@ from repro.schedulers.base import Scheduler
 from repro.schedulers.batching import merge_vectors, split_assignment
 from repro.serve.arrivals import ArrivalProcess, TraceArrivals
 from repro.serve.autoscale import Autoscaler
+from repro.serve.health import (
+    CircuitBreaker,
+    HealthMonitor,
+    HedgePair,
+    hedge_shielded,
+)
 from repro.serve.queueing import (
     AdmissionQueue,
     FaultAware,
@@ -65,7 +71,9 @@ from repro.serve.tenancy import TenantStream, build_streams, tenant_sections
 from repro.serve.timeline import (
     BatchRound,
     DeviceOnline,
+    DeviceRestore,
     DigestSync,
+    HealthTick,
     SchedulingDone,
     Ticket,
     Timeline,
@@ -87,9 +95,12 @@ class GlobalScheduler:
     has not heard about, exactly the coordination gap of a real
     two-level control plane.
 
-    Shard *death* is visible immediately (failure detection is modelled
-    as out-of-band heartbeats): a dead shard never receives traffic,
-    however stale its last digest.
+    Announced shard *death* is visible immediately (fail-stop faults
+    carry their own notification): a dead shard never receives traffic,
+    however stale its last digest.  *Gray* failures are not announced —
+    an unreachable shard's digest simply stops refreshing (see
+    :meth:`sync`) and only the attached :class:`HealthMonitor` can get
+    the shard out of the routing set.
     """
 
     def __init__(
@@ -103,6 +114,10 @@ class GlobalScheduler:
         self.sync_interval_s = sync_interval_s
         #: node -> last :class:`NodeDigest` (dropped when a shard dies).
         self.digests: dict = {}
+        #: Optional :class:`~repro.serve.health.HealthMonitor`; when set,
+        #: suspect shards are deprioritized and quarantined/probation
+        #: shards excluded from routing (with a never-strand fallback).
+        self.monitor: HealthMonitor | None = None
         #: Digest refreshes performed.
         self.syncs = 0
         #: Full-queue forward hops (ticket bounced to the next shard).
@@ -110,29 +125,58 @@ class GlobalScheduler:
         #: Tickets re-homed after their shard died.
         self.reroutes = 0
 
-    def sync(self, now: float, linkless_devices=frozenset()) -> None:
-        """Refresh every live shard's digest; reset staleness corrections."""
+    def sync(self, now: float, linkless_devices=frozenset(), unreachable=frozenset()) -> None:
+        """Refresh every *reachable* live shard's digest.
+
+        ``unreachable`` names shards that exist but cannot report right
+        now (gray failures: every device down in a ``node_flap`` phase,
+        or silenced by ``heartbeat_loss``).  Their digests are kept
+        *stale* rather than refreshed or dropped — the router keeps
+        routing on old information, exactly the failure mode health
+        inference exists to catch.  Router-side ``routed_since_sync``
+        corrections are likewise kept for unreachable shards.
+        """
         self.syncs += 1
         for node in sorted(self.shards):
             shard = self.shards[node]
             if shard.dead:
                 self.digests.pop(node, None)
                 continue
+            if node in unreachable:
+                continue
             self.digests[node] = shard.digest(now, linkless_devices)
             shard.routed_since_sync = 0
 
     def route(self, vector: VectorSpec, exclude=frozenset()) -> int | None:
-        """Choose a live shard for ``vector``; ``None`` when none remain."""
-        candidates = [
-            self.shards[node].snapshot(digest)
-            for node, digest in sorted(self.digests.items())
-            if node not in exclude and not self.shards[node].dead
-        ]
+        """Choose a live shard for ``vector``; ``None`` when none remain.
+
+        Routing state is *not* charged here: the caller commits the
+        choice (queue offer or direct dispatch) and bumps
+        ``routed_since_sync`` only on success, so a full-queue rejection
+        does not inflate the shard's estimated backlog.
+
+        With a health monitor attached, quarantined/probation/dead
+        shards are excluded outright and suspect shards are flagged so
+        every policy deprioritizes them; when exclusion would leave no
+        candidate at all, the excluded set is used as a fallback —
+        routing never strands a ticket that some shard could still take.
+        """
+        monitor = self.monitor
+        routable: list = []
+        avoided: list = []
+        for node, digest in sorted(self.digests.items()):
+            if node in exclude or self.shards[node].dead:
+                continue
+            suspect = monitor.is_suspect(node) if monitor is not None else False
+            snap = self.shards[node].snapshot(digest, suspect=suspect)
+            if monitor is not None and monitor.is_unroutable(node):
+                avoided.append(snap)
+            else:
+                routable.append(snap)
+        candidates = routable or avoided
         if not candidates:
             return None
-        node = self.policy.choose(vector, candidates)
-        self.shards[node].routed_since_sync += 1
-        return node
+        return self.policy.choose(vector, candidates)
 
 
 class ShardedServer(MiccoServer):
@@ -306,6 +350,33 @@ class ShardedServer(MiccoServer):
         rounds_log: list[dict] = []
         events_processed = 0
 
+        # ----- health subsystem (monitor + breakers + hedging state) -----
+        hcfg = cfg.health
+        monitor: HealthMonitor | None = None
+        breakers: dict[int, CircuitBreaker] = {}
+        breaker_log: list[dict] = []
+        hstats = {
+            "launched": 0,
+            "won_by_primary": 0,
+            "won_by_clone": 0,
+            "cancelled": 0,
+            "absorbed_drops": 0,
+            "unplaced": 0,
+        }
+        health_events: list[dict] = []
+        if hcfg is not None:
+            monitor = HealthMonitor(shards.keys(), hcfg)
+            router.monitor = monitor
+            breakers = {
+                n: CircuitBreaker(
+                    n,
+                    hcfg.breaker_threshold,
+                    hcfg.breaker_probe_interval_s,
+                    transitions=breaker_log,
+                )
+                for n in sorted(shards)
+            }
+
         # Per-shard reuse-bound anchors (each shard rescales its own
         # scheduler's bounds from its own starting pool).
         for shard in shards.values():
@@ -333,6 +404,24 @@ class ShardedServer(MiccoServer):
         def linkless() -> frozenset[int]:
             return injector.linkless_devices if injector is not None else frozenset()
 
+        def unreachable_shards(now: float) -> frozenset[int]:
+            """Live shards that cannot report right now (gray failures)."""
+            silent = (
+                injector.silent_devices(now) if injector is not None else frozenset()
+            )
+            return frozenset(
+                n
+                for n, s in shards.items()
+                if not s.dead
+                and (s.view.num_alive == 0 or any(d in silent for d in s.devices))
+            )
+
+        def down_shards() -> frozenset[int]:
+            """Live shards with every device flapped down (unschedulable)."""
+            return frozenset(
+                n for n, s in shards.items() if not s.dead and s.view.num_alive == 0
+            )
+
         def dispatch(shard: NodeRuntime, members: list[Ticket], now: float) -> None:
             """Dispatch one scheduling round on ``shard``."""
             shard.inflight += 1
@@ -357,12 +446,16 @@ class ShardedServer(MiccoServer):
             )
 
         def refill(shard: NodeRuntime, now: float) -> None:
-            if shard.dead:
+            if shard.dead or shard.view.num_alive == 0:
                 return
             while shard.inflight < cfg.max_inflight:
                 members = self._pop_shard_round(shard, now)
                 if not members:
                     break
+                # Hedge losers cancelled while queued settle silently.
+                members = [t for t in members if not t.cancelled]
+                if not members:
+                    continue
                 dispatch(shard, members, now)
 
         def settle(ticket: Ticket, now: float) -> None:
@@ -382,41 +475,87 @@ class ShardedServer(MiccoServer):
 
         def abandon(ticket: Ticket, now: float) -> None:
             ticket.epoch += 1
-            report.add_drop(ticket, reason="fault-abandoned")
+            if hedge_shielded(ticket):
+                # The vector's hedge partner is still racing: this copy
+                # cancels silently instead of recording an SLO drop.
+                ticket.cancelled = True
+                hstats["absorbed_drops"] += 1
+            else:
+                report.add_drop(ticket, reason="fault-abandoned")
             settle(ticket, now)
 
-        def place(ticket: Ticket, now: float, rerouted: bool = False) -> None:
+        def place(
+            ticket: Ticket,
+            now: float,
+            rerouted: bool = False,
+            hedge_clone: bool = False,
+            tried=None,
+        ) -> None:
             """Route ``ticket`` to a shard; forward past full queues.
 
             The router proposes shards in policy order; a full shard
-            costs one forward hop and is excluded from the retry.  When
-            every live shard is full the ticket is shed ``queue-full``;
-            with no live shard at all it is ``fault-abandoned``.
+            costs one forward hop and joins ``tried``, which excludes
+            *every* previously-rejected shard from the retry — one
+            routing attempt visits each shard at most once, so a ticket
+            facing all-full queues sheds deterministically instead of
+            bouncing.  Shards whose forwarding circuit breaker is open
+            are skipped without an offer; if only breaker-skipped
+            shards remain they get one bypass pass (last resort beats
+            stranding).  When every live shard is full the ticket is
+            shed ``queue-full``; with no live shard at all it is
+            ``fault-abandoned`` — unless a hedge partner still covers
+            the vector, in which case this copy cancels silently.
             """
-            tried: set[int] = set()
+            if ticket.cancelled:
+                return
+            tried = set() if tried is None else set(tried)
+            skipped: set[int] = set()
+            bypass = False
             while True:
-                node = router.route(ticket.vector, exclude=tried)
+                node = router.route(ticket.vector, exclude=tried | skipped)
                 if node is None:
-                    if tried:
+                    if skipped and not bypass:
+                        bypass = True
+                        skipped.clear()
+                        continue
+                    if hedge_clone or hedge_shielded(ticket):
+                        ticket.cancelled = True
+                        hstats["unplaced" if hedge_clone else "absorbed_drops"] += 1
+                    elif tried:
                         report.add_drop(ticket)  # every live shard was full
                     else:
                         report.add_drop(ticket, reason="fault-abandoned")
                     return
                 shard = shards[node]
-                if shard.inflight < cfg.max_inflight and not len(shard.queue):
+                breaker = breakers.get(node)
+                if breaker is not None and not bypass and not breaker.allow(now):
+                    skipped.add(node)
+                    continue
+                if (
+                    shard.inflight < cfg.max_inflight
+                    and not len(shard.queue)
+                    and shard.view.num_alive > 0
+                ):
                     dispatch(shard, [ticket], now)
                 elif not shard.queue.offer(ticket):
+                    if breaker is not None:
+                        breaker.record_rejection(now)
                     tried.add(node)
                     ticket.forwards += 1
                     router.forwards += 1
                     continue
                 else:
                     ticket.shard = node
+                if breaker is not None:
+                    breaker.record_success(now)
                 shard.routed += 1
+                shard.routed_since_sync += 1
                 if ticket.forwards:
                     shard.forwarded_in += 1
                 if rerouted:
                     shard.rerouted_in += 1
+                if hedge_clone:
+                    shard.hedged_in += 1
                 return
 
         def reroute(ticket: Ticket, now: float) -> None:
@@ -534,11 +673,117 @@ class ShardedServer(MiccoServer):
             else:
                 injector.stats.record_recovery(kind, 0.0)
 
+        def apply_flap(fault, now: float) -> None:
+            """A node bounces: devices die *without announcement*.
+
+            Unlike :func:`apply_loss` the shard is NOT marked dead, its
+            queue is NOT drained and its digest stays stale — from the
+            router's perspective nothing happened, which is the whole
+            point of a gray fault.  In-flight work referencing the dead
+            devices still has to move (the simulation knows the work
+            cannot finish), and a :class:`DeviceRestore` per device
+            brings the node back ``duration_s`` later.
+            """
+            members = [
+                d for d in self._blast_radius(fault) if not self.cluster.is_failed(d)
+            ]
+            if not members:
+                return
+            orphaned = self.cluster.fail_node(members)
+            if not orphaned:
+                return
+            for dev, orphans in sorted(orphaned.items()):
+                injector.note_device_lost(dev, fault.time_s, len(orphans))
+                injector.stats.record_event(
+                    "fault", dev, fault.time_s, fault.duration_s, label="node flap down"
+                )
+                timeline.push(
+                    DeviceRestore(
+                        max(now, fault.time_s + fault.duration_s), device=dev
+                    )
+                )
+            dead = set(orphaned)
+            by_shard: dict[int, set[int]] = {}
+            for d in dead:
+                by_shard.setdefault(topo.node_of(d), set()).add(d)
+
+            latest = now
+            rescheduled = 0
+            for node in sorted(by_shard):
+                shard = shards[node]
+                whole_node = shard.view.num_alive == 0
+                if not whole_node:
+                    alive_before = shard.view.num_alive + len(by_shard[node])
+                    self._rescale_shard_bounds(
+                        shard, alive_before, shard.view.num_alive
+                    )
+                affected = [
+                    t for t in pending.values() if by_shard[node] & set(t.assignment)
+                ]
+                for ticket in sorted(affected, key=lambda t: t.vector.vector_id):
+                    if not cfg.recover_faults:
+                        abandon(ticket, now)
+                        continue
+                    if whole_node:
+                        target_node = router.route(
+                            ticket.vector, exclude=down_shards()
+                        )
+                        if target_node is None:
+                            abandon(ticket, now)
+                            continue
+                        target = shards[target_node]
+                    else:
+                        target = shard
+                    try:
+                        complete = self._reschedule_orphans(
+                            ticket, by_shard[node], now, busy_until, total,
+                            stats=injector.stats,
+                            scheduler=target.scheduler, cluster=target.view,
+                        )
+                    except FaultError:
+                        abandon(ticket, now)
+                        continue
+                    if whole_node:
+                        router.reroutes += 1
+                        target.rerouted_in += 1
+                    ticket.epoch += 1
+                    timeline.push(
+                        VectorCompletion(complete, ticket, epoch=ticket.epoch)
+                    )
+                    latest = max(latest, complete)
+                    rescheduled += 1
+            if cfg.recover_faults:
+                injector.stats.record_recovery("node_flap", latest - fault.time_s)
+                if rescheduled:
+                    injector.stats.record_event(
+                        "recovery", fault.device, now, max(latest - now, 0.0),
+                        label=f"rescheduled {rescheduled} vectors",
+                    )
+            else:
+                injector.stats.record_recovery("node_flap", 0.0)
+
+        def apply_silence(fault, now: float) -> None:
+            """A node goes gray-silent: alive and computing, not reporting."""
+            devices = sorted(
+                d for d in self._blast_radius(fault) if self.cluster.is_alive(d)
+            )
+            if not devices:
+                return
+            injector.note_heartbeat_loss(
+                devices, fault.time_s, fault.time_s + fault.duration_s
+            )
+            injector.stats.record_event(
+                "fault", fault.device, fault.time_s, fault.duration_s,
+                label="heartbeat loss",
+            )
+
         self.engine.injector = injector
         self.cluster.journal = journal
         # Initial digests so routing works before the first sync fires.
         router.sync(0.0, linkless())
         timeline.push(DigestSync(cfg.sync_interval_s))
+        if monitor is not None:
+            timeline.push(HealthTick(hcfg.heartbeat_interval_s))
         try:
             while timeline:
                 event = timeline.pop()
@@ -550,6 +795,10 @@ class ShardedServer(MiccoServer):
                     for loss in injector.poll(now):
                         if loss.kind is FaultKind.LINK_LOST:
                             self._apply_link_loss(loss, now, injector)
+                        elif loss.kind is FaultKind.NODE_FLAP:
+                            apply_flap(loss, now)
+                        elif loss.kind is FaultKind.HEARTBEAT_LOSS:
+                            apply_silence(loss, now)
                         else:
                             apply_loss(loss, now)
                 for node in sorted(shards):
@@ -560,10 +809,10 @@ class ShardedServer(MiccoServer):
                 ticket = event.ticket
 
                 if isinstance(event, DigestSync):
-                    router.sync(now, linkless())
-                    if timeline:
-                        # Stop syncing once nothing else remains: digests
-                        # with no traffic left would tick forever.
+                    router.sync(now, linkless(), unreachable=unreachable_shards(now))
+                    if timeline.work_remaining:
+                        # Stop syncing once only control timers remain:
+                        # digests with no traffic left would tick forever.
                         timeline.push(DigestSync(now + cfg.sync_interval_s))
 
                 elif isinstance(event, VectorArrival):
@@ -595,10 +844,29 @@ class ShardedServer(MiccoServer):
                         t.sched_done_s = now
                     shard = shards.get(members[0].shard)
                     if shard is None or shard.dead or shard.view.num_alive == 0:
-                        # The shard died between dispatch and sched-done;
-                        # its inflight slots were already zeroed.
+                        # The shard died (or flapped down to zero alive
+                        # devices) between dispatch and sched-done.  A
+                        # dead shard's inflight was already zeroed; a
+                        # flapped shard's round slot is released here.
+                        if (
+                            shard is not None
+                            and not shard.dead
+                            and shard.inflight > 0
+                        ):
+                            shard.inflight -= 1
                         for t in members:
+                            if t.cancelled:
+                                t.round = None
+                                continue
                             reroute(t, now)
+                        continue
+                    # Hedge losers cancelled between dispatch and
+                    # sched-done settle here, releasing the round slot.
+                    for t in members:
+                        if t.cancelled:
+                            settle(t, now)
+                    members = [t for t in members if not t.cancelled]
+                    if not members:
                         continue
                     merged = merge_vectors([t.vector for t in members])
                     try:
@@ -624,7 +892,7 @@ class ShardedServer(MiccoServer):
                         )
 
                 elif isinstance(event, VectorCompletion):
-                    if event.epoch != ticket.epoch:
+                    if event.epoch != ticket.epoch or ticket.cancelled:
                         continue
                     ticket.complete_s = now
                     rec = report.add_completion(ticket)
@@ -632,6 +900,133 @@ class ShardedServer(MiccoServer):
                     if owner is not None and owner.scaler is not None:
                         owner.scaler.observe_completion(now, rec.latency_s)
                     settle(ticket, now)
+                    pair = ticket.hedge
+                    if pair is not None and not pair.resolved:
+                        # First completion wins; the loser is cancelled
+                        # with exactly-once accounting (its round slot
+                        # settles, no completion, no drop).
+                        pair.resolved = True
+                        pair.winner = ticket
+                        hstats[
+                            "won_by_clone" if ticket is pair.clone else "won_by_primary"
+                        ] += 1
+                        loser = pair.other(ticket)
+                        if not loser.cancelled:
+                            loser.cancelled = True
+                            loser.epoch += 1
+                            hstats["cancelled"] += 1
+                            health_events.append(
+                                {
+                                    "kind": "hedge",
+                                    "node": loser.shard if loser.shard is not None else -1,
+                                    "time_s": now,
+                                    "label": (
+                                        f"vector {ticket.vector.vector_id}: "
+                                        + (
+                                            "clone won, primary cancelled"
+                                            if ticket is pair.clone
+                                            else "primary won, clone cancelled"
+                                        )
+                                    ),
+                                }
+                            )
+                            if id(loser) in pending:
+                                settle(loser, now)
+
+                elif isinstance(event, DeviceRestore):
+                    dev = event.device
+                    shard = shards[topo.node_of(dev)]
+                    if shard.dead or not self.cluster.is_failed(dev):
+                        continue
+                    before = shard.view.num_alive
+                    self.cluster.restore_device(dev)
+                    busy_until[dev] = now
+                    restored = 0
+                    if self.cluster.journal is not None:
+                        restored, cost = self._warm_restore(dev, now, injector)
+                        busy_until[dev] += cost
+                    self._rescale_shard_bounds(shard, before, shard.view.num_alive)
+                    if injector is not None:
+                        injector.note_device_restored(dev, now)
+                        label = "node flap up"
+                        if restored:
+                            label += f", {restored} tensors pre-warmed"
+                        injector.stats.record_event("restore", dev, now, 0.0, label=label)
+                    refill(shard, now)
+
+                elif isinstance(event, HealthTick):
+                    silent = (
+                        injector.silent_devices(now)
+                        if injector is not None
+                        else frozenset()
+                    )
+                    for node in sorted(shards):
+                        s = shards[node]
+                        if s.dead:
+                            monitor.mark_dead(node, now)
+                        elif s.view.num_alive > 0 and not any(
+                            d in silent for d in s.devices
+                        ):
+                            monitor.beat(node, now)
+                        else:
+                            monitor.miss()
+                    for node in monitor.evaluate(now):
+                        # Newly quarantined: drain its queue through the
+                        # global tier.  The shard itself is left running
+                        # (quarantine is not death) — only its *waiting*
+                        # work moves to shards routing still trusts.
+                        shard = shards[node]
+                        drained = shard.drain_queue()
+                        moved = 0
+                        for t in drained:
+                            if t.cancelled:
+                                continue
+                            shard.drained_out += 1
+                            t.shard = None
+                            place(t, now)
+                            moved += 1
+                        health_events.append(
+                            {
+                                "kind": "health",
+                                "node": node,
+                                "time_s": now,
+                                "label": f"quarantined, drained {moved} tickets",
+                            }
+                        )
+                    if hcfg.hedging:
+                        for node in sorted(shards):
+                            shard = shards[node]
+                            if shard.dead or not monitor.is_suspect(node):
+                                continue
+                            for t in shard.queue.tickets():
+                                if t.cancelled or t.hedge is not None:
+                                    continue
+                                if now - t.arrival_s < hcfg.hedge_deadline_s:
+                                    continue
+                                clone = Ticket(
+                                    vector=t.vector,
+                                    arrival_s=t.arrival_s,
+                                    tenant=t.tenant,
+                                    deadline_s=t.deadline_s,
+                                )
+                                pair = HedgePair(primary=t, clone=clone)
+                                t.hedge = pair
+                                clone.hedge = pair
+                                hstats["launched"] += 1
+                                health_events.append(
+                                    {
+                                        "kind": "hedge",
+                                        "node": node,
+                                        "time_s": now,
+                                        "label": (
+                                            f"vector {t.vector.vector_id} hedged "
+                                            f"off shard {node}"
+                                        ),
+                                    }
+                                )
+                                place(clone, now, hedge_clone=True, tried={node})
+                    if timeline.work_remaining:
+                        timeline.push(HealthTick(now + hcfg.heartbeat_interval_s))
 
                 elif isinstance(event, DeviceOnline):
                     shard = shards[topo.node_of(event.device)]
@@ -697,11 +1092,43 @@ class ShardedServer(MiccoServer):
                     "routed": s.routed,
                     "forwarded_in": s.forwarded_in,
                     "rerouted_in": s.rerouted_in,
+                    "drained_out": s.drained_out,
+                    "hedged_in": s.hedged_in,
                     "queue": s.queue.counters(),
                 }
                 for s in ordered
             ],
         }
+        health_summary = None
+        if monitor is not None:
+            health_summary = {
+                **monitor.summary(),
+                "hedges": dict(hstats),
+                "breakers": {
+                    "states": {str(n): breakers[n].state for n in sorted(breakers)},
+                    "opens": sum(b.opens for b in breakers.values()),
+                    "transitions": list(breaker_log),
+                },
+            }
+            for tr in monitor.transitions:
+                health_events.append(
+                    {
+                        "kind": "health",
+                        "node": tr["node"],
+                        "time_s": tr["time_s"],
+                        "label": f"{tr['from']} -> {tr['to']}",
+                    }
+                )
+            for tr in breaker_log:
+                health_events.append(
+                    {
+                        "kind": "breaker",
+                        "node": tr["node"],
+                        "time_s": tr["time_s"],
+                        "label": f"breaker {tr['from']} -> {tr['to']}",
+                    }
+                )
+            health_events.sort(key=lambda e: (e["time_s"], e["node"], e["kind"], e["label"]))
         return ServeResult(
             report=report,
             metrics=total,
@@ -714,6 +1141,8 @@ class ShardedServer(MiccoServer):
             journal=journal.summary() if journal is not None else None,
             rounds=rounds_log,
             sharding=sharding,
+            health=health_summary,
+            health_events=health_events,
             events_processed=events_processed,
         )
 
@@ -751,10 +1180,14 @@ class ShardedServer(MiccoServer):
         return vec_metrics, assignment
 
     def _rescale_shard_bounds(self, shard: NodeRuntime, before: int, after: int) -> None:
-        """Per-shard analogue of :meth:`MiccoServer._rescale_bounds`."""
+        """Per-shard analogue of :meth:`MiccoServer._rescale_bounds`.
+
+        ``before == 0`` is allowed (a fully-flapped shard restoring its
+        first device): the rescale target only needs the anchor and the
+        *new* alive count.
+        """
         if (
             before != after
-            and before > 0
             and after > 0
             and shard.bounds_anchor is not None
         ):

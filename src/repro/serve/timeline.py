@@ -11,7 +11,11 @@ simulated wall-clock time.  Three event kinds drive a serving run
 * :class:`DeviceOnline` — a scaled-up device finished warming up and
   joins the schedulable pool (no ticket attached),
 * :class:`DigestSync` — the sharded control plane's global router
-  refreshes its per-node load/residency digests (no ticket attached).
+  refreshes its per-node load/residency digests (no ticket attached),
+* :class:`HealthTick` — the health monitor samples heartbeats and
+  re-evaluates per-shard suspicion (no ticket attached),
+* :class:`DeviceRestore` — a flapped device's node comes back up and
+  the device rejoins the pool cold (no ticket attached).
 
 Ties at the same timestamp resolve in push order (a monotonic sequence
 number), so event processing is fully deterministic.
@@ -71,6 +75,13 @@ class Ticket:
     #: configured.  Batch assembly stops growing a round when adding a
     #: member would push the earliest deadline past this.
     deadline_s: float | None = None
+    #: Hedge linkage (:class:`~repro.serve.health.HedgePair`) shared by
+    #: a primary and its clone; ``None`` for unhedged tickets.
+    hedge: object | None = None
+    #: Set when the ticket lost a hedge race (or was a redundant clone
+    #: that could not be placed) — cancelled tickets settle their round
+    #: slot but record neither a completion nor a drop.
+    cancelled: bool = False
 
 
 @dataclass
@@ -112,6 +123,12 @@ class Event:
 
     time_s: float
     ticket: Ticket | None = None
+
+    # Control events (digest syncs, health ticks) re-arm themselves and
+    # must not keep the run alive on their own; Timeline counts them so
+    # drivers can ask Timeline.work_remaining.  Class attribute, not a
+    # dataclass field — subclasses override it.
+    is_control = False
 
     def __post_init__(self):
         if self.time_s < 0:
@@ -159,6 +176,21 @@ class DigestSync(Event):
     control plane.  No ticket attached.
     """
 
+    is_control = True
+
+
+@dataclass(frozen=True)
+class HealthTick(Event):
+    """The health monitor samples heartbeats and suspicion levels.
+
+    Fired every ``health.heartbeat_interval_s`` simulated seconds when
+    health checking is enabled: reachable shards beat, suspicion scores
+    are re-evaluated, quarantine/probation transitions fire, and overdue
+    queued tickets on suspect shards are hedged.  No ticket attached.
+    """
+
+    is_control = True
+
 
 @dataclass(frozen=True)
 class DeviceOnline(Event):
@@ -167,6 +199,25 @@ class DeviceOnline(Event):
     Pushed by the autoscaler at decision time plus the configured
     warm-up delay; the device joins with a cold memory pool (no
     resident tensors).
+    """
+
+    device: int = -1
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.device < 0:
+            raise ConfigurationError(f"device must be >= 0, got {self.device}")
+
+
+@dataclass(frozen=True)
+class DeviceRestore(Event):
+    """A flapped device's node comes back up (``node_flap`` up phase).
+
+    Pushed by the driver when it applies a flap's down phase, at
+    ``fault.time_s + duration_s``; the device rejoins the pool cold via
+    :meth:`~repro.gpusim.cluster.ClusterState.restore_device` (plus
+    journal-driven warm restore when enabled).  A *work* event — a run
+    must not end while a restore is still due, or conservation breaks.
     """
 
     device: int = -1
@@ -188,6 +239,7 @@ class Timeline:
     def __init__(self):
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
+        self._control = 0
         #: Current simulated time (timestamp of the last popped event).
         self.now = 0.0
 
@@ -197,6 +249,15 @@ class Timeline:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
+    @property
+    def work_remaining(self) -> bool:
+        """True while any pending event is *not* a self-re-arming control
+        timer.  Two periodic control events (digest sync + health tick)
+        that each re-arm ``if timeline`` would keep each other alive
+        forever; re-arming ``if timeline.work_remaining`` lets the run
+        drain."""
+        return len(self._heap) > self._control
+
     def push(self, event: Event) -> None:
         """Schedule ``event``; must not be in the simulated past."""
         if event.time_s < self.now:
@@ -204,6 +265,8 @@ class Timeline:
                 f"cannot schedule event at {event.time_s} before now={self.now}"
             )
         heapq.heappush(self._heap, (event.time_s, next(self._seq), event))
+        if event.is_control:
+            self._control += 1
 
     def pop(self) -> Event:
         """Remove and return the earliest event, advancing ``now``."""
@@ -211,6 +274,8 @@ class Timeline:
             raise IndexError("pop from an empty timeline")
         time_s, _, event = heapq.heappop(self._heap)
         self.now = time_s
+        if event.is_control:
+            self._control -= 1
         return event
 
     def peek_time(self) -> float:

@@ -3,6 +3,7 @@
 import json
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigurationError
 from repro.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultStats, RetryPolicy
@@ -306,3 +307,188 @@ class TestFaultStats:
         assert list(out["injected"]) == sorted(out["injected"])
         assert out["recovery_latency_s"]["transient"] == [0.25]
         json.dumps(out)  # must serialise without a custom encoder
+
+
+class TestGrayFaultEvents:
+    def test_heartbeat_loss_needs_a_window(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.HEARTBEAT_LOSS, 0.0, 0)
+        ev = FaultEvent(FaultKind.HEARTBEAT_LOSS, 0.0, 0, duration_s=0.5)
+        assert ev.duration_s == 0.5
+
+    def test_node_flap_validates_period_against_duration(self):
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.NODE_FLAP, 0.0, 0)  # no down time
+        with pytest.raises(ConfigurationError):
+            FaultEvent(FaultKind.NODE_FLAP, 0.0, 0, duration_s=1.0, period_s=0.5)
+        # period 0 means the 2x-duration default; explicit >= duration is fine.
+        FaultEvent(FaultKind.NODE_FLAP, 0.0, 0, duration_s=1.0)
+        FaultEvent(FaultKind.NODE_FLAP, 0.0, 0, duration_s=1.0, period_s=3.0)
+
+    def test_gray_json_round_trip_keeps_period(self, tmp_path):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.NODE_FLAP, 1.0, 2, duration_s=0.25,
+                       count=3, period_s=1.5),
+            FaultEvent(FaultKind.HEARTBEAT_LOSS, 2.0, 5, duration_s=0.75),
+        ))
+        path = tmp_path / "plan.json"
+        plan.to_json(path)
+        loaded = FaultPlan.from_json(path)
+        assert loaded == plan
+        flap = loaded.of_kind(FaultKind.NODE_FLAP)[0]
+        assert (flap.period_s, flap.count) == (1.5, 3)
+
+    def test_of_kind_accepts_enum_and_string(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.NODE_FLAP, 1.0, 2, duration_s=0.25),
+            FaultEvent(FaultKind.HEARTBEAT_LOSS, 2.0, 5, duration_s=0.75),
+        ))
+        assert plan.of_kind(FaultKind.NODE_FLAP) == plan.of_kind("node_flap")
+        assert len(plan.of_kind("heartbeat_loss")) == 1
+
+    def test_validate_devices_names_the_gray_offender(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.HEARTBEAT_LOSS, 1.0, 12, duration_s=0.5),
+        ))
+        with pytest.raises(ConfigurationError, match="device 12"):
+            plan.validate_devices(8)
+
+    def test_generate_draws_gray_faults(self):
+        plan = FaultPlan.generate(
+            7, num_devices=8, horizon_s=1.0,
+            n_transient=0, n_transfer=0, n_straggler=0, n_device_lost=0,
+            n_heartbeat_loss=2, n_node_flap=1, flap_cycles=3,
+        )
+        silences = plan.of_kind("heartbeat_loss")
+        flaps = plan.of_kind("node_flap")
+        assert len(silences) == 2 and len(flaps) == 1
+        assert all(e.duration_s > 0 for e in plan)
+        assert flaps[0].count == 3
+        assert flaps[0].period_s == pytest.approx(2 * flaps[0].duration_s)
+        assert plan == FaultPlan.generate(
+            7, num_devices=8, horizon_s=1.0,
+            n_transient=0, n_transfer=0, n_straggler=0, n_device_lost=0,
+            n_heartbeat_loss=2, n_node_flap=1, flap_cycles=3,
+        )
+
+
+class TestGrayInjector:
+    def test_flap_expands_into_cycles(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.NODE_FLAP, 1.0, 0, duration_s=0.5,
+                       count=3, period_s=2.0),
+        ))
+        inj = FaultInjector(plan)
+        times = []
+        for t in (1.0, 3.0, 5.0):
+            for e in inj.poll(t):
+                assert e.kind is FaultKind.NODE_FLAP
+                assert e.count == 1  # each expansion is one cycle
+                times.append(e.time_s)
+        assert times == [1.0, 3.0, 5.0]
+        assert inj.stats.injected["node_flap"] == 3
+
+    def test_silence_windows_report_silent_devices(self):
+        inj = FaultInjector(FaultPlan())
+        inj.note_heartbeat_loss([2, 3], 1.0, 2.0)
+        assert inj.silent_devices(0.5) == frozenset()
+        assert inj.silent_devices(1.0) == frozenset({2, 3})
+        assert inj.silent_devices(1.9) == frozenset({2, 3})
+        assert inj.silent_devices(2.0) == frozenset()  # window is [start, end)
+        assert inj.stats.heartbeat_losses == 1
+
+    def test_restore_closes_the_down_window(self):
+        inj = FaultInjector(FaultPlan())
+        inj.note_device_lost(1, 1.0, orphans=0)
+        inj.note_device_restored(1, 3.0)
+        assert inj.stats.device_restores == 1
+        assert inj.stats.down_windows == [[1, 1.0, 3.0]]
+
+
+class TestAvailabilityWindows:
+    def test_disjoint_flap_windows_sum_without_double_count(self):
+        stats = FaultStats()
+        # One device flaps twice: down [1, 2) and [5, 6) of a 10 s run.
+        stats.open_down_window(0, 1.0)
+        stats.close_down_window(0, 2.0)
+        stats.open_down_window(0, 5.0)
+        stats.close_down_window(0, 6.0)
+        # 2 dead device-seconds of 40: 95%.
+        assert stats.availability(10.0, 4) == pytest.approx(95.0)
+
+    def test_open_window_clips_to_makespan(self):
+        stats = FaultStats()
+        stats.open_down_window(0, 8.0)
+        assert stats.availability(10.0, 4) == pytest.approx(95.0)
+
+    def test_reopen_while_open_is_idempotent(self):
+        stats = FaultStats()
+        stats.open_down_window(0, 1.0)
+        stats.open_down_window(0, 1.5)  # duplicate down event: ignored
+        stats.close_down_window(0, 2.0)
+        assert stats.availability(10.0, 1) == pytest.approx(90.0)
+
+    def test_legacy_lost_at_still_charges_devices_without_windows(self):
+        stats = FaultStats()
+        stats.lost_at[0] = 2.0  # permanent loss recorded the old way
+        stats.open_down_window(1, 4.0)
+        stats.close_down_window(1, 5.0)
+        # dev 0: [2, 10) = 8 s; dev 1: [4, 5) = 1 s; of 20 device-s.
+        assert stats.availability(10.0, 2) == pytest.approx(100 * (1 - 9 / 20))
+
+
+@st.composite
+def loss_restore_timelines(draw):
+    """Per-device alternating loss/restore times inside a 10 s run."""
+    num_devices = draw(st.integers(1, 4))
+    timelines = {}
+    for dev in range(num_devices):
+        k = draw(st.integers(0, 3))
+        times = sorted(
+            draw(
+                st.lists(
+                    st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False),
+                    min_size=2 * k, max_size=2 * k, unique=True,
+                )
+            )
+        )
+        timelines[dev] = times
+    return num_devices, timelines
+
+
+class TestAvailabilityProperties:
+    """Property: availability equals brute-force dead-time integration."""
+
+    @given(loss_restore_timelines())
+    @settings(max_examples=60, deadline=None)
+    def test_availability_matches_brute_force(self, case):
+        num_devices, timelines = case
+        makespan = 10.0
+        stats = FaultStats()
+        dead = 0.0
+        for dev, times in timelines.items():
+            for i, t in enumerate(times):
+                if i % 2 == 0:
+                    stats.open_down_window(dev, t)
+                else:
+                    stats.close_down_window(dev, t)
+            # Brute-force: pair the alternating times, clip open tails.
+            for i in range(0, len(times), 2):
+                start = times[i]
+                end = times[i + 1] if i + 1 < len(times) else makespan
+                dead += max(0.0, min(end, makespan) - min(start, makespan))
+        expected = 100.0 * (1.0 - dead / (makespan * num_devices))
+        assert stats.availability(makespan, num_devices) == pytest.approx(expected)
+        assert 0.0 <= stats.availability(makespan, num_devices) <= 100.0
+
+    @given(st.lists(st.tuples(st.floats(0, 5), st.floats(0, 5)), max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_repeated_loss_restore_never_exceeds_full_downtime(self, cycles):
+        """Flapping one device repeatedly can never double-charge time."""
+        stats = FaultStats()
+        for a, b in cycles:
+            start, end = min(a, b), max(a, b)
+            stats.open_down_window(0, start)
+            stats.close_down_window(0, max(end, start))
+        avail = stats.availability(10.0, 1)
+        assert 50.0 <= avail <= 100.0  # windows live in [0, 5] of 10 s

@@ -226,7 +226,7 @@ class TestServeConfigVersioning:
         path = tmp_path / "cfg.json"
         cfg.to_json(path)
         on_disk = json.loads(path.read_text())
-        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 4
+        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 5
         assert ServeConfig.from_json(path) == cfg
 
     def test_version_1_file_loads_with_later_defaults(self, tmp_path):
@@ -283,7 +283,7 @@ class TestServeConfigVersioning:
         import json
 
         path = tmp_path / "future.json"
-        path.write_text(json.dumps({"version": 5}))
+        path.write_text(json.dumps({"version": 6}))
         with pytest.raises(ConfigurationError, match="version"):
             ServeConfig.from_json(path)
 

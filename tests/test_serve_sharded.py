@@ -11,6 +11,7 @@ from repro.gpusim import CostModel, Topology
 from repro.schedulers.bounds import ReuseBounds
 from repro.schedulers.micco import MiccoScheduler
 from repro.serve import (
+    HealthConfig,
     MiccoServer,
     PoissonArrivals,
     ServeConfig,
@@ -108,6 +109,41 @@ class TestShardedServerBasics:
         assert result.sharding["cross_node_fetches"] == (
             result.metrics.counts.cross_node_fetches
         )
+
+
+class TestForwarding:
+    def full_cluster(self, n=10):
+        # One round per shard in flight (max_inflight=1), one queue slot
+        # each, and a dispatch latency far past the arrival burst: after
+        # 4 tickets every shard is saturated and the rest face all-full
+        # queues.
+        serve = ServeConfig(
+            sharded=True, queue_capacity=1, max_inflight=1,
+            schedule_latency_per_pair_s=1.0,
+        )
+        return run_sharded(serve=serve, n=n, arrivals=[0.0] * n)
+
+    def test_all_queues_full_sheds_exactly_once(self):
+        _, result = self.full_cluster()
+        s = result.summary()
+        assert s["completed"] + s["dropped"] == s["offered"] == 10
+        assert s["dropped"] == 6  # 2 dispatched + 2 queued, rest shed
+        reasons = result.report.drops_by_reason()
+        assert reasons.get("queue-full", 0) == 6
+
+    def test_one_routing_attempt_visits_each_shard_at_most_once(self):
+        _, result = self.full_cluster()
+        sh = result.sharding
+        # Every shed ticket was offered to each of the 2 full shards
+        # exactly once — no bouncing between previously-tried shards.
+        assert sh["forwards"] == 2 * result.summary()["dropped"]
+
+    def test_all_full_shed_is_deterministic(self):
+        summaries = {
+            json.dumps(self.full_cluster()[1].summary(), sort_keys=True)
+            for _ in range(2)
+        }
+        assert len(summaries) == 1
 
 
 class TestShardedDeterminism:
@@ -258,24 +294,26 @@ class TestShardedTenancyAndScaling:
         assert s["completed"] + s["dropped"] == s["offered"]
 
 
-class TestServeConfigV4:
-    def test_v4_round_trip(self, tmp_path):
+class TestServeConfigV5:
+    def test_v5_round_trip(self, tmp_path):
         cfg = ServeConfig(
-            sharded=True, sync_interval_s=0.01, routing="threshold-local"
+            sharded=True, sync_interval_s=0.01, routing="threshold-local",
+            health=HealthConfig(hedging=True, probation_beats=5),
         )
         path = tmp_path / "cfg.json"
         cfg.to_json(path)
         on_disk = json.loads(path.read_text())
-        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 4
+        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 5
         assert ServeConfig.from_json(path) == cfg
 
-    def test_v3_file_loads_with_v4_defaults(self, tmp_path):
+    def test_v3_file_loads_with_later_defaults(self, tmp_path):
         path = tmp_path / "v3.json"
         path.write_text(json.dumps({"version": 3, "max_batch_vectors": 2}))
         cfg = ServeConfig.from_json(path)
         assert cfg.sharded is False
         assert cfg.sync_interval_s == 0.05
         assert cfg.routing == "least-loaded"
+        assert cfg.health is None
 
     @pytest.mark.parametrize("key, value", [
         ("sharded", True),
@@ -288,11 +326,28 @@ class TestServeConfigV4:
         with pytest.raises(ConfigurationError):
             ServeConfig.from_json(path)
 
-    def test_v4_fields_validate(self):
+    def test_v5_key_rejected_in_version_4_file(self, tmp_path):
+        path = tmp_path / "v4.json"
+        path.write_text(
+            json.dumps({"version": 4, "health": HealthConfig().to_dict()})
+        )
+        with pytest.raises(ConfigurationError):
+            ServeConfig.from_json(path)
+
+    def test_v4_file_loads_without_health(self, tmp_path):
+        path = tmp_path / "v4.json"
+        path.write_text(json.dumps({"version": 4, "sharded": True}))
+        cfg = ServeConfig.from_json(path)
+        assert cfg.sharded is True
+        assert cfg.health is None
+
+    def test_fields_validate(self):
         with pytest.raises(ConfigurationError):
             ServeConfig(sync_interval_s=0.0)
         with pytest.raises(ConfigurationError):
             ServeConfig(routing="random")
+        with pytest.raises(ConfigurationError):
+            ServeConfig(health={"hedging": True})  # not a HealthConfig
 
 
 class TestDeadlineAwareBatching:
