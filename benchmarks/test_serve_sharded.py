@@ -348,5 +348,9 @@ def test_sharded_beats_single_loop_and_degrades_gracefully(benchmark):
             },
         },
     }
-    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # Merge-write: the throughput bench owns the ``throughput`` key of
+    # the same file, so a partial benchmark run must not clobber it.
+    merged = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+    merged.update(payload)
+    OUT_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
     print(f"benchmark payload written to {OUT_PATH}")

@@ -22,7 +22,7 @@ from repro.faults import FaultEvent, FaultKind, FaultPlan
 from repro.gpusim import CostModel, Topology
 from repro.schedulers.bounds import ReuseBounds
 from repro.schedulers.micco import MiccoScheduler
-from repro.serve import AutoscalerConfig, MiccoServer, ServeConfig
+from repro.serve import AutoscalerConfig, ServeConfig, make_server
 from repro.workloads import SyntheticWorkload, WorkloadParams
 
 MIB = 1024**2
@@ -58,7 +58,11 @@ def main() -> None:
         ),
     )
 
-    server = MiccoServer(MiccoScheduler(ReuseBounds(0, 4, 0)), config, serve)
+    # make_server (not serve()) because we inspect the cluster after the
+    # run; the class is still picked from the config.
+    server = make_server(
+        serve, cluster=config, scheduler=MiccoScheduler(ReuseBounds(0, 4, 0))
+    )
     result = server.run(stream(), [i * 1e-3 for i in range(40)], seed=7, faults=plan)
 
     s = result.summary()

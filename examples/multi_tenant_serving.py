@@ -22,10 +22,10 @@ Run:  python examples/multi_tenant_serving.py
 from repro import (
     AutoscalerConfig,
     MiccoConfig,
-    MultiTenantServer,
     SloTargets,
     TenantSpec,
     WorkloadParams,
+    serve,
 )
 from repro.serve import BurstyArrivals, PoissonArrivals, ServeConfig
 
@@ -69,8 +69,9 @@ def run(policy: str, autoscale: bool, devices: int = 4):
         if autoscale
         else None,
     )
-    server = MultiTenantServer(config=MiccoConfig(num_devices=devices), serve=cfg)
-    return server.run(seed=SEED)
+    # serve() sees the tenant roster on the config and dispatches the
+    # multi-tenant server; no server class named anywhere.
+    return serve(cfg, cluster=MiccoConfig(num_devices=devices), seed=SEED)
 
 
 def describe(tag: str, result) -> None:

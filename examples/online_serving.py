@@ -16,12 +16,12 @@ from repro import (
     GrouteScheduler,
     MiccoConfig,
     MiccoScheduler,
-    MiccoServer,
     PoissonArrivals,
     ReuseBounds,
     ServeConfig,
     SyntheticWorkload,
     WorkloadParams,
+    serve,
 )
 
 
@@ -37,7 +37,7 @@ def main() -> None:
     )
     vectors = SyntheticWorkload(params, seed=3).vectors()
     config = MiccoConfig(num_devices=4)
-    serve = ServeConfig(queue_capacity=16)
+    serve_cfg = ServeConfig(queue_capacity=16)
 
     systems = {
         "groute": lambda: GrouteScheduler(),
@@ -45,13 +45,19 @@ def main() -> None:
     }
 
     print(f"workload: {len(vectors)} vectors x {len(vectors[0].pairs)} contractions, "
-          f"tensor size {params.tensor_size}; queue capacity {serve.queue_capacity}\n")
+          f"tensor size {params.tensor_size}; queue capacity {serve_cfg.queue_capacity}\n")
     print(f"{'rate/s':>8s}  {'system':8s} {'p50 ms':>8s} {'p95 ms':>8s} {'p99 ms':>8s} "
           f"{'thr/s':>7s} {'wait ms':>8s} {'shed':>5s}")
     for rate in (50.0, 400.0, 800.0, 3000.0):
         for name, make in systems.items():
-            server = MiccoServer(make(), config, serve)
-            result = server.run(vectors, PoissonArrivals(rate), seed=11)
+            result = serve(
+                serve_cfg,
+                cluster=config,
+                scheduler=make(),
+                vectors=vectors,
+                arrivals=PoissonArrivals(rate),
+                seed=11,
+            )
             s = result.summary()
             print(
                 f"{rate:8.0f}  {name:8s} {s['p50_s'] * 1e3:8.2f} {s['p95_s'] * 1e3:8.2f} "

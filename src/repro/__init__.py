@@ -41,6 +41,8 @@ from repro.serve import (
     SloTargets,
     TenantSpec,
     TraceArrivals,
+    make_server,
+    serve,
 )
 from repro.tensor import TensorPair, TensorSpec, VectorSpec
 from repro.workloads import SyntheticWorkload, WorkloadParams
@@ -67,6 +69,8 @@ __all__ = [
     "MiccoScheduler",
     "ReuseBounds",
     "RoundRobinScheduler",
+    "serve",
+    "make_server",
     "MiccoServer",
     "MultiTenantServer",
     "ServeConfig",

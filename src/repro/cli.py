@@ -301,12 +301,10 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
     from repro.serve import (
         BurstyArrivals,
         HealthConfig,
-        MiccoServer,
-        MultiTenantServer,
         PoissonArrivals,
         ServeConfig,
-        ShardedServer,
         TraceArrivals,
+        serve,
     )
     from repro.workloads import SyntheticWorkload, WorkloadParams
 
@@ -411,16 +409,18 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         plan.to_json(args.save_plan)
         print(f"fault plan written to {args.save_plan}")
 
+    # One entry point for every mode: serve() picks MiccoServer /
+    # MultiTenantServer / ShardedServer from the ServeConfig alone.
     if serve_cfg.tenants:
         # Multi-tenant mode: the tenant specs define the traffic, so the
         # single-stream workload/arrival flags are unused.
-        server_cls = ShardedServer if serve_cfg.sharded else MultiTenantServer
-        server = server_cls(
-            schedulers[args.scheduler](),
-            micco_cfg,
+        result = serve(
             serve_cfg,
+            cluster=micco_cfg,
+            scheduler=schedulers[args.scheduler](),
+            seed=args.seed,
+            faults=plan,
         )
-        result = server.run(seed=args.seed, faults=plan)
         traffic = f"{len(serve_cfg.tenants)} tenants"
     else:
         params = WorkloadParams(
@@ -431,13 +431,15 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             batch=args.batch,
         )
         vectors = SyntheticWorkload(params, seed=args.seed).vectors()
-        server_cls = ShardedServer if serve_cfg.sharded else MiccoServer
-        server = server_cls(
-            schedulers[args.scheduler](),
-            micco_cfg,
+        result = serve(
             serve_cfg,
+            cluster=micco_cfg,
+            scheduler=schedulers[args.scheduler](),
+            vectors=vectors,
+            arrivals=arrivals,
+            seed=args.seed,
+            faults=plan,
         )
-        result = server.run(vectors, arrivals, seed=args.seed, faults=plan)
         traffic = f"{args.arrivals} arrivals, mean rate {args.rate:g}/s"
 
     s = result.summary()

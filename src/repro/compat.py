@@ -1,0 +1,31 @@
+"""Reference-core switch for golden-equivalence testing.
+
+The vectorized simulator core (numpy batch scoring, lazy eviction
+scans, columnar traces) must be *byte-identical* to the original
+object-at-a-time implementation at a fixed seed.  The original code
+paths are kept behind this module-level switch so the golden suite can
+run the same workload through both and diff the serialized reports and
+Chrome traces.
+
+The switch is global and not thread-safe — it exists for tests, not
+for production configuration.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+#: When True, hot paths take the original scalar/object implementation.
+REFERENCE_CORE = False
+
+
+@contextmanager
+def reference_core():
+    """Run the enclosed block through the original object-path core."""
+    global REFERENCE_CORE
+    prev = REFERENCE_CORE
+    REFERENCE_CORE = True
+    try:
+        yield
+    finally:
+        REFERENCE_CORE = prev

@@ -25,7 +25,15 @@ from repro.gpusim.costmodel import CostModel
 from repro.gpusim.cluster import ClusterState
 from repro.gpusim.metrics import ExecutionMetrics, MemoryOpCounts
 from repro.gpusim.engine import ExecutionEngine
-from repro.gpusim.trace import TraceRecorder, TraceEvent
+from repro.gpusim.trace import (
+    FullSink,
+    NullSink,
+    SamplingSink,
+    TraceConfig,
+    TraceEvent,
+    TraceRecorder,
+    TraceSink,
+)
 
 __all__ = [
     "DeviceSpec",
@@ -42,4 +50,9 @@ __all__ = [
     "ExecutionEngine",
     "TraceRecorder",
     "TraceEvent",
+    "TraceSink",
+    "TraceConfig",
+    "FullSink",
+    "SamplingSink",
+    "NullSink",
 ]

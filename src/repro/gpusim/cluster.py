@@ -52,6 +52,11 @@ class ClusterState:
         # Per-vector load counters (the paper's availability test).
         self.assigned_slots = np.zeros(len(devices), dtype=np.int64)
         self.balance_num: float = 0.0
+        # Slot-indexed device horizon: the simulated time until which
+        # each device is busy.  Owned by the serving loop (one shared
+        # preallocated array instead of per-event allocation); the
+        # batch paths leave it at zero.
+        self.busy_until = np.zeros(len(devices))
         # Device health: offline devices stay in ``devices`` (ids keep
         # their meaning) but leave this set.  A device goes offline by
         # *failing* (permanent, also enters ``_failed``) or by being
@@ -59,6 +64,11 @@ class ClusterState:
         # via :meth:`activate_device`).
         self._alive: set[int] = set(range(len(devices)))
         self._failed: set[int] = set()
+        # Slot-indexed alive mask + cached ascending id list, kept in
+        # sync with ``_alive`` by the lifecycle methods (``alive_ids``
+        # sits on every scheduler's hot path).
+        self.alive_mask = np.ones(len(devices), dtype=bool)
+        self._alive_cache: list[int] | None = list(range(len(devices)))
         #: Optional :class:`~repro.faults.journal.ResidencyJournal`
         #: observing residency deltas (attached per run by the serving
         #: loop; ``None`` keeps the batch paths journal-free).
@@ -78,8 +88,20 @@ class ClusterState:
         return device_id in self._alive
 
     def alive_ids(self) -> list[int]:
-        """Healthy device ids, ascending (the schedulable pool)."""
-        return sorted(self._alive)
+        """Healthy device ids, ascending (the schedulable pool).
+
+        The list is cached between alive-set changes — callers must
+        treat it as read-only.
+        """
+        if self._alive_cache is None:
+            self._alive_cache = sorted(self._alive)
+        return self._alive_cache
+
+    def _alive_changed(self) -> None:
+        """Invalidate alive-set caches after a lifecycle transition."""
+        self._alive_cache = None
+        for d in range(self.num_devices):
+            self.alive_mask[d] = d in self._alive
 
     def is_failed(self, device_id: int) -> bool:
         """True when the device was permanently lost (never reactivatable)."""
@@ -110,6 +132,19 @@ class ClusterState:
     def free_bytes(self, device_id: int) -> int:
         return self.pools[device_id].free_bytes
 
+    def free_bytes_batch(self, device_ids) -> np.ndarray:
+        """Free bytes for every device in ``device_ids``, as one array.
+
+        Batch counterpart of :meth:`free_bytes` for the vectorised
+        scoring path (:meth:`~repro.gpusim.costmodel.CostModel.score_batch`).
+        """
+        pools = self.pools
+        return np.fromiter(
+            (pools[g].free_bytes for g in device_ids),
+            dtype=np.int64,
+            count=len(device_ids),
+        )
+
     def total_resident_tensors(self) -> int:
         return sum(len(p) for p in self.pools)
 
@@ -136,18 +171,25 @@ class ClusterState:
     # ------------------------------------------------------ residency updates
     def register(self, spec: TensorSpec, device_id: int, protect: set[int] | frozenset[int] = frozenset()):
         """Make ``spec`` resident on ``device_id``; returns evicted residencies."""
-        evicted = self.pools[device_id].allocate(spec.uid, spec.nbytes, protect=protect)
-        for r in evicted:
-            holders = self._holders.get(r.uid)
-            if holders is not None:
-                holders.discard(device_id)
-                if not holders:
-                    del self._holders[r.uid]
-            if self.journal is not None:
-                self.journal.note_drop(r.uid, device_id, "evict")
-        self._holders.setdefault(spec.uid, set()).add(device_id)
+        uid = spec.uid
+        holders_map = self._holders
+        evicted = self.pools[device_id].allocate(uid, spec.nbytes, protect=protect)
+        if evicted:
+            for r in evicted:
+                holders = holders_map.get(r.uid)
+                if holders is not None:
+                    holders.discard(device_id)
+                    if not holders:
+                        del holders_map[r.uid]
+                if self.journal is not None:
+                    self.journal.note_drop(r.uid, device_id, "evict")
+        h = holders_map.get(uid)
+        if h is None:
+            holders_map[uid] = {device_id}
+        else:
+            h.add(device_id)
         if self.journal is not None:
-            self.journal.note_put(spec.uid, device_id, spec.nbytes)
+            self.journal.note_put(uid, device_id, spec.nbytes)
         return evicted
 
     def touch(self, uid: int, device_id: int) -> None:
@@ -195,6 +237,7 @@ class ClusterState:
         if device_id not in self._alive:
             return []
         self._alive.discard(device_id)
+        self._alive_changed()
         orphans = list(self.pools[device_id].resident_uids())
         for uid in orphans:
             self.pools[device_id].free(uid)
@@ -288,6 +331,7 @@ class ClusterState:
             return
         self.pools[device_id].clear()
         self._alive.add(device_id)
+        self._alive_changed()
 
     def restore_device(self, device_id: int) -> None:
         """Bring a *failed* device back online with a cold memory pool.
@@ -309,6 +353,7 @@ class ClusterState:
         self._failed.discard(device_id)
         self.pools[device_id].clear()
         self._alive.add(device_id)
+        self._alive_changed()
 
     def check_invariants(self) -> None:
         """Assert pool accounting and the residency index agree.
@@ -347,8 +392,10 @@ class ClusterState:
         self._holders.clear()
         self.assigned_slots[:] = 0
         self.balance_num = 0.0
+        self.busy_until[:] = 0.0
         self._alive = set(range(self.num_devices))
         self._failed = set()
+        self._alive_changed()
 
     def clone(self) -> "ClusterState":
         """Deep copy — used by look-ahead / exhaustive oracles."""
@@ -361,8 +408,10 @@ class ClusterState:
         other._holders = {uid: set(devs) for uid, devs in self._holders.items()}
         other.assigned_slots = self.assigned_slots.copy()
         other.balance_num = self.balance_num
+        other.busy_until = self.busy_until.copy()
         other._alive = set(self._alive)
         other._failed = set(self._failed)
+        other._alive_changed()
         # Look-ahead clones must not pollute the real run's journal.
         other.journal = None
         return other

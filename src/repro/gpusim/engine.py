@@ -11,6 +11,7 @@ correctness can be asserted end-to-end.
 
 from __future__ import annotations
 
+from repro import compat
 from repro.errors import DeviceLostError, SchedulingError, TransientFaultError
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RetryPolicy
@@ -63,10 +64,42 @@ class ExecutionEngine:
         #: Optional fault source; set per run by chaos drivers.
         self.injector = injector
         self.retry = retry or RetryPolicy()
+        #: Per-device ``peak_gflops * 1e9`` cache for the fast path,
+        #: keyed on the cluster's device-list identity (device specs are
+        #: immutable; the list is only ever replaced wholesale).
+        self._peak9: list[float] | None = None
+        self._peak9_devices = None
 
     # ------------------------------------------------------------- single pair
     def execute_pair(self, pair: TensorPair, device_id: int, metrics: ExecutionMetrics) -> None:
         """Run one contraction on ``device_id``, accumulating into ``metrics``."""
+        if (
+            self.injector is None
+            and self.trace is None
+            and self.store is None
+            and not compat.REFERENCE_CORE
+        ):
+            return self._execute_pair_fast(pair, device_id, metrics)
+        return self._execute_pair_full(pair, device_id, metrics)
+
+    def pair_runner(self):
+        """The per-pair executor for the engine's *current* attachments.
+
+        Serving loops bind this once per scheduling round instead of
+        paying the dispatch check on every pair.  Must be re-fetched
+        whenever ``injector``/``trace``/``store`` change.
+        """
+        if (
+            self.injector is None
+            and self.trace is None
+            and self.store is None
+            and not compat.REFERENCE_CORE
+        ):
+            return self._execute_pair_fast
+        return self._execute_pair_full
+
+    def _execute_pair_full(self, pair: TensorPair, device_id: int, metrics: ExecutionMetrics) -> None:
+        """General path: fault injection, tracing, and real math."""
         cl = self.cluster
         if not (0 <= device_id < cl.num_devices):
             raise SchedulingError(f"device id {device_id} out of range 0..{cl.num_devices - 1}")
@@ -215,6 +248,190 @@ class ExecutionEngine:
         if self.store is not None:
             self.store.execute_pair(pair)
 
+    def _execute_pair_fast(self, pair: TensorPair, device_id: int, metrics: ExecutionMetrics) -> None:
+        """:meth:`execute_pair` fused for the serving hot path.
+
+        Active when no injector, trace recorder, or tensor store is
+        attached (the serving-loop configuration).  Bit-identical
+        accounting to the general path — the same cost expressions in
+        the same evaluation order — with per-pair invariants hoisted,
+        holder sets read in place instead of copied, and fault/trace
+        branches dropped.
+        """
+        cl = self.cluster
+        if not (0 <= device_id < cl.num_devices):
+            raise SchedulingError(f"device id {device_id} out of range 0..{cl.num_devices - 1}")
+        if device_id not in cl._alive:
+            raise DeviceLostError(device_id)
+        cm = self.cost_model
+        counts = metrics.counts
+        pools = cl.pools
+        pool = pools[device_id]
+        holders_map = cl._holders
+        journal = cl.journal
+        interconnect = cm.interconnect
+        topo = cm.topology
+        alloc_latency = cm.alloc_latency_s
+        alloc_bw = cm.alloc_bandwidth
+        left, right, out = pair.left, pair.right, pair.out
+        # A tuple is cheaper to build than a set and `in` over three
+        # elements beats hashing at this size.
+        protect = (left.uid, right.uid, out.uid)
+        pair_memop_s = 0.0
+
+        # Resolve inputs; a duplicated input resolves once and the
+        # second slot counts as a reuse hit (same as the general path's
+        # ``resolved`` set, without building it).
+        if right.uid == left.uid:
+            inputs = (left,)
+            counts.reuse_hits += 1
+        else:
+            inputs = (left, right)
+        for spec in inputs:
+            uid = spec.uid
+            holders = holders_map.get(uid)
+            if holders is not None and device_id in holders:
+                counts.reuse_hits += 1
+                pool.touch(uid)
+                continue
+            nb = spec.nbytes
+            if holders:
+                if topo is None:
+                    # Constant D2D cost: the tie break picks the lowest id.
+                    source = min(holders)
+                    copy_t = interconnect.d2d_time(nb)
+                else:
+                    if len(holders) == 1:
+                        # Single holder (the common case under
+                        # ``d2d_moves``): no tie break to run.
+                        source = next(iter(holders))
+                    else:
+                        lat = interconnect.latency_s
+                        source = min(
+                            holders, key=lambda h: (topo.d2d_time(h, device_id, nb, lat), h)
+                        )
+                    copy_t = topo.d2d_time(source, device_id, nb, interconnect.latency_s)
+                if cm.d2d_moves:
+                    cl.drop(uid, source, reason="migrate")
+                if topo is not None and not topo.same_node(source, device_id):
+                    counts.cross_node_fetches += 1
+                counts.d2d_transfers += 1
+            else:
+                copy_t = interconnect.h2d_time(nb)
+                counts.h2d_transfers += 1
+            # Inline ClusterState.register: pool allocation plus holder-
+            # index and journal maintenance, without the call layers.
+            # The non-evicting insert (fits, not yet resident) skips the
+            # allocate() call entirely; anything else — oversubscribed
+            # or idempotent — takes the full path.
+            resident = pool._resident
+            if nb <= pool.capacity_bytes - pool._used and uid not in resident:
+                resident[uid] = nb
+                pool._used += nb
+                if pool._track_insertion:
+                    pool._insertion[uid] = pool._clock
+                    pool._clock += 1
+            else:
+                evicted = pool.allocate(uid, nb, protect)
+                if evicted:
+                    pair_memop_s += self._settle_evictions(
+                        evicted, metrics, device_id, holders_map, journal, cm
+                    )
+            h = holders_map.get(uid)
+            if h is None:
+                holders_map[uid] = {device_id}
+            else:
+                h.add(device_id)
+            if journal is not None:
+                journal.note_put(uid, device_id, nb)
+            pair_memop_s += alloc_latency + nb / alloc_bw + copy_t
+            counts.allocations += 1
+            counts.transferred_bytes += nb
+
+        # Allocate the output on the same device (same inline shape as
+        # the inputs; a hedged re-execution's already-resident output
+        # falls through to allocate()'s idempotent branch).
+        out_uid = out.uid
+        out_nb = out.nbytes
+        resident = pool._resident
+        if out_nb <= pool.capacity_bytes - pool._used and out_uid not in resident:
+            resident[out_uid] = out_nb
+            pool._used += out_nb
+            if pool._track_insertion:
+                pool._insertion[out_uid] = pool._clock
+                pool._clock += 1
+        else:
+            evicted = pool.allocate(out_uid, out_nb, protect)
+            if evicted:
+                pair_memop_s += self._settle_evictions(
+                    evicted, metrics, device_id, holders_map, journal, cm
+                )
+        h = holders_map.get(out_uid)
+        if h is None:
+            holders_map[out_uid] = {device_id}
+        else:
+            h.add(device_id)
+        if journal is not None:
+            journal.note_put(out_uid, device_id, out_nb)
+        pair_memop_s += alloc_latency + out_nb / alloc_bw
+        counts.allocations += 1
+
+        # Kernel; flops are computed once and reused for the
+        # throughput counter.
+        flops = pair_flops(pair)
+        size = left.size
+        devices = cl.devices
+        if self._peak9_devices is not devices:
+            self._peak9 = [d.peak_gflops * 1e9 for d in devices]
+            self._peak9_devices = devices
+        # ``peak * 1e9 * eff`` associates left-to-right, so hoisting the
+        # first product preserves the exact float result.
+        rate = self._peak9[device_id] * (size / (size + cm.efficiency_half_size))
+        kt = cm.kernel_launch_s + flops / rate
+        if cm.overlap_fraction == 0.0:
+            effective_memop = pair_memop_s
+        else:
+            effective_memop = cm.effective_memop_time(pair_memop_s, kt)
+        metrics.compute_s[device_id] += kt
+        metrics.memop_s[device_id] += effective_memop
+        cl.compute_s[device_id] += kt
+        cl.memop_s[device_id] += effective_memop
+        metrics.total_flops += flops
+        metrics.pairs_executed += 1
+        metrics.pairs_per_device[device_id] += 1
+        cl.assigned_slots[device_id] += 2
+
+    def _settle_evictions(self, evicted, metrics, device_id, holders_map, journal, cm) -> float:
+        """Fast-path eviction settlement: holder index + counters + cost.
+
+        Fuses what the general path splits between
+        :meth:`ClusterState.register` (holder/journal bookkeeping) and
+        :meth:`_charge_evictions` (cost + counters), with the eviction
+        cost expression inlined — same terms, same order.
+        """
+        counts = metrics.counts
+        writeback = cm.eviction_writeback
+        ev_lat = cm.eviction_latency_s
+        interconnect = cm.interconnect
+        total = 0.0
+        for r in evicted:
+            r_uid = r.uid
+            holders = holders_map.get(r_uid)
+            if holders is not None:
+                holders.discard(device_id)
+                if not holders:
+                    del holders_map[r_uid]
+            if journal is not None:
+                journal.note_drop(r_uid, device_id, "evict")
+            nb = r.nbytes
+            ev_t = ev_lat
+            if writeback:
+                ev_t += interconnect.d2h_time(nb)
+            total += ev_t
+            counts.evictions += 1
+            counts.eviction_bytes += nb
+        return total
+
     def _note_fault(self, kind: str, device_id: int, duration_s: float, label: str) -> None:
         """Log a fault-lifecycle event to the injector stats and the trace."""
         self.injector.stats.record_event(kind, device_id, self.injector.now, duration_s, label)
@@ -275,6 +492,27 @@ class ExecutionEngine:
         free is skipped here.
         """
         cm = self.cost_model
+        if self.trace is None and not cm.drain_writeback and not compat.REFERENCE_CORE:
+            # No cost is charged and nothing is recorded: drop each
+            # still-resident output directly against the pool and the
+            # holder index (same effect as ``is_resident`` + ``drop``).
+            cl = self.cluster
+            holders_map = cl._holders
+            pools = cl.pools
+            journal = cl.journal
+            for pair, dev in zip(vector.pairs, assignment):
+                uid = pair.out.uid
+                dev = int(dev)
+                holders = holders_map.get(uid)
+                if holders is None or dev not in holders:
+                    continue
+                if pools[dev].free(uid):
+                    holders.discard(dev)
+                    if not holders:
+                        del holders_map[uid]
+                    if journal is not None:
+                        journal.note_drop(uid, dev, "drain")
+            return
         for pair, dev in zip(vector.pairs, assignment):
             dev = int(dev)
             if self.cluster.is_resident(pair.out.uid, dev):

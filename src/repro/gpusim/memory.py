@@ -18,13 +18,14 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import compat
 from repro.errors import CapacityError
 from repro.utils.validation import check_in, check_positive
 
 EVICTION_POLICIES = ("lru", "fifo", "largest")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Residency:
     """One resident tensor: identity plus footprint."""
 
@@ -52,6 +53,10 @@ class MemoryPool:
         self._used = 0
         self._insertion: dict[int, int] = {}  # uid -> insertion counter (fifo)
         self._clock = 0
+        # LRU never reads insertion stamps (recency order lives in the
+        # OrderedDict itself), so skip maintaining them on that policy's
+        # hot path.
+        self._track_insertion = policy != "lru"
 
     # ------------------------------------------------------------------ reads
     @property
@@ -98,6 +103,18 @@ class MemoryPool:
         # "largest": biggest footprint first; ties oldest-first.
         return sorted(candidates, key=lambda u: (-self._resident[u], self._insertion[u]))
 
+    def _victim_iter(self, protect):
+        """Lazy :meth:`_victim_order` — same sequence, no full scan.
+
+        Eviction loops usually stop after a handful of victims, so for
+        LRU (iteration order *is* preference order) a generator avoids
+        rebuilding the whole candidate list per oversubscribed
+        allocation.  FIFO/largest need the global sort either way.
+        """
+        if self.policy == "lru" and not compat.REFERENCE_CORE:
+            return (u for u in self._resident if u not in protect)
+        return iter(self._victim_order(protect))
+
     def allocate(self, uid: int, nbytes: int, protect: set[int] | frozenset[int] = frozenset()) -> list[Residency]:
         """Allocate ``nbytes`` for ``uid``, evicting victims if needed.
 
@@ -105,33 +122,55 @@ class MemoryPool:
         eviction order.  Raises :class:`CapacityError` if the tensor
         cannot fit even after evicting every unprotected tensor.
         """
-        if uid in self._resident:
+        resident = self._resident
+        if uid in resident:
             # Idempotent: already resident, just refresh recency.
-            self.touch(uid)
+            resident.move_to_end(uid)
             return []
-        if nbytes > self.capacity_bytes:
+        capacity = self.capacity_bytes
+        if nbytes > capacity:
             raise CapacityError(
-                f"tensor of {nbytes} bytes exceeds device capacity {self.capacity_bytes}"
+                f"tensor of {nbytes} bytes exceeds device capacity {capacity}"
             )
         evicted: list[Residency] = []
-        if nbytes > self.free_bytes:
-            for victim in self._victim_order(protect):
-                vb = self._resident.pop(victim)
-                self._insertion.pop(victim, None)
+        if nbytes > capacity - self._used:
+            # Two-phase: pick victims first (no mutation while the scan
+            # walks the resident dict), then evict them.
+            short = nbytes - (capacity - self._used)
+            victims: list[int] = []
+            if self.policy == "lru" and not compat.REFERENCE_CORE:
+                # Inline LRU scan: OrderedDict order *is* preference order.
+                for victim in resident:
+                    if victim in protect:
+                        continue
+                    victims.append(victim)
+                    short -= resident[victim]
+                    if short <= 0:
+                        break
+            else:
+                for victim in self._victim_iter(protect):
+                    victims.append(victim)
+                    short -= resident[victim]
+                    if short <= 0:
+                        break
+            insertion = self._insertion
+            for victim in victims:
+                vb = resident.pop(victim)
+                if insertion:
+                    insertion.pop(victim, None)
                 self._used -= vb
                 evicted.append(Residency(uid=victim, nbytes=vb))
-                if nbytes <= self.free_bytes:
-                    break
-            if nbytes > self.free_bytes:
+            if nbytes > capacity - self._used:
                 # Roll back is unnecessary: evictions already happened on the
                 # simulated device; report the capacity failure.
                 raise CapacityError(
                     f"cannot fit {nbytes} bytes: only {self.free_bytes} free after "
-                    f"evicting all unprotected tensors (capacity {self.capacity_bytes})"
+                    f"evicting all unprotected tensors (capacity {capacity})"
                 )
-        self._resident[uid] = nbytes
-        self._insertion[uid] = self._clock
-        self._clock += 1
+        resident[uid] = nbytes
+        if self._track_insertion:
+            self._insertion[uid] = self._clock
+            self._clock += 1
         self._used += nbytes
         return evicted
 
@@ -156,13 +195,18 @@ class MemoryPool:
         assert 0 <= self._used <= self.capacity_bytes, (
             f"used_bytes {self._used} outside [0, {self.capacity_bytes}]"
         )
-        assert set(self._insertion) == set(self._resident), (
-            "insertion map out of sync with resident set: "
-            f"{sorted(self._insertion)} vs {sorted(self._resident)}"
-        )
-        assert all(stamp < self._clock for stamp in self._insertion.values()), (
-            f"insertion clock {self._clock} not monotone over {self._insertion}"
-        )
+        if self._track_insertion:
+            assert set(self._insertion) == set(self._resident), (
+                "insertion map out of sync with resident set: "
+                f"{sorted(self._insertion)} vs {sorted(self._resident)}"
+            )
+            assert all(stamp < self._clock for stamp in self._insertion.values()), (
+                f"insertion clock {self._clock} not monotone over {self._insertion}"
+            )
+        else:
+            assert not self._insertion, (
+                f"LRU pool should not track insertion stamps, found {self._insertion}"
+            )
 
     def free(self, uid: int) -> int:
         """Explicitly release a tensor; returns its size (0 if absent)."""

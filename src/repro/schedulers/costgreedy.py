@@ -15,8 +15,11 @@ decision cost; the ablation bench quantifies both sides.
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro import compat
 from repro.gpusim.cluster import ClusterState
-from repro.gpusim.costmodel import CostModel
+from repro.gpusim.costmodel import CostModel, lex_argmin
 from repro.schedulers.base import Scheduler
 from repro.tensor.spec import TensorPair
 
@@ -60,12 +63,52 @@ class CostGreedyScheduler(Scheduler):
             memop += cm.eviction_time(overflow)
         return added + cm.effective_memop_time(memop, added)
 
+    def estimate_added_time_batch(self, pair: TensorPair, cluster: ClusterState) -> "np.ndarray":
+        """:meth:`estimate_added_time` for every device, vectorised.
+
+        Kernel time and the output allocation are device-independent,
+        so they are computed once; per-device terms (input fetches,
+        predicted eviction overflow) come from the cluster's batch
+        reads and one array pass through the cost model.
+        """
+        cm = self.cost_model
+        n = cluster.num_devices
+        devices = range(n)
+        added = np.fromiter(
+            (cm.kernel_time(pair, cluster.devices[g]) for g in devices),
+            dtype=np.float64, count=n,
+        )
+        incoming = np.full(n, pair.out.nbytes, dtype=np.int64)
+        memop = np.full(n, cm.alloc_time(pair.out.nbytes), dtype=np.float64)
+        left, right = pair.left, pair.right
+        inputs = (left,) if right.uid == left.uid else (left, right)
+        for spec in inputs:
+            holders = cluster.devices_holding(spec.uid)
+            alloc = cm.alloc_time(spec.nbytes)
+            if holders:
+                src = min(holders)
+                for g in devices:
+                    if g in holders:
+                        continue
+                    memop[g] += alloc + cm.d2d_time(spec.nbytes, src=src, dst=g)
+                    incoming[g] += spec.nbytes
+            else:
+                memop += alloc + cm.h2d_time(spec.nbytes)
+                incoming += spec.nbytes
+        overflow = incoming - cluster.free_bytes_batch(list(devices))
+        for g in np.flatnonzero(overflow > 0):
+            memop[g] += cm.eviction_time(int(overflow[g]))
+        return added + np.maximum(memop - cm.overlap_fraction * added, 0.0)
+
     def choose(self, pair: TensorPair, cluster: ClusterState) -> int:
         busy = cluster.busy_s
-        best = 0
-        best_t = float("inf")
-        for g in range(cluster.num_devices):
-            t = busy[g] + self.estimate_added_time(pair, g, cluster)
-            if t < best_t:
-                best, best_t = g, t
-        return best
+        if compat.REFERENCE_CORE:
+            best = 0
+            best_t = float("inf")
+            for g in range(cluster.num_devices):
+                t = busy[g] + self.estimate_added_time(pair, g, cluster)
+                if t < best_t:
+                    best, best_t = g, t
+            return best
+        totals = busy + self.estimate_added_time_batch(pair, cluster)
+        return lex_argmin(totals)

@@ -18,12 +18,27 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import compat
 from repro.errors import SchedulingError
 from repro.gpusim.cluster import ClusterState
+from repro.gpusim.costmodel import CostModel
 from repro.schedulers.base import Scheduler
 from repro.schedulers.bounds import ReuseBounds
 from repro.schedulers.reuse_patterns import ReusePattern, classify_pair
 from repro.tensor.spec import TensorPair, VectorSpec
+
+#: Shared default scoring model — Alg. 2 scoring only reads cluster
+#: state, so a parameterless model serves every scheduler instance.
+_DEFAULT_COST_MODEL = CostModel()
+
+#: Candidate-set width at which the numpy batch scorer overtakes the
+#: fused scalar pass.  Below this, per-array-op overhead (~1 µs each)
+#: costs more than it saves; candidate queues on small clusters are
+#: typically 1–8 wide.
+VECTOR_MIN_CANDIDATES = 12
+
+#: Shared empty holder set for the classification fast path.
+_EMPTY_SET: frozenset[int] = frozenset()
 
 
 def incoming_bytes(pair: TensorPair, device_id: int, cluster: ClusterState) -> int:
@@ -39,6 +54,29 @@ def incoming_bytes(pair: TensorPair, device_id: int, cluster: ClusterState) -> i
         seen.add(spec.uid)
         if not cluster.is_resident(spec.uid, device_id):
             total += spec.nbytes
+    return total
+
+
+def incoming_bytes_batch(pair: TensorPair, device_ids, cluster: ClusterState) -> np.ndarray:
+    """:func:`incoming_bytes` for every device in ``device_ids`` at once.
+
+    One holder-set lookup per distinct input instead of one residency
+    probe per (input, device) combination.
+    """
+    total = np.full(len(device_ids), pair.out.nbytes, dtype=np.int64)
+    left, right = pair.left, pair.right
+    inputs = (left,) if right.uid == left.uid else (left, right)
+    for spec in inputs:
+        holders = cluster.devices_holding(spec.uid)
+        nb = spec.nbytes
+        if not holders:
+            total += nb
+        else:
+            total += np.fromiter(
+                (0 if g in holders else nb for g in device_ids),
+                dtype=np.int64,
+                count=len(device_ids),
+            )
     return total
 
 
@@ -76,10 +114,13 @@ class MiccoScheduler(Scheduler):
         *,
         pattern_aware: bool = True,
         eviction_sensitive: bool = True,
+        cost_model: CostModel | None = None,
     ):
         self.bounds = bounds if bounds is not None else ReuseBounds.zeros()
         self.pattern_aware = pattern_aware
         self.eviction_sensitive = eviction_sensitive
+        #: Scoring model for the vectorised Alg. 2 selection.
+        self.cost_model = cost_model or _DEFAULT_COST_MODEL
         #: Pattern histogram, for introspection/experiments.
         self.pattern_counts: dict[ReusePattern, int] = {p: 0 for p in ReusePattern}
 
@@ -103,24 +144,55 @@ class MiccoScheduler(Scheduler):
         Returned device ids are unique and in ascending order (the order
         itself never matters — Alg. 2 selects by cost, ties by id).
         """
-        cls = classify_pair(pair, cluster)
-        self.pattern_counts[cls.pattern] += 1
+        if compat.REFERENCE_CORE:
+            cls = classify_pair(pair, cluster)
+            self.pattern_counts[cls.pattern] += 1
+            return self._build_candidates_ref(cls, cluster)
 
+        # Fast path: classify against the live holder index (no
+        # frozenset copies) and hoist the availability threshold out of
+        # the scans (``bounds[tier] + balance_num`` is per-tier constant
+        # within a pair) — same tests, evaluated once each.
+        holders_map = cluster._holders
+        lu = pair.left.uid
+        ru = pair.right.uid
+        left = holders_map.get(lu) or _EMPTY_SET
+        right = left if ru == lu else (holders_map.get(ru) or _EMPTY_SET)
+        common = left & right
+        if common:
+            pattern = ReusePattern.TWO_REPEATED_SAME
+        elif left and right:
+            pattern = ReusePattern.TWO_REPEATED_DIFF
+        elif left or right:
+            pattern = ReusePattern.ONE_REPEATED
+        else:
+            pattern = ReusePattern.TWO_NEW
+        self.pattern_counts[pattern] += 1
+
+        slots = cluster.assigned_slots.tolist()
+        balance = cluster.balance_num
+        bounds = self.bounds
         if self.pattern_aware:
             # Step I: devices holding both tensors, under the tier-0 bound.
-            candi = [g for g in sorted(cls.common_holders) if self._available(g, 0, cluster)]
-            if candi:
-                return candi
+            if common:
+                thr = bounds[0] + balance
+                candi = [g for g in sorted(common) if slots[g] < thr]
+                if candi:
+                    return candi
 
             # Step II: devices holding one tensor, under the tier-1 bound.
-            candi = [g for g in sorted(cls.any_holders) if self._available(g, 1, cluster)]
-            if candi:
-                return candi
+            any_h = left | right
+            if any_h:
+                thr = bounds[1] + balance
+                candi = [g for g in sorted(any_h) if slots[g] < thr]
+                if candi:
+                    return candi
 
         # Fallback: any *surviving* device under the tier-2 bound.
         # (Steps I–II are alive-safe for free: lost devices hold no
         # tensors, so they never appear among the holders.)
-        candi = [g for g in cluster.alive_ids() if self._available(g, 2, cluster)]
+        thr = bounds[2] + balance
+        candi = [g for g in cluster.alive_ids() if slots[g] < thr]
         if candi:
             return candi
 
@@ -129,11 +201,85 @@ class MiccoScheduler(Scheduler):
         # configurations (e.g. externally mutated counters).
         return cluster.alive_ids()
 
+    def _build_candidates_ref(self, cls, cluster: ClusterState) -> list[int]:
+        """Original per-candidate Alg. 1 scan (golden-reference path)."""
+        if self.pattern_aware:
+            candi = [g for g in sorted(cls.common_holders) if self._available(g, 0, cluster)]
+            if candi:
+                return candi
+            candi = [g for g in sorted(cls.any_holders) if self._available(g, 1, cluster)]
+            if candi:
+                return candi
+        candi = [g for g in cluster.alive_ids() if self._available(g, 2, cluster)]
+        if candi:
+            return candi
+        return cluster.alive_ids()
+
     # -------------------------------------------------------------- Alg. 2
     def select(self, candidates: list[int], pair: TensorPair, cluster: ClusterState) -> int:
         """Alg. 2: computation-centric vs memory-eviction-sensitive pick."""
         if not candidates:
             raise SchedulingError("empty candidate queue")
+        if compat.REFERENCE_CORE:
+            return self._select_ref(candidates, pair, cluster)
+        n = len(candidates)
+        if n == 1:
+            return candidates[0]
+        if n < VECTOR_MIN_CANDIDATES:
+            return self._select_small(candidates, pair, cluster)
+        cand = np.asarray(candidates, dtype=np.int64)
+        return self.cost_model.score_batch(
+            cand,
+            incoming_bytes_batch(pair, candidates, cluster),
+            cluster.free_bytes_batch(candidates),
+            cluster.compute_s[cand],
+            eviction_sensitive=self.eviction_sensitive,
+        )
+
+    def _select_small(self, candidates: list[int], pair: TensorPair, cluster: ClusterState) -> int:
+        """Alg. 2 for narrow candidate sets: one fused scalar pass.
+
+        Bit-identical to :meth:`~repro.gpusim.costmodel.CostModel.score_batch`
+        on the same inputs — per-pair invariants (output bytes, holder
+        sets) are hoisted so each candidate costs two set probes and a
+        couple of comparisons, which beats array-op overhead below
+        :data:`VECTOR_MIN_CANDIDATES` devices.
+        """
+        pools = cluster.pools
+        compute = cluster.compute_s
+        holders_map = cluster._holders
+        left, right = pair.left, pair.right
+        out_b = pair.out.nbytes
+        lh = holders_map.get(left.uid) or _EMPTY_SET
+        l_nb = left.nbytes
+        two = right.uid != left.uid
+        if two:
+            rh = holders_map.get(right.uid) or _EMPTY_SET
+            r_nb = right.nbytes
+        free = [pools[g].free_bytes for g in candidates]
+        if self.eviction_sensitive:
+            evict = False
+            for i, g in enumerate(candidates):
+                inc = out_b
+                if g not in lh:
+                    inc += l_nb
+                if two and g not in rh:
+                    inc += r_nb
+                if inc > free[i]:
+                    evict = True
+                    break
+        else:
+            evict = False
+        best = None
+        best_key = None
+        for i, g in enumerate(candidates):
+            key = (-free[i], compute[g], g) if evict else (compute[g], -free[i], g)
+            if best_key is None or key < best_key:
+                best, best_key = g, key
+        return best
+
+    def _select_ref(self, candidates: list[int], pair: TensorPair, cluster: ClusterState) -> int:
+        """Original per-candidate Alg. 2 pick (golden-reference path)."""
         evict_flag = self.eviction_sensitive and any(
             would_evict(pair, g, cluster) for g in candidates
         )
@@ -147,7 +293,112 @@ class MiccoScheduler(Scheduler):
         return min(candidates, key=key)
 
     def choose(self, pair: TensorPair, cluster: ClusterState) -> int:
-        return self.select(self.build_candidates(pair, cluster), pair, cluster)
+        """Alg. 1 + Alg. 2 fused: one pass from holder sets to device.
+
+        Equivalent to ``select(build_candidates(pair, cluster), ...)``
+        (the golden suite pins that equivalence), but the holder sets
+        are read once and the candidate tier is remembered: tier-0
+        candidates hold *both* inputs, so their incoming bytes are the
+        output alone and the per-candidate residency probes of
+        :meth:`_select_small` collapse to a constant.
+        """
+        if compat.REFERENCE_CORE:
+            return self.select(self.build_candidates(pair, cluster), pair, cluster)
+
+        holders_map = cluster._holders
+        # A ShardView carries ``_device_set``; its ``devices_holding``
+        # scopes holders to the shard, and reading the raw holder map
+        # must apply the same scoping or candidates leak off-shard.
+        dset = getattr(cluster, "_device_set", None)
+        left_spec, right_spec = pair.left, pair.right
+        lu = left_spec.uid
+        ru = right_spec.uid
+        left = holders_map.get(lu) or _EMPTY_SET
+        if dset is not None and left:
+            left = left & dset
+        if ru == lu:
+            right = left
+        else:
+            right = holders_map.get(ru) or _EMPTY_SET
+            if dset is not None and right:
+                right = right & dset
+        if left and right:
+            common = left & right
+            pattern = (
+                ReusePattern.TWO_REPEATED_SAME if common else ReusePattern.TWO_REPEATED_DIFF
+            )
+        else:
+            common = _EMPTY_SET
+            pattern = ReusePattern.ONE_REPEATED if (left or right) else ReusePattern.TWO_NEW
+        self.pattern_counts[pattern] += 1
+
+        slots = cluster.assigned_slots.tolist()
+        balance = cluster.balance_num
+        bounds = self.bounds
+        candidates = None
+        tier = 2
+        if self.pattern_aware:
+            if common:
+                thr = bounds[0] + balance
+                candi = [g for g in sorted(common) if slots[g] < thr]
+                if candi:
+                    candidates, tier = candi, 0
+            if candidates is None and (left or right):
+                any_h = left | right
+                thr = bounds[1] + balance
+                candi = [g for g in sorted(any_h) if slots[g] < thr]
+                if candi:
+                    candidates, tier = candi, 1
+        if candidates is None:
+            thr = bounds[2] + balance
+            candi = [g for g in cluster.alive_ids() if slots[g] < thr]
+            candidates = candi if candi else cluster.alive_ids()
+
+        n = len(candidates)
+        if n == 1:
+            return candidates[0]
+        if n >= VECTOR_MIN_CANDIDATES:
+            cand = np.asarray(candidates, dtype=np.int64)
+            return self.cost_model.score_batch(
+                cand,
+                incoming_bytes_batch(pair, candidates, cluster),
+                cluster.free_bytes_batch(candidates),
+                cluster.compute_s[cand],
+                eviction_sensitive=self.eviction_sensitive,
+            )
+
+        pools = cluster.pools
+        compute = cluster.compute_s
+        free = [pools[g].free_bytes for g in candidates]
+        evict = False
+        if self.eviction_sensitive:
+            out_b = pair.out.nbytes
+            if tier == 0:
+                # Both inputs resident on every candidate.
+                for i in range(n):
+                    if out_b > free[i]:
+                        evict = True
+                        break
+            else:
+                two = ru != lu
+                l_nb = left_spec.nbytes
+                r_nb = right_spec.nbytes
+                for i, g in enumerate(candidates):
+                    inc = out_b
+                    if g not in left:
+                        inc += l_nb
+                    if two and g not in right:
+                        inc += r_nb
+                    if inc > free[i]:
+                        evict = True
+                        break
+        best = None
+        best_key = None
+        for i, g in enumerate(candidates):
+            key = (-free[i], compute[g], g) if evict else (compute[g], -free[i], g)
+            if best_key is None or key < best_key:
+                best, best_key = g, key
+        return best
 
     def reset_stats(self) -> None:
         self.pattern_counts = {p: 0 for p in ReusePattern}

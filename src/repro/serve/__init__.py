@@ -51,10 +51,12 @@ from repro.serve.arrivals import (
 )
 from repro.serve.autoscale import Autoscaler, AutoscalerConfig
 from repro.serve.health import (
+    AdaptiveHedgeDeadline,
     CircuitBreaker,
     HealthConfig,
     HealthMonitor,
     HedgePair,
+    LatencyWindow,
     ShardHealthState,
 )
 from repro.serve.queueing import (
@@ -78,6 +80,7 @@ from repro.serve.sharded import (
     ShardedServer,
     make_routing_policy,
 )
+from repro.serve.api import make_server, serve
 from repro.serve.slo import DroppedVector, LatencyReport, VectorLatency
 from repro.serve.tenancy import (
     SloTargets,
@@ -99,6 +102,8 @@ from repro.serve.timeline import (
 )
 
 __all__ = [
+    "serve",
+    "make_server",
     "ArrivalProcess",
     "PoissonArrivals",
     "BurstyArrivals",
@@ -140,6 +145,8 @@ __all__ = [
     "ShardHealthState",
     "CircuitBreaker",
     "HedgePair",
+    "AdaptiveHedgeDeadline",
+    "LatencyWindow",
     "ShardedServer",
     "GlobalScheduler",
     "NodeRuntime",

@@ -1,0 +1,133 @@
+"""Unified serving entry point: one ``serve()`` call for every mode.
+
+Historically each serving mode had its own front door — construct a
+:class:`~repro.serve.server.MiccoServer` for a single stream, a
+:class:`~repro.serve.server.MultiTenantServer` for a tenant roster, a
+:class:`~repro.serve.sharded.ShardedServer` for the two-level control
+plane — and call the matching ``run()`` overload.  :func:`serve`
+collapses that into one function that picks the server class from the
+:class:`~repro.serve.server.ServeConfig` alone:
+
+===========================  =========================================
+``ServeConfig`` state        dispatched server
+===========================  =========================================
+``sharded=True``             :class:`ShardedServer` (single-stream or
+                             tenant roster, per ``tenants``)
+``tenants`` non-empty        :class:`MultiTenantServer`
+otherwise                    :class:`MiccoServer`
+===========================  =========================================
+
+Direct construction of the server classes still works (the entire test
+surface exercises them) but emits a :class:`DeprecationWarning`;
+:func:`serve` and :func:`make_server` are the supported paths.
+
+Example
+-------
+>>> from repro.serve.api import serve
+>>> result = serve(
+...     ServeConfig(queue_capacity=32),
+...     vectors=vectors,
+...     arrivals=PoissonArrivals(200.0),
+...     seed=7,
+... )
+>>> result.summary()["p99_s"]
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MiccoConfig
+from repro.errors import ConfigurationError
+from repro.serve.server import (
+    MiccoServer,
+    MultiTenantServer,
+    ServeConfig,
+    ServeResult,
+    _api_construction,
+)
+from repro.serve.sharded import ShardedServer
+
+__all__ = ["make_server", "serve"]
+
+
+def make_server(
+    config: ServeConfig | None = None,
+    *,
+    cluster: MiccoConfig | None = None,
+    scheduler=None,
+    predictor=None,
+) -> MiccoServer:
+    """Instantiate the server class ``config`` calls for.
+
+    ``sharded=True`` selects :class:`ShardedServer`, a tenant roster
+    selects :class:`MultiTenantServer`, anything else the single-loop
+    :class:`MiccoServer`.  Unlike direct construction this path does
+    not emit a :class:`DeprecationWarning`.
+
+    Parameters
+    ----------
+    config:
+        Serving-layer configuration (defaults to ``ServeConfig()``).
+    cluster:
+        Cluster + cost-model configuration (defaults to
+        ``MiccoConfig()``).  Sharded mode needs a multi-node
+        :class:`~repro.gpusim.topology.Topology` on its cost model.
+    scheduler:
+        Pair→GPU scheduler (defaults to MICCO).
+    predictor:
+        Optional reuse-bound predictor, forwarded verbatim.
+    """
+    cfg = config if config is not None else ServeConfig()
+    if cfg.sharded:
+        cls = ShardedServer
+    elif cfg.tenants:
+        cls = MultiTenantServer
+    else:
+        cls = MiccoServer
+    with _api_construction():
+        return cls(scheduler, cluster, cfg, predictor)
+
+
+def serve(
+    config: ServeConfig | None = None,
+    *,
+    cluster: MiccoConfig | None = None,
+    scheduler=None,
+    predictor=None,
+    vectors=None,
+    arrivals=None,
+    seed=0,
+    faults=None,
+    reset: bool = True,
+) -> ServeResult:
+    """Run one serving simulation; the mode comes from ``config`` alone.
+
+    Single-stream modes take the request stream as ``vectors`` (a list
+    of :class:`~repro.tensor.spec.VectorSpec`) plus ``arrivals`` (an
+    :class:`~repro.serve.arrivals.ArrivalProcess` or explicit
+    timestamps).  When ``config.tenants`` is set the streams are drawn
+    from the tenant specs instead and ``vectors``/``arrivals`` must be
+    omitted.
+
+    ``seed`` drives every stochastic draw (arrivals, tenant workloads,
+    fault application order); identical arguments give byte-identical
+    :class:`~repro.serve.server.ServeResult` reports.  ``faults``
+    (a :class:`~repro.faults.plan.FaultPlan`) takes precedence over
+    ``config.faults``.
+    """
+    server = make_server(
+        config, cluster=cluster, scheduler=scheduler, predictor=predictor
+    )
+    cfg = server.serve_config
+    if cfg.tenants:
+        if vectors is not None or arrivals is not None:
+            raise ConfigurationError(
+                "ServeConfig.tenants is set: streams come from the tenant "
+                "specs, do not pass vectors/arrivals"
+            )
+        return server.run(seed=seed, reset=reset, faults=faults)
+    if vectors is None or arrivals is None:
+        raise ConfigurationError(
+            "single-stream serving needs vectors and arrivals "
+            "(or a ServeConfig.tenants roster)"
+        )
+    return server.run(vectors, arrivals, seed=seed, reset=reset, faults=faults)

@@ -37,6 +37,7 @@ so fixed-seed runs replay byte-for-byte.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, replace
 from enum import Enum
 
@@ -70,7 +71,27 @@ class HealthConfig:
         Enable hedged dispatch for tickets stuck on non-healthy shards.
     hedge_deadline_s:
         Queue age past which a ticket on a non-healthy shard is cloned
-        to the next-best shard.
+        to the next-best shard.  With ``adaptive_hedging`` off this is
+        the deadline; with it on, this fixed value stays as the
+        override/fallback used until a tenant's latency window has
+        ``hedge_min_samples`` observations.
+    adaptive_hedging:
+        Derive the hedge deadline from observed per-tenant completion
+        latencies instead of the fixed ``hedge_deadline_s``: each
+        tenant keeps a sliding window of its last ``hedge_window``
+        latencies and the deadline is ``hedge_multiplier`` times the
+        window's ``hedge_quantile`` quantile — so hedging fires when a
+        ticket has waited well past what this tenant's traffic
+        normally takes, wherever that happens to sit.
+    hedge_quantile:
+        Latency quantile the adaptive deadline is anchored to.
+    hedge_window:
+        Sliding-window capacity (latency observations per tenant).
+    hedge_multiplier:
+        Deadline = this multiple of the windowed quantile.
+    hedge_min_samples:
+        Observations a tenant's window needs before the adaptive
+        deadline replaces the fixed fallback.
     breaker_threshold:
         Consecutive full-queue rejections that open a shard's
         forwarding circuit breaker.
@@ -86,6 +107,11 @@ class HealthConfig:
     probation_beats: int = 3
     hedging: bool = False
     hedge_deadline_s: float = 0.05
+    adaptive_hedging: bool = False
+    hedge_quantile: float = 0.95
+    hedge_window: int = 64
+    hedge_multiplier: float = 2.0
+    hedge_min_samples: int = 8
     breaker_threshold: int = 3
     breaker_probe_interval_s: float = 0.05
 
@@ -113,6 +139,22 @@ class HealthConfig:
             raise ConfigurationError(
                 f"hedge_deadline_s must be > 0, got {self.hedge_deadline_s}"
             )
+        if not 0.0 < self.hedge_quantile <= 1.0:
+            raise ConfigurationError(
+                f"hedge_quantile must be in (0, 1], got {self.hedge_quantile}"
+            )
+        if self.hedge_window < 1:
+            raise ConfigurationError(
+                f"hedge_window must be >= 1, got {self.hedge_window}"
+            )
+        if self.hedge_multiplier <= 0:
+            raise ConfigurationError(
+                f"hedge_multiplier must be > 0, got {self.hedge_multiplier}"
+            )
+        if self.hedge_min_samples < 1:
+            raise ConfigurationError(
+                f"hedge_min_samples must be >= 1, got {self.hedge_min_samples}"
+            )
         if self.breaker_threshold < 1:
             raise ConfigurationError(
                 f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
@@ -136,6 +178,11 @@ class HealthConfig:
             "probation_beats": self.probation_beats,
             "hedging": self.hedging,
             "hedge_deadline_s": self.hedge_deadline_s,
+            "adaptive_hedging": self.adaptive_hedging,
+            "hedge_quantile": self.hedge_quantile,
+            "hedge_window": self.hedge_window,
+            "hedge_multiplier": self.hedge_multiplier,
+            "hedge_min_samples": self.hedge_min_samples,
             "breaker_threshold": self.breaker_threshold,
             "breaker_probe_interval_s": self.breaker_probe_interval_s,
         }
@@ -410,6 +457,77 @@ class HedgePair:
 
     def other(self, ticket) -> object:
         return self.clone if ticket is self.primary else self.primary
+
+
+class LatencyWindow:
+    """Sliding window of observed latencies with nearest-rank quantiles.
+
+    Bounded (``capacity`` most recent observations) and fully
+    deterministic: the quantile is the classic nearest-rank statistic
+    over a sorted copy of the window, so replays see identical values.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"window capacity must be >= 1, got {capacity}")
+        self._values: deque[float] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def observe(self, latency_s: float) -> None:
+        self._values.append(latency_s)
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank ``q``-quantile of the window (window non-empty)."""
+        if not self._values:
+            raise ConfigurationError("quantile of an empty window")
+        ordered = sorted(self._values)
+        # ceil(q*n) as int arithmetic; rank is 1-based, clamp to bounds.
+        n = len(ordered)
+        rank = -(-int(q * n * 10**9) // 10**9)  # ceil without float drift
+        return ordered[min(max(rank, 1), n) - 1]
+
+
+class AdaptiveHedgeDeadline:
+    """Per-tenant hedge deadlines from observed completion latencies.
+
+    The serving loop feeds every completion's latency into the owning
+    tenant's :class:`LatencyWindow`; :meth:`deadline_for` answers with
+    ``hedge_multiplier × quantile`` once the window holds
+    ``hedge_min_samples`` observations, and with the fixed
+    ``hedge_deadline_s`` fallback until then.  Single-stream runs (no
+    tenants) share one window under the ``None`` key.
+    """
+
+    def __init__(self, config: HealthConfig):
+        self.config = config
+        self._windows: dict[str | None, LatencyWindow] = {}
+
+    def observe(self, tenant: str | None, latency_s: float) -> None:
+        window = self._windows.get(tenant)
+        if window is None:
+            window = self._windows[tenant] = LatencyWindow(self.config.hedge_window)
+        window.observe(latency_s)
+
+    def deadline_for(self, tenant: str | None) -> float:
+        cfg = self.config
+        window = self._windows.get(tenant)
+        if window is None or len(window) < cfg.hedge_min_samples:
+            return cfg.hedge_deadline_s
+        return cfg.hedge_multiplier * window.quantile(cfg.hedge_quantile)
+
+    def summary(self) -> dict:
+        """Current per-tenant deadlines for the health report."""
+        return {
+            str(tenant): {
+                "samples": len(window),
+                "deadline_s": self.deadline_for(tenant),
+            }
+            for tenant, window in sorted(
+                self._windows.items(), key=lambda kv: str(kv[0])
+            )
+        }
 
 
 def hedge_shielded(ticket) -> bool:

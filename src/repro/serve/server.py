@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import itertools
 import json
+import warnings
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
@@ -40,7 +42,7 @@ from repro.gpusim.cluster import ClusterState
 from repro.gpusim.device import mi100_like
 from repro.gpusim.engine import ExecutionEngine
 from repro.gpusim.metrics import ExecutionMetrics
-from repro.gpusim.trace import TraceRecorder
+from repro.gpusim.trace import TraceConfig, TraceRecorder
 from repro.reporting import dump_json
 from repro.schedulers.base import Scheduler
 from repro.schedulers.batching import (
@@ -177,6 +179,13 @@ class ServeConfig:
         sharded control plane.  ``None`` (default) disables health
         inference — gray faults then go entirely unnoticed by the
         router.
+    trace:
+        Engine trace recording (:class:`~repro.gpusim.trace.TraceConfig`):
+        ``"report"`` (default, lazy report-derived Chrome traces, no
+        recorder), ``"full"`` / ``"sampling"`` (attach a recorder with
+        the matching sink — opts execution out of the trace-free fast
+        path), or ``"off"`` (no traces at all).  ``None`` means
+        ``"report"``.
     """
 
     queue_capacity: int = 64
@@ -198,6 +207,7 @@ class ServeConfig:
     sync_interval_s: float = 0.05
     routing: str = "least-loaded"
     health: HealthConfig | None = None
+    trace: TraceConfig | None = None
 
     def __post_init__(self):
         if self.queue_capacity <= 0:
@@ -253,6 +263,10 @@ class ServeConfig:
             raise ConfigurationError(
                 f"health must be a HealthConfig or None, got {self.health!r}"
             )
+        if self.trace is not None and not isinstance(self.trace, TraceConfig):
+            raise ConfigurationError(
+                f"trace must be a TraceConfig or None, got {self.trace!r}"
+            )
         object.__setattr__(self, "tenants", tuple(self.tenants))
         for t in self.tenants:
             if not isinstance(t, TenantSpec):
@@ -272,9 +286,11 @@ class ServeConfig:
     #: (``max_batch_vectors``/``batch_memory_frac``); version 4 added
     #: the sharded-control-plane knobs (``sharded``/``sync_interval_s``/
     #: ``routing``); version 5 added the ``health`` block (heartbeat
-    #: health tracking, circuit breakers, hedged dispatch).  Older files
-    #: still load with the later versions' knobs at their defaults.
-    CONFIG_VERSION = 5
+    #: health tracking, circuit breakers, hedged dispatch); version 6
+    #: added the ``trace`` block (engine trace sink selection).  Older
+    #: files still load with the later versions' knobs at their
+    #: defaults.
+    CONFIG_VERSION = 6
 
     # ------------------------------------------------------------ persistence
     def to_dict(self) -> dict:
@@ -299,6 +315,7 @@ class ServeConfig:
             "sync_interval_s": self.sync_interval_s,
             "routing": self.routing,
             "health": self.health.to_dict() if self.health else None,
+            "trace": self.trace.to_dict() if self.trace else None,
         }
 
     @classmethod
@@ -306,9 +323,9 @@ class ServeConfig:
         if not isinstance(d, dict):
             raise ConfigurationError(f"serve config must be a JSON object, got {d!r}")
         version = d.get("version", cls.CONFIG_VERSION)
-        if version not in (1, 2, 3, 4, 5):
+        if version not in (1, 2, 3, 4, 5, 6):
             raise ConfigurationError(
-                f"unsupported serve config version {version!r}; this build reads 1 through 5"
+                f"unsupported serve config version {version!r}; this build reads 1 through 6"
             )
         known = {
             "queue_capacity", "queue_policy", "max_inflight",
@@ -322,6 +339,7 @@ class ServeConfig:
         v3_keys = {"max_batch_vectors", "batch_memory_frac"}
         v4_keys = {"sharded", "sync_interval_s", "routing"}
         v5_keys = {"health"}
+        v6_keys = {"trace"}
         if version >= 2:
             known |= v2_keys
         if version >= 3:
@@ -330,6 +348,8 @@ class ServeConfig:
             known |= v4_keys
         if version >= 5:
             known |= v5_keys
+        if version >= 6:
+            known |= v6_keys
         unknown = set(d) - known
         if unknown:
             raise ConfigurationError(f"unknown serve config keys: {sorted(unknown)}")
@@ -352,6 +372,8 @@ class ServeConfig:
             kwargs["faults"] = FaultPlan.from_dicts(d["faults"])
         if d.get("health"):
             kwargs["health"] = HealthConfig.from_dict(d["health"])
+        if d.get("trace"):
+            kwargs["trace"] = TraceConfig.from_dict(d["trace"])
         return cls(**kwargs)
 
     def to_json(self, path: str | Path) -> None:
@@ -403,6 +425,11 @@ class ServeResult:
     #: Timeline events processed by the serving loop (control-plane
     #: work, the denominator of the events/sec benchmark figure).
     events_processed: int = 0
+    #: Engine-level event recorder for the run; populated only when
+    #: :attr:`ServeConfig.trace` selects ``"full"`` or ``"sampling"``.
+    engine_trace: TraceRecorder | None = None
+    #: Trace mode the run was configured with (``TraceConfig.mode``).
+    trace_mode: str = "report"
 
     @property
     def p99(self) -> float:
@@ -474,7 +501,15 @@ class ServeResult:
         hedge / breaker events on a per-node lane block far below both
         (``-(100_000 + node)``), so none of them collide with the
         per-vector lanes (vector ids are non-negative).
+
+        With :attr:`trace_mode` ``"off"`` an empty recorder is returned
+        (nothing is rendered).  Engine-level device events, when
+        recorded, stay on :attr:`engine_trace` — their device lanes use
+        the same ids as the vector lanes, so they are deliberately not
+        merged here.
         """
+        if self.trace_mode == "off":
+            return TraceRecorder()
         trace = self.report.to_trace()
         for rnd in self.rounds:
             if len(rnd["members"]) < 2:
@@ -513,6 +548,23 @@ class ServeResult:
         return trace
 
 
+# Depth counter for the supported construction path: while positive,
+# server __init__ skips the direct-construction DeprecationWarning.
+# ``repro.serve.api`` wraps every instantiation in ``_api_construction``.
+_api_depth = 0
+
+
+@contextmanager
+def _api_construction():
+    """Mark server construction as coming through ``repro.serve.api``."""
+    global _api_depth
+    _api_depth += 1
+    try:
+        yield
+    finally:
+        _api_depth -= 1
+
+
 class MiccoServer:
     """An online serving instance: one scheduler on one simulated node.
 
@@ -537,6 +589,14 @@ class MiccoServer:
         serve: ServeConfig | None = None,
         predictor=None,
     ):
+        if not _api_depth:
+            warnings.warn(
+                f"constructing {type(self).__name__} directly is deprecated; "
+                "use repro.serve.api.serve() (or make_server()) which picks "
+                "the server class from the ServeConfig",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.config = config or MiccoConfig()
         self.serve_config = serve or ServeConfig()
         self.scheduler = scheduler if scheduler is not None else MiccoScheduler()
@@ -623,7 +683,10 @@ class MiccoServer:
         report = LatencyReport()
         tracker = CharacteristicsTracker()
         total = ExecutionMetrics(num_devices=self.cluster.num_devices)
-        busy_until = np.zeros(self.cluster.num_devices)
+        # Slot-indexed device horizons live on the cluster (shared with
+        # introspection/benchmarks); each serve pass starts them fresh.
+        busy_until = self.cluster.busy_until
+        busy_until.fill(0.0)
         inflight = 0
         wants_bounds = self.predictor is not None and hasattr(self.scheduler, "set_bounds")
         # Arming validates every plan event's device id against this
@@ -719,6 +782,16 @@ class MiccoServer:
             report.add_drop(ticket, reason="fault-abandoned")
             settle(ticket, now)
 
+        # Config-selected engine tracing: "full"/"sampling" attach a
+        # recorder for the run (routing execution through the traced
+        # path); "report"/"off"/None leave the engine trace-free.
+        trace_mode = cfg.trace.mode if cfg.trace is not None else "report"
+        recorder = cfg.trace.make_sink() if cfg.trace is not None else None
+        if recorder is not None:
+            recorder = TraceRecorder(recorder)
+        prev_trace = self.engine.trace
+        if recorder is not None:
+            self.engine.trace = recorder
         self.engine.injector = injector
         self.cluster.journal = journal
         try:
@@ -840,6 +913,7 @@ class MiccoServer:
                     self._restore_device(event.device, now, busy_until, injector)
         finally:
             self.engine.injector = None
+            self.engine.trace = prev_trace
             self.cluster.journal = None
 
         fault_summary = None
@@ -861,6 +935,8 @@ class MiccoServer:
             journal=journal.summary() if journal is not None else None,
             rounds=rounds_log,
             events_processed=events_processed,
+            engine_trace=recorder,
+            trace_mode=trace_mode,
         )
 
     def _pop_round(self, queue: AdmissionQueue, now: float = 0.0) -> list[Ticket]:
@@ -882,9 +958,18 @@ class MiccoServer:
         if cfg.max_batch_vectors <= 1:
             nxt = queue.pop()
             return [nxt] if nxt is not None else []
-        budget = cfg.batch_memory_frac * sum(
-            self.cluster.devices[d].memory_bytes for d in self.cluster.alive_ids()
-        )
+        # ``alive_ids`` returns the same cached list object until the
+        # alive set changes, so its identity keys the budget cache —
+        # steady-state rounds skip the per-device memory sum.
+        alive = self.cluster.alive_ids()
+        cache = getattr(self, "_budget_cache", None)
+        if cache is not None and cache[0] is alive:
+            budget = cache[1]
+        else:
+            budget = cfg.batch_memory_frac * sum(
+                self.cluster.devices[d].memory_bytes for d in alive
+            )
+            self._budget_cache = (alive, budget)
         return queue.pop_batch(cfg.max_batch_vectors, accept=self._batch_accept(budget, now))
 
     def _batch_accept(self, budget: float, now: float):
@@ -900,19 +985,67 @@ class MiccoServer:
         assemblers.
         """
         latency_per_pair = self.serve_config.schedule_latency_per_pair_s
+        # One closure per round: the head's shape key and the accepted
+        # members' footprint/deadline state accumulate incrementally
+        # instead of being recomputed from scratch per candidate
+        # (members only ever grow within one ``pop_batch`` call).  The
+        # totals are integer-exact sums, so they match the from-scratch
+        # computation term for term.
+        head_key = None
+        seen: dict[int, int] = {}
+        in_bytes = 0
+        out_bytes = 0
+        pairs_cov = 0
+        covered = 0
+        min_deadline: float | None = None
 
         def accept(members: list[Ticket], candidate: Ticket) -> bool:
-            if batch_shape_key(candidate.vector) != batch_shape_key(members[0].vector):
+            nonlocal head_key, in_bytes, out_bytes, pairs_cov, covered, min_deadline
+            if head_key is None:
+                head_key = batch_shape_key(members[0].vector)
+            if batch_shape_key(candidate.vector) != head_key:
                 return False
-            vectors = [t.vector for t in members] + [candidate.vector]
-            if batch_footprint_bytes(vectors) > budget:
+            while covered < len(members):
+                t = members[covered]
+                covered += 1
+                for p in t.vector.pairs:
+                    lu = p.left.uid
+                    if lu not in seen:
+                        seen[lu] = 1
+                        in_bytes += p.left.nbytes
+                    ru = p.right.uid
+                    if ru not in seen:
+                        seen[ru] = 1
+                        in_bytes += p.right.nbytes
+                    out_bytes += p.out.nbytes
+                pairs_cov += len(t.vector.pairs)
+                dl = t.deadline_s
+                if dl is not None and (min_deadline is None or dl < min_deadline):
+                    min_deadline = dl
+            cv = candidate.vector
+            add = 0
+            c_out = 0
+            c_seen: set[int] = set()
+            for p in cv.pairs:
+                lu = p.left.uid
+                if lu not in seen and lu not in c_seen:
+                    c_seen.add(lu)
+                    add += p.left.nbytes
+                ru = p.right.uid
+                if ru not in seen and ru not in c_seen:
+                    c_seen.add(ru)
+                    add += p.right.nbytes
+                c_out += p.out.nbytes
+            if in_bytes + add + out_bytes + c_out > budget:
                 return False
-            deadlines = [
-                t.deadline_s for t in (*members, candidate) if t.deadline_s is not None
-            ]
-            if deadlines:
-                pairs = sum(len(v.pairs) for v in vectors)
-                if now + latency_per_pair * pairs > min(deadlines):
+            c_dl = candidate.deadline_s
+            if min_deadline is not None or c_dl is not None:
+                worst = (
+                    min_deadline
+                    if c_dl is None
+                    else (c_dl if min_deadline is None else min(min_deadline, c_dl))
+                )
+                if now + latency_per_pair * (pairs_cov + len(cv.pairs)) > worst:
                     return False
             return True
 
@@ -1415,17 +1548,24 @@ class MiccoServer:
         self, vector: VectorSpec, tracker: CharacteristicsTracker, wants_bounds: bool
     ) -> tuple[ExecutionMetrics, list[int]]:
         """One vector through the batch machinery; returns its metrics."""
-        chars = tracker.observe(vector)
         if wants_bounds:
+            # The tracker's running reuse statistics only feed the
+            # bounds predictor, so without one the observation (an
+            # O(pairs) uid scan per round) is skipped entirely.
+            chars = tracker.observe(vector)
             self.scheduler.set_bounds(self.predictor.predict_bounds(chars))
-        self.cluster.begin_vector(vector.num_tensors)
-        self.scheduler.begin_vector(vector, self.cluster)
-        vec_metrics = ExecutionMetrics(num_devices=self.cluster.num_devices)
+        cluster = self.cluster
+        cluster.begin_vector(vector.num_tensors)
+        self.scheduler.begin_vector(vector, cluster)
+        vec_metrics = ExecutionMetrics(num_devices=cluster.num_devices)
         assignment: list[int] = []
+        choose = self.scheduler.choose
+        execute = self.engine.pair_runner()
+        append = assignment.append
         for pair in vector.pairs:
-            dev = self.scheduler.choose(pair, self.cluster)
-            self.engine.execute_pair(pair, dev, vec_metrics)
-            assignment.append(dev)
+            dev = choose(pair, cluster)
+            execute(pair, dev, vec_metrics)
+            append(dev)
         if not self.config.keep_outputs:
             self.engine.drain_outputs(vector, assignment, vec_metrics)
         return vec_metrics, assignment

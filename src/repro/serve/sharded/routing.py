@@ -20,11 +20,55 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ConfigurationError
+from repro.gpusim.costmodel import lex_argmin
 
 #: Routing policy names accepted by ``ServeConfig.routing`` and
 #: ``micco serve --routing``.
 ROUTING_POLICIES = ("least-loaded", "residency-affinity", "threshold-local")
+
+#: Below this many candidate shards a plain tuple-key ``min`` beats the
+#: numpy path (same crossover logic as the schedulers' candidate scan).
+VECTOR_MIN_SHARDS = 12
+
+
+def rank_shards(snapshots: list[ShardSnapshot], overlap: list[int] | None = None) -> int:
+    """Winning node id under the shared lexicographic digest ranking.
+
+    The key is ``(suspect, [-overlap,] linkless, backlog, node)`` —
+    healthy before suspect, largest residency overlap first when given,
+    well-linked before degraded, smallest backlog, lowest node id.  With
+    many shards the key columns are scored in one
+    :func:`~repro.gpusim.costmodel.lex_argmin` call over parallel
+    arrays; the small-fleet path is an ordinary tuple ``min``.  Both
+    compare the same integer values, so the pick is identical.
+    """
+    n = len(snapshots)
+    if n >= VECTOR_MIN_SHARDS:
+        keys = [np.fromiter((s.suspect for s in snapshots), dtype=np.int64, count=n)]
+        if overlap is not None:
+            keys.append(-np.asarray(overlap, dtype=np.int64))
+        keys.append(np.fromiter((s.linkless for s in snapshots), dtype=np.int64, count=n))
+        keys.append(np.fromiter((s.backlog for s in snapshots), dtype=np.int64, count=n))
+        keys.append(np.fromiter((s.node for s in snapshots), dtype=np.int64, count=n))
+        return snapshots[lex_argmin(*keys)].node
+    if overlap is None:
+        return min(
+            snapshots, key=lambda s: (s.suspect, s.linkless, s.backlog, s.node)
+        ).node
+    best = min(
+        range(n),
+        key=lambda i: (
+            snapshots[i].suspect,
+            -overlap[i],
+            snapshots[i].linkless,
+            snapshots[i].backlog,
+            snapshots[i].node,
+        ),
+    )
+    return snapshots[best].node
 
 
 @dataclass(frozen=True)
@@ -91,9 +135,7 @@ class LeastLoaded(RoutingPolicy):
     name = "least-loaded"
 
     def choose(self, vector, snapshots: list[ShardSnapshot]) -> int:
-        return min(
-            snapshots, key=lambda s: (s.suspect, s.linkless, s.backlog, s.node)
-        ).node
+        return rank_shards(snapshots)
 
 
 class ResidencyAffinity(RoutingPolicy):
@@ -113,13 +155,11 @@ class ResidencyAffinity(RoutingPolicy):
             for spec in pair.inputs:
                 uids.setdefault(spec.uid, spec.nbytes)
 
-        def overlap(snap: ShardSnapshot) -> int:
-            return sum(nbytes for uid, nbytes in uids.items() if uid in snap.residency)
-
-        return min(
-            snapshots,
-            key=lambda s: (s.suspect, -overlap(s), s.linkless, s.backlog, s.node),
-        ).node
+        overlap = [
+            sum(nbytes for uid, nbytes in uids.items() if uid in snap.residency)
+            for snap in snapshots
+        ]
+        return rank_shards(snapshots, overlap)
 
 
 class ThresholdLocal(RoutingPolicy):
@@ -144,9 +184,7 @@ class ThresholdLocal(RoutingPolicy):
         home = ordered[vector.vector_id % len(ordered)]
         if not home.suspect and not home.linkless and home.backlog <= self.threshold:
             return home.node
-        return min(
-            snapshots, key=lambda s: (s.suspect, s.linkless, s.backlog, s.node)
-        ).node
+        return rank_shards(snapshots)
 
     def __repr__(self):
         return f"ThresholdLocal(threshold={self.threshold})"

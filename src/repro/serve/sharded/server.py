@@ -50,6 +50,7 @@ from repro.schedulers.batching import merge_vectors, split_assignment
 from repro.serve.arrivals import ArrivalProcess, TraceArrivals
 from repro.serve.autoscale import Autoscaler
 from repro.serve.health import (
+    AdaptiveHedgeDeadline,
     CircuitBreaker,
     HealthMonitor,
     HedgePair,
@@ -364,6 +365,11 @@ class ShardedServer(MiccoServer):
             "unplaced": 0,
         }
         health_events: list[dict] = []
+        hedger = (
+            AdaptiveHedgeDeadline(hcfg)
+            if hcfg is not None and hcfg.hedging and hcfg.adaptive_hedging
+            else None
+        )
         if hcfg is not None:
             monitor = HealthMonitor(shards.keys(), hcfg)
             router.monitor = monitor
@@ -896,6 +902,8 @@ class ShardedServer(MiccoServer):
                         continue
                     ticket.complete_s = now
                     rec = report.add_completion(ticket)
+                    if hedger is not None:
+                        hedger.observe(ticket.tenant, rec.latency_s)
                     owner = shards.get(ticket.shard)
                     if owner is not None and owner.scaler is not None:
                         owner.scaler.observe_completion(now, rec.latency_s)
@@ -1001,7 +1009,12 @@ class ShardedServer(MiccoServer):
                             for t in shard.queue.tickets():
                                 if t.cancelled or t.hedge is not None:
                                     continue
-                                if now - t.arrival_s < hcfg.hedge_deadline_s:
+                                deadline = (
+                                    hedger.deadline_for(t.tenant)
+                                    if hedger is not None
+                                    else hcfg.hedge_deadline_s
+                                )
+                                if now - t.arrival_s < deadline:
                                     continue
                                 clone = Ticket(
                                     vector=t.vector,
@@ -1104,6 +1117,9 @@ class ShardedServer(MiccoServer):
             health_summary = {
                 **monitor.summary(),
                 "hedges": dict(hstats),
+                "adaptive_deadlines": (
+                    hedger.summary() if hedger is not None else None
+                ),
                 "breakers": {
                     "states": {str(n): breakers[n].state for n in sorted(breakers)},
                     "opens": sum(b.opens for b in breakers.values()),
@@ -1164,8 +1180,10 @@ class ShardedServer(MiccoServer):
         self, vector: VectorSpec, shard: NodeRuntime, wants_bounds: bool
     ) -> tuple[ExecutionMetrics, list[int]]:
         """One merged round through the shard's scheduler and view."""
-        chars = shard.tracker.observe(vector)
+        # Characteristics tracking is only needed to feed the predictor;
+        # skip the per-vector observation sweep when no one consumes it.
         if wants_bounds:
+            chars = shard.tracker.observe(vector)
             shard.scheduler.set_bounds(self.predictor.predict_bounds(chars))
         shard.view.begin_vector(vector.num_tensors)
         shard.scheduler.begin_vector(vector, shard.view)

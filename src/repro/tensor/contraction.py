@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.tensor.spec import TensorSpec, next_uid
+from repro.tensor.spec import TensorSpec, _spec_unchecked, next_uid
 
 
 def output_rank(left_rank: int, right_rank: int) -> int:
@@ -35,13 +35,15 @@ def output_spec(left: TensorSpec, right: TensorSpec, label: str = "") -> TensorS
     """Derive the output tensor spec for contracting ``left`` × ``right``."""
     if left.size != right.size or left.batch != right.batch:
         raise ConfigurationError("contraction operands must share size and batch")
-    return TensorSpec(
-        uid=next_uid(),
-        size=left.size,
-        batch=left.batch,
-        rank=output_rank(left.rank, right.rank),
-        dtype_bytes=left.dtype_bytes,
-        label=label or f"({left.label}*{right.label})",
+    # Operand fields already passed validation, so the unchecked spec
+    # builder is safe (hot: one output per generated pair).
+    return _spec_unchecked(
+        next_uid(),
+        left.size,
+        left.batch,
+        output_rank(left.rank, right.rank),
+        left.dtype_bytes,
+        label or f"({left.label}*{right.label})",
     )
 
 

@@ -26,9 +26,13 @@ _uid_counter = itertools.count()
 
 
 def next_uid() -> int:
-    """Return a process-unique tensor id (thread-safe, monotonic)."""
-    with _uid_lock:
-        return next(_uid_counter)
+    """Return a process-unique tensor id (thread-safe, monotonic).
+
+    ``itertools.count.__next__`` is a single C-level step, so it is
+    atomic under the GIL — no lock needed on this hot path.  The lock
+    only guards the counter *swap* in :func:`reset_uid_counter`.
+    """
+    return next(_uid_counter)
 
 
 def reset_uid_counter() -> None:
@@ -38,7 +42,7 @@ def reset_uid_counter() -> None:
         _uid_counter = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TensorSpec:
     """Metadata for one batched hadron tensor.
 
@@ -67,6 +71,11 @@ class TensorSpec:
     rank: int = 2
     dtype_bytes: int = COMPLEX64_BYTES
     label: str = ""
+    #: Total element count including the batch dimension (derived,
+    #: computed once — these sit on the scheduler's hottest paths).
+    elements: int = field(init=False, repr=False, compare=False)
+    #: Device memory footprint in bytes (derived, computed once).
+    nbytes: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
         if self.size <= 0:
@@ -77,16 +86,10 @@ class TensorSpec:
             raise ConfigurationError(f"tensor rank must be 2 (meson) or 3 (baryon), got {self.rank}")
         if self.dtype_bytes <= 0:
             raise ConfigurationError(f"dtype_bytes must be > 0, got {self.dtype_bytes}")
-
-    @property
-    def elements(self) -> int:
-        """Total element count including the batch dimension."""
-        return self.batch * self.size**self.rank
-
-    @property
-    def nbytes(self) -> int:
-        """Device memory footprint in bytes."""
-        return self.elements * self.dtype_bytes
+        size = self.size
+        dim = size * size if self.rank == 2 else size * size * size
+        object.__setattr__(self, "elements", self.batch * dim)
+        object.__setattr__(self, "nbytes", self.elements * self.dtype_bytes)
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -96,19 +99,46 @@ class TensorSpec:
     def derived(self, *, rank: int | None = None, label: str = "") -> "TensorSpec":
         """A fresh tensor spec with the same size/batch but a new uid.
 
-        Used for contraction outputs.
+        Used for contraction outputs.  ``self`` already passed
+        validation, so the copy skips it.
         """
-        return TensorSpec(
-            uid=next_uid(),
-            size=self.size,
-            batch=self.batch,
-            rank=self.rank if rank is None else rank,
-            dtype_bytes=self.dtype_bytes,
-            label=label,
+        return _spec_unchecked(
+            next_uid(),
+            self.size,
+            self.batch,
+            self.rank if rank is None else rank,
+            self.dtype_bytes,
+            label,
         )
 
 
-@dataclass(frozen=True)
+def _spec_unchecked(
+    uid: int, size: int, batch: int, rank: int, dtype_bytes: int, label: str
+) -> TensorSpec:
+    """Build a :class:`TensorSpec` bypassing ``__init__`` validation.
+
+    Stream generation constructs tens of thousands of specs whose
+    fields were already validated upstream (workload params, an
+    existing spec); re-running the dataclass ``__init__`` +
+    ``__post_init__`` checks roughly doubles construction cost.
+    Callers MUST guarantee the arguments satisfy the class invariants.
+    """
+    self = TensorSpec.__new__(TensorSpec)
+    _set = object.__setattr__
+    _set(self, "uid", uid)
+    _set(self, "size", size)
+    _set(self, "batch", batch)
+    _set(self, "rank", rank)
+    _set(self, "dtype_bytes", dtype_bytes)
+    _set(self, "label", label)
+    dim = size * size if rank == 2 else size * size * size
+    elements = batch * dim
+    _set(self, "elements", elements)
+    _set(self, "nbytes", elements * dtype_bytes)
+    return self
+
+
+@dataclass(frozen=True, slots=True)
 class TensorPair:
     """One hadron contraction: two input tensors and one output.
 
@@ -141,9 +171,27 @@ class TensorPair:
     @classmethod
     def make(cls, left: TensorSpec, right: TensorSpec, label: str = "") -> "TensorPair":
         """Build a pair, deriving the output spec from the inputs."""
-        from repro.tensor.contraction import output_spec
+        global _output_spec
+        if _output_spec is None:
+            # Deferred to dodge the spec↔contraction import cycle, but
+            # resolved exactly once (``make`` sits on the stream-
+            # generation hot path).
+            from repro.tensor.contraction import output_spec as _os
 
-        return cls(left=left, right=right, out=output_spec(left, right, label=label))
+            _output_spec = _os
+        # output_spec rejects size/batch mismatches before the pair is
+        # assembled, so the dataclass re-validation can be skipped.
+        out = _output_spec(left, right, label=label)
+        pair = cls.__new__(cls)
+        _set = object.__setattr__
+        _set(pair, "left", left)
+        _set(pair, "right", right)
+        _set(pair, "out", out)
+        return pair
+
+
+#: Cache for :func:`repro.tensor.contraction.output_spec` (import cycle).
+_output_spec = None
 
 
 @dataclass

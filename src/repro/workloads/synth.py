@@ -14,8 +14,9 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import compat
 from repro.errors import WorkloadError
-from repro.tensor.spec import TensorPair, TensorSpec, VectorSpec, next_uid
+from repro.tensor.spec import TensorPair, TensorSpec, VectorSpec, _spec_unchecked, next_uid
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_fraction, check_in, check_positive
 from repro.workloads.distributions import make_picker
@@ -64,6 +65,7 @@ class WorkloadParams:
         check_positive("num_vectors", self.num_vectors)
         check_positive("batch", self.batch)
         check_in("rank", self.rank, (2, 3))
+        check_positive("dtype_bytes", self.dtype_bytes)
 
     def with_(self, **kwargs) -> "WorkloadParams":
         """Copy with overrides — convenient for experiment sweeps."""
@@ -90,38 +92,50 @@ class SyntheticWorkload:
         self._emitted = 0
 
     def _new_tensor(self) -> TensorSpec:
+        # Params are validated at WorkloadParams construction, so the
+        # unchecked spec builder is safe here (hot: one per fresh slot).
         p = self.params
-        return TensorSpec(
-            uid=next_uid(),
-            size=p.tensor_size,
-            batch=p.batch,
-            rank=p.rank,
-            dtype_bytes=p.dtype_bytes,
-            label=f"t{len(self.pool)}",
+        return _spec_unchecked(
+            next_uid(),
+            p.tensor_size,
+            p.batch,
+            p.rank,
+            p.dtype_bytes,
+            f"t{len(self.pool)}",
         )
 
     def next_vector(self) -> VectorSpec:
         """Generate the next vector in the stream."""
         p = self.params
-        seen_before = {t.uid for t in self.pool}
         n_slots = p.vector_size
         n_repeat = int(round(p.repeated_rate * n_slots)) if self.pool else 0
         n_new = n_slots - n_repeat
+        if compat.REFERENCE_CORE:
+            seen_before = {t.uid for t in self.pool}
 
         slots: list[TensorSpec] = []
         if n_repeat:
-            idx = self._picker.pick(len(self.pool), n_repeat, self._rng)
+            # .tolist() converts the drawn indices to Python ints once —
+            # list indexing by numpy scalars pays __index__ per lookup.
+            idx = self._picker.pick(len(self.pool), n_repeat, self._rng).tolist()
             slots.extend(self.pool[i] for i in idx)
         for _ in range(n_new):
             t = self._new_tensor()
             self.pool.append(t)
             slots.append(t)
 
-        order = self._rng.permutation(n_slots)
+        order = self._rng.permutation(n_slots).tolist()
         slots = [slots[i] for i in order]
         pairs = [TensorPair.make(slots[2 * i], slots[2 * i + 1]) for i in range(n_slots // 2)]
 
-        measured_rate = sum(1 for s in slots if s.uid in seen_before) / n_slots
+        if compat.REFERENCE_CORE:
+            measured_rate = sum(1 for s in slots if s.uid in seen_before) / n_slots
+        else:
+            # Every repeated slot comes from the pool (seen before this
+            # call) and every fresh tensor has a brand-new uid, so the
+            # measured rate is exactly n_repeat / n_slots — same float,
+            # without the O(pool) membership scan per vector.
+            measured_rate = n_repeat / n_slots
         vec = VectorSpec(
             pairs=pairs,
             vector_id=self._emitted,

@@ -1,0 +1,121 @@
+"""Golden-report equivalence: vectorized core vs the reference core.
+
+The vectorized simulator core (numpy batch scoring, fused candidate
+scans, lazy eviction bookkeeping, columnar traces) must produce
+*byte-identical* results to the original object-at-a-time code paths
+kept behind ``repro.compat.REFERENCE_CORE``.  Each test here runs the
+same fixed-seed workload through both cores and diffs the fully
+serialized artifacts — the latency-report JSON and the rendered Chrome
+trace — across every serving mode.
+"""
+
+import json
+
+import pytest
+
+from repro import compat
+from repro.core.config import MiccoConfig
+from repro.gpusim import CostModel, Topology
+from repro.gpusim.device import GIB
+from repro.schedulers.bounds import ReuseBounds
+from repro.schedulers.micco import MiccoScheduler
+from repro.serve import PoissonArrivals, ServeConfig, TenantSpec, serve
+from repro.workloads import SyntheticWorkload, WorkloadParams
+
+MIB = 1024**2
+SEED = 11
+
+
+def stream(n=24, seed=3):
+    params = WorkloadParams(
+        vector_size=8, tensor_size=64, repeated_rate=0.6, num_vectors=n, batch=2
+    )
+    return SyntheticWorkload(params, seed=seed).vectors()
+
+
+def tenant_roster():
+    spec = WorkloadParams(vector_size=8, tensor_size=64, num_vectors=12, batch=2)
+    return (
+        TenantSpec("heavy", PoissonArrivals(8_000.0), spec, weight=3.0),
+        TenantSpec("light", PoissonArrivals(4_000.0), spec, weight=1.0),
+    )
+
+
+def run_mode(mode: str):
+    """One fixed-seed serving run in ``mode`` under the active core."""
+    if mode == "single":
+        cfg = ServeConfig(queue_capacity=16)
+        cluster = MiccoConfig(num_devices=4, memory_bytes=64 * MIB)
+        return serve(
+            cfg, cluster=cluster,
+            scheduler=MiccoScheduler(ReuseBounds(0, 4, 0)),
+            vectors=stream(), arrivals=PoissonArrivals(4_000.0), seed=SEED,
+        )
+    if mode == "tenants":
+        cfg = ServeConfig(queue_capacity=32, tenants=tenant_roster())
+        cluster = MiccoConfig(num_devices=4, memory_bytes=2 * GIB)
+        return serve(cfg, cluster=cluster, seed=SEED)
+    if mode == "batched":
+        cfg = ServeConfig(
+            queue_capacity=32, tenants=tenant_roster(),
+            max_batch_vectors=4, schedule_latency_per_pair_s=1e-4,
+        )
+        cluster = MiccoConfig(num_devices=4, memory_bytes=2 * GIB)
+        return serve(cfg, cluster=cluster, seed=SEED)
+    if mode == "sharded":
+        topo = Topology(num_devices=8, devices_per_node=4)
+        cluster = MiccoConfig(
+            num_devices=8, memory_bytes=64 * MIB,
+            cost_model=CostModel(topology=topo),
+        )
+        cfg = ServeConfig(sharded=True, routing="residency-affinity")
+        return serve(
+            cfg, cluster=cluster,
+            scheduler=MiccoScheduler(ReuseBounds(0, 4, 0)),
+            vectors=stream(), arrivals=PoissonArrivals(4_000.0), seed=SEED,
+        )
+    raise AssertionError(mode)
+
+
+def artifacts(result, tmp_path, tag):
+    """The two serialized artifacts the equivalence is defined over."""
+    report_path = tmp_path / f"{tag}_report.json"
+    result.to_json(report_path)
+    trace_path = tmp_path / f"{tag}_trace.json"
+    result.to_trace().save_chrome_trace(trace_path)
+    return report_path.read_bytes(), trace_path.read_bytes()
+
+
+MODES = ("single", "tenants", "batched", "sharded")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_reports_and_traces_byte_identical(mode, tmp_path):
+    fast = run_mode(mode)
+    with compat.reference_core():
+        ref = run_mode(mode)
+    assert not compat.REFERENCE_CORE  # context restored
+
+    fast_report, fast_trace = artifacts(fast, tmp_path, f"{mode}_fast")
+    ref_report, ref_trace = artifacts(ref, tmp_path, f"{mode}_ref")
+    assert fast_report == ref_report
+    assert fast_trace == ref_trace
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_summaries_identical(mode):
+    fast = run_mode(mode)
+    with compat.reference_core():
+        ref = run_mode(mode)
+    assert json.dumps(fast.summary(), sort_keys=True) == json.dumps(
+        ref.summary(), sort_keys=True
+    )
+
+
+def test_reference_core_flag_actually_switches_paths():
+    """Guard against the switch silently becoming a no-op."""
+    scheduler = MiccoScheduler(ReuseBounds(0, 4, 0))
+    assert type(scheduler).choose is not None
+    with compat.reference_core():
+        assert compat.REFERENCE_CORE
+    assert not compat.REFERENCE_CORE

@@ -4,9 +4,17 @@ import json
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.engine import ExecutionEngine
-from repro.gpusim.trace import TraceRecorder
+from repro.gpusim.trace import (
+    FullSink,
+    NullSink,
+    SamplingSink,
+    TraceConfig,
+    TraceRecorder,
+    TraceSink,
+)
 from tests.conftest import make_cluster, make_vector
 
 
@@ -127,3 +135,88 @@ class TestEventOrdering:
         chrome = trace.to_chrome_trace()
         assert [r["kind"] for r in records] == [e.kind for e in trace.events]
         assert [c["ts"] for c in chrome] == [e.start_s * 1e6 for e in trace.events]
+
+
+class TestSinks:
+    def test_full_sink_is_default(self):
+        tr = TraceRecorder()
+        assert isinstance(tr.sink, FullSink)
+        assert tr.sink.keep("kernel", 0)
+
+    def test_null_sink_keeps_nothing_but_advances_clock(self):
+        tr = TraceRecorder(NullSink())
+        tr.record("alloc", 0, 1.0)
+        tr.record("kernel", 0, 2.0)
+        assert len(tr) == 0
+        # Clock bookkeeping is independent of what is kept: the next
+        # kept event (after a sink swap) starts where the run left off.
+        tr.sink = FullSink()
+        tr.record("kernel", 0, 1.0)
+        assert tr.events[0].start_s == pytest.approx(3.0)
+
+    def test_sampling_sink_deterministic_thinning(self):
+        tr = TraceRecorder(SamplingSink(stride=3))
+        for _ in range(9):
+            tr.record("kernel", 0, 1.0)
+        assert len(tr) == 3
+        assert [e.start_s for e in tr.events] == [0.0, 3.0, 6.0]
+
+    def test_sampling_stride_one_keeps_everything(self):
+        tr = TraceRecorder(SamplingSink(stride=1))
+        for _ in range(5):
+            tr.record("kernel", 0, 1.0)
+        assert len(tr) == 5
+
+    def test_sampling_bad_stride_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SamplingSink(stride=0)
+
+    def test_sinks_satisfy_protocol(self):
+        for sink in (FullSink(), NullSink(), SamplingSink()):
+            assert isinstance(sink, TraceSink)
+
+    def test_engine_run_with_sampling_sink(self):
+        cluster = make_cluster()
+        trace = TraceRecorder(SamplingSink(stride=2))
+        engine = ExecutionEngine(cluster, CostModel(), trace=trace)
+        full_cluster = make_cluster()
+        full = TraceRecorder()
+        full_engine = ExecutionEngine(full_cluster, CostModel(), trace=full)
+        v = make_vector(n_pairs=4)
+        assignment = [i % 2 for i in range(4)]
+        engine.execute_vector(v, assignment)
+        full_engine.execute_vector(v, assignment)
+        # Every other event of the full stream, in order.
+        assert [e.kind for e in trace.events] == [
+            e.kind for e in full.events[::2]
+        ]
+
+
+class TestTraceConfig:
+    def test_defaults(self):
+        cfg = TraceConfig()
+        assert cfg.mode == "report"
+        assert cfg.make_sink() is None
+
+    def test_mode_sinks(self):
+        assert isinstance(TraceConfig(mode="full").make_sink(), FullSink)
+        sink = TraceConfig(mode="sampling", sample_stride=4).make_sink()
+        assert isinstance(sink, SamplingSink)
+        assert sink.stride == 4
+        assert TraceConfig(mode="off").make_sink() is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig(mode="verbose")
+        with pytest.raises(ConfigurationError):
+            TraceConfig(sample_stride=0)
+
+    def test_round_trip(self):
+        cfg = TraceConfig(mode="sampling", sample_stride=8)
+        assert TraceConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig.from_dict({"mode": "full", "rate": 2})
+        with pytest.raises(ConfigurationError):
+            TraceConfig.from_dict("full")

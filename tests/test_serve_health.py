@@ -21,7 +21,11 @@ from repro.serve import (
     ShardHealthState,
     ShardSnapshot,
 )
-from repro.serve.health import hedge_shielded
+from repro.serve.health import (
+    AdaptiveHedgeDeadline,
+    LatencyWindow,
+    hedge_shielded,
+)
 from repro.serve.sharded.routing import (
     LeastLoaded,
     ResidencyAffinity,
@@ -377,3 +381,134 @@ class TestGrayFaultsEndToEnd:
             )
         assert blobs[0] == blobs[1]
         assert traces[0] == traces[1]
+
+
+class TestLatencyWindow:
+    def test_bounded_capacity(self):
+        w = LatencyWindow(capacity=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            w.observe(v)
+        assert len(w) == 3
+        assert w.quantile(1.0) == 4.0
+        assert w.quantile(0.01) == 2.0  # 1.0 slid out
+
+    def test_nearest_rank_quantiles(self):
+        w = LatencyWindow(capacity=10)
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            w.observe(v)
+        assert w.quantile(0.5) == 3.0
+        assert w.quantile(0.95) == 5.0
+        assert w.quantile(0.2) == 1.0
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyWindow(capacity=2).quantile(0.5)
+        with pytest.raises(ConfigurationError):
+            LatencyWindow(capacity=0)
+
+
+class TestAdaptiveHedgeDeadline:
+    CFG = HealthConfig(
+        hedging=True, adaptive_hedging=True, hedge_deadline_s=0.1,
+        hedge_quantile=0.5, hedge_window=8, hedge_multiplier=2.0,
+        hedge_min_samples=3,
+    )
+
+    def test_fixed_fallback_until_min_samples(self):
+        hedger = AdaptiveHedgeDeadline(self.CFG)
+        assert hedger.deadline_for("a") == 0.1
+        hedger.observe("a", 0.01)
+        hedger.observe("a", 0.02)
+        assert hedger.deadline_for("a") == 0.1  # 2 < min_samples
+        hedger.observe("a", 0.03)
+        assert hedger.deadline_for("a") == pytest.approx(2.0 * 0.02)
+
+    def test_per_tenant_windows_are_independent(self):
+        hedger = AdaptiveHedgeDeadline(self.CFG)
+        for _ in range(4):
+            hedger.observe("fast", 0.001)
+            hedger.observe("slow", 1.0)
+        assert hedger.deadline_for("fast") == pytest.approx(0.002)
+        assert hedger.deadline_for("slow") == pytest.approx(2.0)
+        assert hedger.deadline_for("unseen") == 0.1
+
+    def test_sliding_window_tracks_shifts(self):
+        hedger = AdaptiveHedgeDeadline(self.CFG)
+        for _ in range(8):
+            hedger.observe("t", 0.01)
+        assert hedger.deadline_for("t") == pytest.approx(0.02)
+        for _ in range(8):  # regime change fills the whole window
+            hedger.observe("t", 0.1)
+        assert hedger.deadline_for("t") == pytest.approx(0.2)
+
+    def test_summary_shape(self):
+        hedger = AdaptiveHedgeDeadline(self.CFG)
+        hedger.observe(None, 0.5)
+        summary = hedger.summary()
+        assert summary == {"None": {"samples": 1, "deadline_s": 0.1}}
+
+    def test_config_validation(self):
+        for kwargs in (
+            {"hedge_quantile": 0.0},
+            {"hedge_quantile": 1.5},
+            {"hedge_window": 0},
+            {"hedge_multiplier": 0.0},
+            {"hedge_min_samples": 0},
+        ):
+            with pytest.raises(ConfigurationError):
+                HealthConfig(**kwargs)
+
+    def test_config_round_trips_with_adaptive_knobs(self):
+        cfg = HealthConfig(
+            hedging=True, adaptive_hedging=True, hedge_quantile=0.9,
+            hedge_window=32, hedge_multiplier=3.0, hedge_min_samples=4,
+        )
+        assert HealthConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_old_health_dict_without_adaptive_keys_loads(self):
+        payload = HealthConfig().to_dict()
+        for key in (
+            "adaptive_hedging", "hedge_quantile", "hedge_window",
+            "hedge_multiplier", "hedge_min_samples",
+        ):
+            payload.pop(key)
+        cfg = HealthConfig.from_dict(payload)
+        assert cfg.adaptive_hedging is False
+
+    def test_adaptive_run_reports_deadlines_and_stays_exactly_once(self):
+        health = FAST_HEALTH.with_(
+            hedging=True, adaptive_hedging=True, hedge_deadline_s=2e-3,
+            hedge_min_samples=4, hedge_multiplier=2.0,
+        )
+        plan = FaultPlan((
+            FaultEvent(
+                FaultKind.NODE_FLAP, 2e-3, 5,
+                duration_s=5e-3, count=2, period_s=1e-2,
+            ),
+            FaultEvent(FaultKind.HEARTBEAT_LOSS, 4e-3, 1, duration_s=6e-3),
+        ))
+        vectors = make_vectors(48)
+        serve = ServeConfig(sharded=True, health=health)
+        server = ShardedServer(
+            MiccoScheduler(ReuseBounds(0, 4, 0)), sharded_config(), serve
+        )
+        result = server.run(vectors, PoissonArrivals(3000.0), seed=0, faults=plan)
+        s = result.summary()
+        assert s["completed"] + s["dropped"] == s["offered"] == 48
+        hedges = result.health["hedges"]
+        assert hedges["cancelled"] == (
+            hedges["won_by_primary"] + hedges["won_by_clone"]
+        )
+        deadlines = result.health["adaptive_deadlines"]
+        assert deadlines  # at least one tenant window observed
+        for entry in deadlines.values():
+            assert entry["samples"] >= 1
+            assert entry["deadline_s"] > 0
+
+    def test_fixed_deadline_stays_the_default(self):
+        # adaptive_hedging off: behaviour is byte-identical to before the
+        # knob existed (the fixed value is the override path).
+        health = FAST_HEALTH.with_(hedging=True, hedge_deadline_s=2e-3)
+        assert health.adaptive_hedging is False
+        result = run_health(health=health)
+        assert result.health["adaptive_deadlines"] is None

@@ -226,7 +226,7 @@ class TestServeConfigVersioning:
         path = tmp_path / "cfg.json"
         cfg.to_json(path)
         on_disk = json.loads(path.read_text())
-        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 5
+        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 6
         assert ServeConfig.from_json(path) == cfg
 
     def test_version_1_file_loads_with_later_defaults(self, tmp_path):
@@ -283,8 +283,30 @@ class TestServeConfigVersioning:
         import json
 
         path = tmp_path / "future.json"
-        path.write_text(json.dumps({"version": 6}))
+        path.write_text(json.dumps({"version": 7}))
         with pytest.raises(ConfigurationError, match="version"):
+            ServeConfig.from_json(path)
+
+    def test_v6_trace_block_round_trips(self, tmp_path):
+        import json
+
+        from repro.gpusim.trace import TraceConfig
+
+        cfg = ServeConfig(trace=TraceConfig(mode="sampling", sample_stride=8))
+        path = tmp_path / "v6.json"
+        cfg.to_json(path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk["version"] == 6
+        assert on_disk["trace"] == {"mode": "sampling", "sample_stride": 8}
+        assert ServeConfig.from_json(path) == cfg
+
+    @pytest.mark.parametrize("version", [1, 2, 3, 4, 5])
+    def test_v6_trace_key_rejected_in_older_files(self, tmp_path, version):
+        import json
+
+        path = tmp_path / "older.json"
+        path.write_text(json.dumps({"version": version, "trace": {"mode": "full"}}))
+        with pytest.raises(ConfigurationError):
             ServeConfig.from_json(path)
 
     def test_unversioned_dict_assumes_current(self):

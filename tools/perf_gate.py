@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI perf-regression gate over the serving benchmark payload.
+
+Compares the freshly benchmarked ``BENCH_serve.json`` against the
+baseline committed at a git rev (default ``HEAD``) and fails — exit
+code 1 — when the ``throughput`` section shows
+
+* events/sec dropping more than ``--tolerance`` (default 20 %), or
+* peak RSS growing more than ``--tolerance``.
+
+Wall-clock events/sec moves with runner hardware, so the gate checks
+the drift-immune in-process ``speedup_vs_reference`` ratio under the
+same tolerance as well: a real core regression shows up there even
+when the runner itself got faster.  A baseline without a
+``throughput`` section (older payloads) passes trivially — the gate
+arms itself on the first commit that carries one.
+
+Usage::
+
+    python tools/perf_gate.py                 # fresh ./BENCH_serve.json vs HEAD
+    python tools/perf_gate.py --fresh out.json --baseline-rev HEAD~1
+    python tools/perf_gate.py --tolerance 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+
+def load_fresh(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"perf gate: fresh payload {path} not found — "
+                 "run the serving benchmarks first")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"perf gate: fresh payload {path} is not valid JSON: {exc}")
+
+
+def load_baseline(rev: str, path: Path) -> dict | None:
+    """The payload committed at ``rev``, or ``None`` when absent."""
+    proc = subprocess.run(
+        ["git", "show", f"{rev}:{path.as_posix()}"],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Human-readable failure lines; empty when the gate passes."""
+    base_t = baseline.get("throughput")
+    if base_t is None:
+        print("perf gate: baseline has no throughput section; passing")
+        return []
+    fresh_t = fresh.get("throughput")
+    if fresh_t is None:
+        return ["fresh payload has no throughput section — did the "
+                "throughput benchmark run?"]
+
+    failures = []
+
+    def gauge(name, fresh_v, base_v, bigger_is_better):
+        if not base_v:
+            return
+        ratio = fresh_v / base_v
+        if bigger_is_better:
+            ok, verb = ratio >= 1.0 - tolerance, "dropped"
+            delta = 1.0 - ratio
+        else:
+            ok, verb = ratio <= 1.0 + tolerance, "grew"
+            delta = ratio - 1.0
+        arrow = "ok  " if ok else "FAIL"
+        print(f"perf gate: {arrow} {name}: {base_v:,.1f} -> {fresh_v:,.1f} "
+              f"({delta:+.1%} {verb}, tolerance {tolerance:.0%})")
+        if not ok:
+            failures.append(f"{name} {verb} {delta:.1%} (> {tolerance:.0%})")
+
+    gauge(
+        "events/sec (wall)",
+        fresh_t["fast"]["events_per_s_wall"],
+        base_t["fast"]["events_per_s_wall"],
+        bigger_is_better=True,
+    )
+    gauge(
+        "speedup vs reference core",
+        fresh_t["speedup_vs_reference"],
+        base_t["speedup_vs_reference"],
+        bigger_is_better=True,
+    )
+    gauge(
+        "peak RSS (MiB)",
+        fresh_t["fast"]["peak_rss_mib"],
+        base_t["fast"]["peak_rss_mib"],
+        bigger_is_better=False,
+    )
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--fresh", type=Path, default=Path("BENCH_serve.json"),
+        help="freshly generated benchmark payload (default: ./BENCH_serve.json)",
+    )
+    ap.add_argument(
+        "--baseline-rev", default="HEAD",
+        help="git rev holding the committed baseline payload (default: HEAD)",
+    )
+    ap.add_argument(
+        "--baseline-path", type=Path, default=Path("BENCH_serve.json"),
+        help="payload path inside the baseline rev",
+    )
+    ap.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional regression before failing (default: 0.20)",
+    )
+    args = ap.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        ap.error(f"--tolerance must be in (0, 1), got {args.tolerance}")
+
+    fresh = load_fresh(args.fresh)
+    baseline = load_baseline(args.baseline_rev, args.baseline_path)
+    if baseline is None:
+        print(f"perf gate: no baseline at {args.baseline_rev}:"
+              f"{args.baseline_path}; passing")
+        return 0
+
+    failures = check(fresh, baseline, args.tolerance)
+    if failures:
+        print("perf gate: FAILED")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print("perf gate: passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
