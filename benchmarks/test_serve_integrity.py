@@ -1,0 +1,224 @@
+"""Bench: result-integrity detection rate vs audit overhead.
+
+Two measurements merge into the ``integrity`` section of
+``BENCH_serve.json``:
+
+* **Detection sweep** — a seeded corruption chaos run (two silently
+  corrupting devices plus two tensor bitflips on a 4-GPU cluster)
+  served under ``spot`` auditing at increasing ``audit_fraction``,
+  plus one ``suspect-full`` run.  Every point reports the root-level
+  detection rate and the simulated audit overhead, pinning the knob's
+  trade-off curve: more auditing buys more detection and costs more
+  recompute time.
+
+* **Clean-workload overhead** — the PR 8 throughput workload (two
+  tenants, 8 GPUs, saturating Poisson) served integrity-off and then
+  under spot auditing.  The *simulated* ``audit_overhead_frac`` is a
+  pure function of the seed and therefore the number
+  ``tools/perf_gate.py`` bounds hard (< 10 %); the wall events/sec
+  ratio is recorded alongside for context but moves with machine
+  noise, so it only gets a loose floor here.
+
+Conservation (detected = repaired + flagged) is asserted on every run:
+a detected taint never silently vanishes.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.core.config import MiccoConfig
+from repro.faults import FaultPlan
+from repro.gpusim import CostModel, Topology
+from repro.schedulers.bounds import ReuseBounds
+from repro.schedulers.micco import MiccoScheduler
+from repro.serve import (
+    IntegrityConfig,
+    PoissonArrivals,
+    ServeConfig,
+    TenantSpec,
+    make_server,
+    serve,
+)
+from repro.workloads import SyntheticWorkload, WorkloadParams
+
+MIB = 1024**2
+SEED = 11
+OUT_PATH = Path("BENCH_serve.json")
+
+#: Chaos-sweep scale: 400 vectors over a ~0.1 s horizon keeps the
+#: corruption windows busy without dominating the bench wall time.
+N_CHAOS = 400
+CHAOS_RATE = 4_000.0
+SWEEP_FRACTIONS = (0.1, 0.25, 0.5)
+
+#: Clean-workload scale (smaller than the throughput bench's 8 000 —
+#: this one runs the workload twice and only needs the ratio).
+N_CLEAN = 1_000
+#: Spot audit fraction for the overhead measurement: recomputing ~8 %
+#: of pairs keeps the simulated overhead under the 10 % gate bound.
+CLEAN_AUDIT_FRACTION = 0.08
+
+
+def chaos_run(integrity: IntegrityConfig):
+    params = WorkloadParams(
+        vector_size=8, tensor_size=64, repeated_rate=0.6,
+        num_vectors=N_CHAOS, batch=2,
+    )
+    vectors = SyntheticWorkload(params, seed=3).vectors()
+    plan = FaultPlan.generate(
+        SEED, num_devices=4, horizon_s=N_CHAOS / CHAOS_RATE,
+        n_transient=1, n_data_corruption=2, n_tensor_bitflip=2,
+        corruption_prob=0.6,
+    )
+    cfg = ServeConfig(queue_capacity=64, faults=plan, integrity=integrity)
+    cluster = MiccoConfig(num_devices=4, memory_bytes=64 * MIB)
+    return serve(
+        cfg, cluster=cluster, scheduler=MiccoScheduler(ReuseBounds(0, 4, 0)),
+        vectors=vectors, arrivals=PoissonArrivals(CHAOS_RATE), seed=SEED,
+    )
+
+
+def clean_run(integrity: IntegrityConfig | None):
+    stream = WorkloadParams(
+        num_vectors=N_CLEAN, vector_size=8, tensor_size=64, batch=2
+    )
+    tenants = (
+        TenantSpec("heavy", PoissonArrivals(20_000.0), stream, weight=3.0),
+        TenantSpec("light", PoissonArrivals(20_000.0), stream, weight=1.0),
+    )
+    topo = Topology(num_devices=8, devices_per_node=4)
+    cluster = MiccoConfig(
+        num_devices=8, memory_bytes=64 * MIB, cost_model=CostModel(topology=topo)
+    )
+    cfg = ServeConfig(
+        queue_capacity=8192, tenants=tenants,
+        schedule_latency_per_pair_s=1e-4, max_batch_vectors=4,
+        integrity=integrity,
+    )
+    server = make_server(cfg, cluster=cluster)
+    t0 = time.perf_counter()
+    result = server.run(seed=SEED)
+    wall = time.perf_counter() - t0
+    return result, wall
+
+
+def sweep_point(integrity: IntegrityConfig) -> dict:
+    it = chaos_run(integrity).integrity
+    assert it["detected"] == it["repaired"] + it["flagged"]  # conservation
+    return {
+        "mode": integrity.mode,
+        "audit_fraction": integrity.audit_fraction,
+        "detection_rate": it["detection_rate"],
+        "audit_overhead_frac": it["audit_overhead_frac"],
+        "audited_pairs": it["audited_pairs"],
+        "injected": it["injected"],
+        "detected": it["detected"],
+        "repaired": it["repaired"],
+        "flagged": it["flagged"],
+        "escaped": it["escaped"],
+        "quarantined": it["blame"]["quarantined"],
+    }
+
+
+def sweep():
+    out = {"sweep": [], "suspect_full": None}
+    for fraction in SWEEP_FRACTIONS:
+        out["sweep"].append(
+            sweep_point(IntegrityConfig(mode="spot", audit_fraction=fraction))
+        )
+    out["suspect_full"] = sweep_point(
+        IntegrityConfig(mode="suspect-full", audit_fraction=SWEEP_FRACTIONS[1])
+    )
+    # Warm-up so first-touch costs bill to neither timed run.
+    clean_run(None)
+    off_result, off_wall = clean_run(None)
+    spot_result, spot_wall = clean_run(
+        IntegrityConfig(mode="spot", audit_fraction=CLEAN_AUDIT_FRACTION)
+    )
+    out["clean"] = (off_result, off_wall, spot_result, spot_wall)
+    return out
+
+
+def rate_section(result, wall_s: float) -> dict:
+    s = result.summary()
+    return {
+        "completed": s["completed"],
+        "events_processed": s["events_processed"],
+        "wall_s": wall_s,
+        "events_per_s_wall": (
+            s["events_processed"] / wall_s if wall_s > 0 else 0.0
+        ),
+    }
+
+
+def test_integrity_detection_vs_overhead(benchmark):
+    results = run_once(benchmark, sweep)
+    points = results["sweep"]
+    suspect_full = results["suspect_full"]
+    off_result, off_wall, spot_result, spot_wall = results["clean"]
+
+    print()
+    for p in points + [suspect_full]:
+        print(f"{p['mode']:>12s} frac={p['audit_fraction']:.2f} : "
+              f"detection {p['detection_rate']:5.0%}   "
+              f"overhead {p['audit_overhead_frac']:5.1%}   "
+              f"{p['audited_pairs']} pairs audited   "
+              f"{p['escaped']} escaped")
+
+    # Shape claims: auditing more buys more detection; dual-executing
+    # suspect devices beats spot sampling at the same fraction.
+    assert points[-1]["detection_rate"] >= points[0]["detection_rate"]
+    assert points[-1]["audited_pairs"] > points[0]["audited_pairs"]
+    assert suspect_full["detection_rate"] >= points[1]["detection_rate"]
+    for p in points + [suspect_full]:
+        assert p["injected"] > 0 and p["detected"] > 0
+        assert p["quarantined"]  # blame retires the corrupting devices
+
+    # Clean workload: identical simulated outcome, bounded audit cost.
+    it = spot_result.integrity
+    assert it["injected"] == 0 and it["escaped"] == 0
+    assert it["detection_rate"] == 1.0  # vacuously: nothing to detect
+    assert it["audit_overhead_frac"] < 0.10  # the perf-gate bound
+    assert off_result.integrity is None
+    off_rate = rate_section(off_result, off_wall)
+    spot_rate = rate_section(spot_result, spot_wall)
+    assert off_rate["completed"] == spot_rate["completed"] == 2 * N_CLEAN
+    ratio = (
+        spot_rate["events_per_s_wall"] / off_rate["events_per_s_wall"]
+        if off_rate["events_per_s_wall"] > 0 else 0.0
+    )
+    print(f"clean workload : off {off_rate['events_per_s_wall']:8.0f} ev/s   "
+          f"spot {spot_rate['events_per_s_wall']:8.0f} ev/s   "
+          f"ratio {ratio:.2f}   sim overhead {it['audit_overhead_frac']:.1%}")
+    assert ratio > 0.6  # loose wall floor; the gate bounds the sim number
+
+    payload = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+    payload["integrity"] = {
+        "chaos_workload": {
+            "vectors": N_CHAOS,
+            "devices": 4,
+            "corrupt_devices": 2,
+            "bitflips": 2,
+            "corruption_prob": 0.6,
+            "seed": SEED,
+        },
+        "sweep": points,
+        "suspect_full": suspect_full,
+        "clean_workload": {
+            "vectors": 2 * N_CLEAN,
+            "devices": 8,
+            "audit_fraction": CLEAN_AUDIT_FRACTION,
+            "seed": SEED,
+        },
+        "off": off_rate,
+        "spot": {
+            **spot_rate,
+            "audit_overhead_frac": it["audit_overhead_frac"],
+            "audited_pairs": it["audited_pairs"],
+        },
+        "spot_events_rate_ratio": ratio,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"benchmark payload merged into {OUT_PATH}")

@@ -193,6 +193,18 @@ def build_serve_parser() -> argparse.ArgumentParser:
         ),
     )
     system.add_argument(
+        "--verify",
+        choices=("off", "spot", "suspect-full"),
+        default=None,
+        help=(
+            "result integrity mode: 'spot' audits a deterministic sample of "
+            "pair outputs by recomputing them on a second device (the "
+            "recompute doubles as the repair); 'suspect-full' escalates to "
+            "auditing every pair of any ticket touching a blamed device "
+            "(default off)"
+        ),
+    )
+    system.add_argument(
         "--faults",
         metavar="PLAN",
         help="JSON fault plan (FaultPlan.to_json) to inject during the run",
@@ -210,7 +222,8 @@ def build_chaos_parser() -> argparse.ArgumentParser:
         description=(
             "Chaos-test the online serving loop: inject a seeded fault plan "
             "(transient kernel faults, permanent device loss, stragglers, "
-            "transfer failures) while vectors arrive over simulated time, and "
+            "transfer failures, silent data corruption) while vectors arrive "
+            "over simulated time, and "
             "report recovery behaviour — retried/recovered counts, per-fault "
             "recovery latency, availability — alongside the latency SLOs.  "
             "Identical seeds give byte-identical reports."
@@ -260,6 +273,36 @@ def build_chaos_parser() -> argparse.ArgumentParser:
             "--devices-per-node; default 0)"
         ),
     )
+    faults.add_argument(
+        "--corrupt-devices",
+        type=int,
+        default=0,
+        help=(
+            "devices given a silent data_corruption window (each pair "
+            "computed inside it flips a biased coin and may produce a wrong "
+            "result without any error signal; pair with --verify to detect; "
+            "default 0)"
+        ),
+    )
+    faults.add_argument(
+        "--bitflips",
+        type=int,
+        default=0,
+        help=(
+            "tensor_bitflip faults to inject (each corrupts the lowest-uid "
+            "tensor resident on a device in place; default 0)"
+        ),
+    )
+    faults.add_argument(
+        "--corruption-prob",
+        type=float,
+        default=0.5,
+        metavar="P",
+        help=(
+            "per-pair corruption probability inside a data_corruption "
+            "window (default 0.5)"
+        ),
+    )
     faults.add_argument("--transient", type=int, default=2, help="transient kernel faults to inject (default 2)")
     faults.add_argument("--transfer", type=int, default=2, help="transfer faults to inject (default 2)")
     faults.add_argument("--stragglers", type=int, default=1, help="straggler windows to open (default 1)")
@@ -301,6 +344,7 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
     from repro.serve import (
         BurstyArrivals,
         HealthConfig,
+        IntegrityConfig,
         PoissonArrivals,
         ServeConfig,
         TraceArrivals,
@@ -346,6 +390,11 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         # block the config file already carries.
         base = serve_cfg.health or HealthConfig()
         overrides["health"] = base.with_(hedging=base.hedging or args.hedge)
+    if args.verify is not None:
+        # --verify layers onto any integrity block the config carries,
+        # mirroring how --health layers onto an existing health block.
+        base = serve_cfg.integrity or IntegrityConfig()
+        overrides["integrity"] = base.with_(mode=args.verify)
     if args.warm_restore:
         overrides["warm_restore"] = True
     if args.fault_aware:
@@ -403,7 +452,10 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             n_link_lost=args.cut_links,
             n_node_flap=args.flap_nodes,
             n_heartbeat_loss=args.silence_nodes,
+            n_data_corruption=args.corrupt_devices,
+            n_tensor_bitflip=args.bitflips,
             straggler_factor=args.straggler_factor,
+            corruption_prob=args.corruption_prob,
         )
     if chaos and args.save_plan and plan is not None:
         plan.to_json(args.save_plan)
@@ -515,6 +567,19 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             f"hedges: {hedges['launched']} launched, "
             f"{hedges['won_by_clone']} won by clone, "
             f"{hedges['cancelled']} cancelled"
+        )
+    if result.integrity is not None:
+        it = result.integrity
+        quarantined = it["blame"]["quarantined"]
+        print(
+            f"  integrity  {it['detected']}/{it['injected']} corruption(s) "
+            f"detected ({it['detection_rate']:.0%})   "
+            f"{it['repaired']} repaired, {it['flagged']} flagged, "
+            f"{it['escaped']} escaped   "
+            f"audited {it['audited_pairs']} pair(s) "
+            f"(overhead {it['audit_overhead_frac']:.1%})   "
+            f"quarantined: "
+            f"{', '.join(str(d) for d in quarantined) if quarantined else 'none'}"
         )
 
     extra = {

@@ -24,6 +24,9 @@ from collections import deque
 
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
 from repro.faults.recovery import FaultStats
+from repro.integrity import mix64
+
+_2_64 = float(1 << 64)
 
 
 class FaultInjector:
@@ -83,6 +86,15 @@ class FaultInjector:
         #: (device, start_s, end_s) heartbeat-silence windows — the
         #: device computes normally but its node reports nothing.
         self._silent: list[tuple[int, float, float]] = []
+        #: (device, start_s, end_s, probability, salt) silent-corruption
+        #: windows — kernels on the device succeed but may emit wrong
+        #: outputs (see :meth:`take_corruption`).
+        self._corrupt: list[tuple[int, float, float, float, int]] = []
+        # device -> corruption draws taken so far (advances only while a
+        # window is active, so the draw sequence is a pure function of
+        # the plan and the kernels executed inside windows).
+        self._corrupt_seq: dict[int, int] = {}
+        self._corrupt_salt = 0
 
     # ------------------------------------------------------------ driver side
     def poll(self, now: float) -> list[FaultEvent]:
@@ -119,7 +131,18 @@ class FaultInjector:
                 )
                 self._slow.append(window)
                 self.stats.straggler_windows.append(window)
-            else:  # DEVICE_LOST / NODE_LOST / LINK_LOST / gray kinds: driver applies
+            elif fault.kind is FaultKind.DATA_CORRUPTION:
+                self._corrupt.append(
+                    (
+                        fault.device,
+                        fault.time_s,
+                        fault.time_s + fault.duration_s,
+                        fault.probability,
+                        self._corrupt_salt,
+                    )
+                )
+                self._corrupt_salt += 1
+            else:  # DEVICE_LOST / NODE_LOST / LINK_LOST / gray / bitflip: driver applies
                 losses.append(fault)
         return losses
 
@@ -133,10 +156,11 @@ class FaultInjector:
         self.stats.orphaned_tensors += orphans
         self.stats.lost_at.setdefault(device, float(time_s))
         self.stats.open_down_window(device, time_s)
-        # A dead device can no longer fault or straggle.
+        # A dead device can no longer fault, straggle or corrupt.
         self._armed_kernel.pop(device, None)
         self._armed_transfer.pop(device, None)
         self._slow = [w for w in self._slow if w[0] != device]
+        self._corrupt = [w for w in self._corrupt if w[0] != device]
 
     def note_device_restored(self, device: int, time_s: float) -> None:
         """Record an applied restore (``node_flap`` up phase)."""
@@ -208,6 +232,30 @@ class FaultInjector:
         else:
             armed[device] = left - 1
         return True
+
+    def take_corruption(self, device: int) -> bool:
+        """Draw one silent-corruption Bernoulli for a kernel on ``device``.
+
+        Returns True when the kernel's output should be silently wrong.
+        Outside any active ``data_corruption`` window the draw sequence
+        does not advance, so runs that never enter a window consume no
+        randomness and a seeded plan replays identically regardless of
+        how many kernels run outside its windows.  Overlapping windows
+        draw independently (any hit corrupts).
+        """
+        active = [
+            (prob, salt)
+            for dev, start, end, prob, salt in self._corrupt
+            if dev == device and start <= self.now < end
+        ]
+        if not active:
+            return False
+        n = self._corrupt_seq.get(device, 0)
+        self._corrupt_seq[device] = n + 1
+        return any(
+            mix64(0x5EEDC0DE, salt, device, n) < prob * _2_64
+            for prob, salt in active
+        )
 
     def compute_factor(self, device: int) -> float:
         """Kernel-time multiplier for ``device`` at the polled clock.

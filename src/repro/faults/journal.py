@@ -44,8 +44,10 @@ class ResidencyJournal:
     #: pool's replacement policy), ``"drain"`` (explicit free of finished
     #: data — e.g. completed outputs drained off-device), ``"migrate"``
     #: (the copy moved to another device), ``"lost"`` (the device
-    #: holding the copy died or was retired).
-    DROP_REASONS = ("evict", "drain", "migrate", "lost")
+    #: holding the copy died or was retired), ``"corrupt"`` (the copy was
+    #: invalidated by an integrity check — tainted data, see
+    #: :mod:`repro.integrity`).
+    DROP_REASONS = ("evict", "drain", "migrate", "lost", "corrupt")
 
     def __init__(self, capacity: int = 4096):
         if capacity < 1:
@@ -148,7 +150,7 @@ class ResidencyJournal:
                 gone.discard(uid)
             elif reason == "drain":
                 gone.add(uid)
-            else:  # "evict"/"migrate"/"lost": not a cold signal, keep ranked
+            else:  # "evict"/"migrate"/"lost"/"corrupt": not a cold signal, keep ranked
                 gone.discard(uid)
         ranked = sorted(
             (uid for uid in count if uid not in gone),

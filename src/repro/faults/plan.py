@@ -39,6 +39,17 @@ plane has to infer them from missing heartbeats (see
   ``count`` times every ``period_s`` seconds (default ``2×duration_s``).
   Unlike ``node_lost`` the failure is *not* announced to the router —
   its digest merely goes stale while the node is down.
+
+Two *integrity* kinds model silent data corruption — the device reports
+success but the answer is wrong (see :mod:`repro.integrity`):
+
+* ``data_corruption`` — for ``duration_s`` seconds starting at
+  ``time_s``, every contraction ``device`` executes silently corrupts
+  its output with probability ``probability`` (a deterministic hash
+  draw per kernel, replayable bit for bit),
+* ``tensor_bitflip`` — at ``time_s`` one tensor copy resident on
+  ``device`` is corrupted in place; every later pair that consumes the
+  copy (directly or via D2D propagation) inherits the taint.
 """
 
 from __future__ import annotations
@@ -53,7 +64,7 @@ from repro.utils.rng import as_generator
 
 
 class FaultKind(str, Enum):
-    """The eight injectable failure modes."""
+    """The ten injectable failure modes."""
 
     TRANSIENT = "transient"
     DEVICE_LOST = "device_lost"
@@ -63,6 +74,8 @@ class FaultKind(str, Enum):
     LINK_LOST = "link_lost"
     HEARTBEAT_LOSS = "heartbeat_loss"
     NODE_FLAP = "node_flap"
+    DATA_CORRUPTION = "data_corruption"
+    TENSOR_BITFLIP = "tensor_bitflip"
 
 
 @dataclass(frozen=True)
@@ -93,6 +106,9 @@ class FaultEvent:
         ``node_flap`` cycle period — down phases start every
         ``period_s`` seconds.  0 (the default) means ``2 × duration_s``
         (equal down and up time); ignored for other kinds.
+    probability:
+        ``data_corruption`` per-kernel corruption probability over the
+        window, in ``(0, 1]``.  Must stay 0 for every other kind.
     """
 
     kind: FaultKind
@@ -102,6 +118,7 @@ class FaultEvent:
     slow_factor: float = 1.0
     count: int = 1
     period_s: float = 0.0
+    probability: float = 0.0
 
     def __post_init__(self):
         try:
@@ -142,6 +159,21 @@ class FaultEvent:
                     f"node_flap period_s must be >= duration_s "
                     f"({self.duration_s}), got {self.period_s}"
                 )
+        if self.kind is FaultKind.DATA_CORRUPTION:
+            if self.duration_s <= 0:
+                raise ConfigurationError(
+                    f"data_corruption duration_s must be > 0, got {self.duration_s}"
+                )
+            if not 0 < self.probability <= 1:
+                raise ConfigurationError(
+                    f"data_corruption probability must be in (0, 1], "
+                    f"got {self.probability}"
+                )
+        elif self.probability != 0.0:
+            raise ConfigurationError(
+                f"probability is only meaningful for data_corruption events, "
+                f"got {self.probability} on a {self.kind.value} event"
+            )
 
     def to_dict(self) -> dict:
         d = asdict(self)
@@ -185,9 +217,9 @@ class FaultPlan:
         for event in self.events:
             if event.device >= num_devices:
                 raise ConfigurationError(
-                    f"fault event targets device {event.device} but the cluster "
-                    f"has {num_devices} devices (0..{num_devices - 1}): "
-                    f"{event.to_dict()}"
+                    f"{event.kind.value} fault event targets device "
+                    f"{event.device} but the cluster has {num_devices} devices "
+                    f"(0..{num_devices - 1}): {event.to_dict()}"
                 )
 
     # ------------------------------------------------------------ generation
@@ -206,11 +238,15 @@ class FaultPlan:
         n_link_lost: int = 0,
         n_heartbeat_loss: int = 0,
         n_node_flap: int = 0,
+        n_data_corruption: int = 0,
+        n_tensor_bitflip: int = 0,
         straggler_factor: float = 4.0,
         straggler_window_frac: float = 0.25,
         silence_window_frac: float = 0.25,
         flap_cycles: int = 2,
         flap_down_frac: float = 0.05,
+        corruption_prob: float = 0.5,
+        corruption_window_frac: float = 0.25,
     ) -> "FaultPlan":
         """Draw a random plan over ``[0, horizon_s)`` from ``seed``.
 
@@ -230,7 +266,12 @@ class FaultPlan:
         for ``silence_window_frac × horizon_s``; node flaps
         (``n_node_flap``) cycle a node down/up ``flap_cycles`` times,
         ``flap_down_frac × horizon_s`` down per cycle with equal up
-        time between cycles.
+        time between cycles.  Integrity faults: data corruptions
+        (``n_data_corruption``) silently corrupt a uniformly drawn
+        device's kernel outputs with probability ``corruption_prob``
+        for a ``corruption_window_frac × horizon_s`` window; tensor
+        bitflips (``n_tensor_bitflip``) corrupt one resident tensor
+        copy in place on a uniformly drawn device.
         """
         if num_devices < 1:
             raise ConfigurationError(f"num_devices must be >= 1, got {num_devices}")
@@ -245,9 +286,15 @@ class FaultPlan:
             ("n_link_lost", n_link_lost),
             ("n_heartbeat_loss", n_heartbeat_loss),
             ("n_node_flap", n_node_flap),
+            ("n_data_corruption", n_data_corruption),
+            ("n_tensor_bitflip", n_tensor_bitflip),
         ):
             if n < 0:
                 raise ConfigurationError(f"{name} must be >= 0, got {n}")
+        if n_data_corruption and not 0 < corruption_prob <= 1:
+            raise ConfigurationError(
+                f"corruption_prob must be in (0, 1], got {corruption_prob}"
+            )
         rng = as_generator(seed)
         events: list[FaultEvent] = []
 
@@ -315,6 +362,24 @@ class FaultPlan:
                     period_s=2.0 * flap_down,
                 )
             )
+        for t in times(n_data_corruption):
+            events.append(
+                FaultEvent(
+                    FaultKind.DATA_CORRUPTION,
+                    t,
+                    int(rng.integers(num_devices)),
+                    duration_s=corruption_window_frac * horizon_s,
+                    probability=corruption_prob,
+                )
+            )
+        for t in times(n_tensor_bitflip):
+            events.append(
+                FaultEvent(
+                    FaultKind.TENSOR_BITFLIP,
+                    t,
+                    int(rng.integers(num_devices)),
+                )
+            )
         return cls(tuple(events))
 
     # ----------------------------------------------------------- persistence
@@ -337,7 +402,7 @@ class FaultPlan:
             )
         known = {
             "kind", "time_s", "device", "duration_s", "slow_factor", "count",
-            "period_s",
+            "period_s", "probability",
         }
         events = []
         for i, r in enumerate(records):

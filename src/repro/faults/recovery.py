@@ -73,6 +73,8 @@ class FaultStats:
             "link_lost": 0,
             "heartbeat_loss": 0,
             "node_flap": 0,
+            "data_corruption": 0,
+            "tensor_bitflip": 0,
         }
     )
     transient_failures: int = 0

@@ -63,6 +63,13 @@ class ExecutionEngine:
         self.trace = trace
         #: Optional fault source; set per run by chaos drivers.
         self.injector = injector
+        #: Optional :class:`~repro.integrity.IntegrityState`; set per run
+        #: by serving loops running with an ``integrity`` block.  When
+        #: attached alongside an injector, kernels draw silent-corruption
+        #: Bernoullis, the checksum ledger tracks tainted copies, and
+        #: D2D fetches verify-on-receipt (a mismatch falls back to a
+        #: clean host fetch, like a detected transfer fault).
+        self.integrity = None
         self.retry = retry or RetryPolicy()
         #: Per-device ``peak_gflops * 1e9`` cache for the fast path,
         #: keyed on the cluster's device-list identity (device specs are
@@ -168,6 +175,36 @@ class ExecutionEngine:
             elif copy_kind == "d2d" and cm.d2d_moves:
                 # Single-residency runtime: the source copy migrates.
                 cl.drop(spec.uid, source, reason="migrate")
+            if self.integrity is not None:
+                if copy_kind == "h2d":
+                    # Host copies are ground truth: a fresh H2D fetch
+                    # replaces whatever (possibly tainted) copy the
+                    # device had.
+                    self.integrity.note_h2d(spec.uid, device_id)
+                else:
+                    entry = self.integrity.note_d2d(spec.uid, source, device_id)
+                    if entry is not None and self.integrity.verify_transfers_active:
+                        # Verify-on-receipt caught a checksum mismatch:
+                        # the D2D attempt is wasted, both copies are
+                        # invalidated, and the tensor is re-fetched from
+                        # the host (clean), like a detected transfer
+                        # fault.
+                        wasted_t = copy_t
+                        pair_memop_s += wasted_t
+                        copy_t = cm.h2d_time(spec.nbytes)
+                        copy_kind = "h2d"
+                        if cl.is_resident(spec.uid, source):
+                            cl.drop(spec.uid, source, reason="corrupt")
+                        now = self.injector.now if self.injector is not None else 0.0
+                        self.integrity.transfer_detected(
+                            spec.uid, source, device_id, entry, now
+                        )
+                        self._note_fault(
+                            "taint",
+                            device_id,
+                            wasted_t,
+                            f"corrupt transfer {spec.uid} from {source}",
+                        )
             if (
                 copy_kind == "d2d"
                 and cm.topology is not None
@@ -242,6 +279,18 @@ class ExecutionEngine:
         metrics.pairs_executed += 1
         metrics.pairs_per_device[device_id] += 1
         cl.record_assignment(device_id, 2)
+        if self.integrity is not None:
+            # Silent-corruption draw: inside an armed window the kernel
+            # may succeed while emitting a wrong output; the ledger
+            # records where the output's checksum diverges (dirt also
+            # derives from tainted inputs even without a fresh draw).
+            corrupt = self.injector is not None and self.injector.take_corruption(device_id)
+            self.integrity.note_compute(
+                pair,
+                device_id,
+                corrupt,
+                self.injector.now if self.injector is not None else 0.0,
+            )
         if self.trace is not None:
             self.trace.record("kernel", device_id, kt, uid=pair.out.uid, label=pair.out.label)
 

@@ -39,9 +39,11 @@ from repro.errors import ConfigurationError
 #: restores (restore), the failure-domain layer's cross-node
 #: re-fetches (xnode) and warm restores (prewarm), the autoscaler's
 #: pool changes (scale-up → scale-online → scale-down), the
-#: dispatcher's batched scheduling rounds (batch), and the health
+#: dispatcher's batched scheduling rounds (batch), the health
 #: subsystem's lifecycle / hedge / breaker transitions
-#: (health, hedge, breaker).
+#: (health, hedge, breaker), and the integrity subsystem's audit
+#: recomputations, taint invalidations and blame transitions
+#: (audit, taint, blame).
 EVENT_KINDS = (
     "batch",
     "h2d",
@@ -65,7 +67,16 @@ EVENT_KINDS = (
     "health",
     "hedge",
     "breaker",
+    "audit",
+    "taint",
+    "blame",
 )
+
+#: Kinds a sampling sink must never thin: fault and integrity events are
+#: rare, individually meaningful (one event = one injected fault, one
+#: audit, one taint invalidation, one blame transition), and consumed by
+#: accounting — dropping any of them would make a sampled trace lie.
+ALWAYS_KEPT_KINDS = frozenset({"fault", "audit", "taint", "blame"})
 
 _EVENT_KIND_SET = frozenset(EVENT_KINDS)
 
@@ -127,6 +138,11 @@ class SamplingSink:
     The counter is global across devices (not per-kind), so the kept
     subset is a uniform thinning of the event stream in record order —
     and, being a plain counter, identical across replays.
+
+    :data:`ALWAYS_KEPT_KINDS` (``fault``/``audit``/``taint``/``blame``)
+    bypass the counter entirely: they are always kept and do not advance
+    the stride position, so the thinned subset of the remaining kinds is
+    unaffected by how many fault/integrity events interleave with them.
     """
 
     name = "sampling"
@@ -138,6 +154,8 @@ class SamplingSink:
         self._count = 0
 
     def keep(self, kind: str, device: int) -> bool:
+        if kind in ALWAYS_KEPT_KINDS:
+            return True
         kept = self._count % self.stride == 0
         self._count += 1
         return kept

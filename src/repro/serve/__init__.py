@@ -40,6 +40,15 @@ router without being killed, per-shard forwarding circuit breakers stop
 hammering full shards, and optional hedged dispatch clones tickets
 stuck on suspect shards (first completion wins, exactly-once
 accounting).
+
+Result integrity (:mod:`repro.integrity`, enabled with
+``ServeConfig(integrity=IntegrityConfig(mode="spot"))``) closes the
+last gap: faults that corrupt *data* instead of killing devices.
+Checksum lineage tracks tainted copies through D2D propagation, spot
+audits recompute sampled pair outputs on a second device (the
+recompute doubling as the repair), and per-device blame EWMAs drive a
+trusted → suspect → quarantined device lifecycle that feeds back into
+health-aware routing.
 """
 
 from repro.serve.arrivals import (
@@ -59,6 +68,7 @@ from repro.serve.health import (
     LatencyWindow,
     ShardHealthState,
 )
+from repro.integrity import IntegrityConfig, IntegrityState
 from repro.serve.queueing import (
     QUEUE_POLICIES,
     AdmissionQueue,
@@ -140,6 +150,8 @@ __all__ = [
     "DeviceRestore",
     "DigestSync",
     "HealthTick",
+    "IntegrityConfig",
+    "IntegrityState",
     "HealthConfig",
     "HealthMonitor",
     "ShardHealthState",

@@ -235,6 +235,8 @@ class HealthMonitor:
             n: config.heartbeat_interval_s for n in self.nodes
         }
         self._clean: dict[int, int] = {n: 0 for n in self.nodes}
+        #: External suspicion floor per shard (see :meth:`raise_suspicion`).
+        self._floor: dict[int, float] = {n: 0.0 for n in self.nodes}
         self.beats: int = 0
         self.missed: int = 0
         #: ``{time_s, node, from, to, suspicion}`` state transitions.
@@ -281,10 +283,29 @@ class HealthMonitor:
         if self.state[node] is not ShardHealthState.DEAD:
             self._transition(node, ShardHealthState.DEAD, now, float("inf"))
 
+    def raise_suspicion(self, node: int, floor: float) -> None:
+        """Raise an external suspicion floor for ``node``.
+
+        Heartbeats cannot see *silent* corruption — a node producing
+        garbage still beats on time — so out-of-band evidence (the
+        integrity subsystem blaming one of the node's devices, see
+        :mod:`repro.integrity`) feeds a floor that :meth:`suspicion`
+        folds in with ``max``.  The floor is consumed when the node is
+        quarantined: from there the normal probation cycle decides
+        re-admission, so a blamed node pays one quarantine per blame
+        rather than being exiled forever.
+        """
+        self._floor[node] = max(self._floor[node], float(floor))
+
     def suspicion(self, node: int, now: float) -> float:
-        """Current silence of ``node`` measured in mean heartbeat gaps."""
+        """Current silence of ``node`` measured in mean heartbeat gaps.
+
+        Folded with any external floor from :meth:`raise_suspicion`.
+        """
         gap = max(self.mean_gap[node], 1e-12)
-        return max(now - self.last_beat[node], 0.0) / gap
+        return max(
+            max(now - self.last_beat[node], 0.0) / gap, self._floor[node]
+        )
 
     # ----------------------------------------------------------- evaluation
     def evaluate(self, now: float) -> list[int]:
@@ -331,6 +352,9 @@ class HealthMonitor:
             }
         )
         if to is ShardHealthState.QUARANTINED:
+            # The floor's purpose (force one quarantine) is served; from
+            # here probation beats decide re-admission on merit.
+            self._floor[node] = 0.0
             self.quarantine_episodes.append(
                 {"node": node, "start_s": float(now), "end_s": None}
             )

@@ -43,6 +43,7 @@ from repro.gpusim.device import mi100_like
 from repro.gpusim.engine import ExecutionEngine
 from repro.gpusim.metrics import ExecutionMetrics
 from repro.gpusim.trace import TraceConfig, TraceRecorder
+from repro.integrity import IntegrityConfig, IntegrityState
 from repro.reporting import dump_json
 from repro.schedulers.base import Scheduler
 from repro.schedulers.batching import (
@@ -186,6 +187,15 @@ class ServeConfig:
         the matching sink — opts execution out of the trace-free fast
         path), or ``"off"`` (no traces at all).  ``None`` means
         ``"report"``.
+    integrity:
+        Result-integrity subsystem
+        (:class:`~repro.integrity.IntegrityConfig`): checksum lineage
+        over tensor copies, sampled audit recomputation of completed
+        pairs on other devices (``spot`` / ``suspect-full``), taint
+        invalidation + repair with exact SLO accounting, and per-device
+        corruption blame with quarantine.  ``None`` (default) disables
+        integrity checking — silent corruption then reaches reported
+        completions unnoticed.
     """
 
     queue_capacity: int = 64
@@ -208,6 +218,7 @@ class ServeConfig:
     routing: str = "least-loaded"
     health: HealthConfig | None = None
     trace: TraceConfig | None = None
+    integrity: IntegrityConfig | None = None
 
     def __post_init__(self):
         if self.queue_capacity <= 0:
@@ -267,6 +278,10 @@ class ServeConfig:
             raise ConfigurationError(
                 f"trace must be a TraceConfig or None, got {self.trace!r}"
             )
+        if self.integrity is not None and not isinstance(self.integrity, IntegrityConfig):
+            raise ConfigurationError(
+                f"integrity must be an IntegrityConfig or None, got {self.integrity!r}"
+            )
         object.__setattr__(self, "tenants", tuple(self.tenants))
         for t in self.tenants:
             if not isinstance(t, TenantSpec):
@@ -287,10 +302,11 @@ class ServeConfig:
     #: the sharded-control-plane knobs (``sharded``/``sync_interval_s``/
     #: ``routing``); version 5 added the ``health`` block (heartbeat
     #: health tracking, circuit breakers, hedged dispatch); version 6
-    #: added the ``trace`` block (engine trace sink selection).  Older
-    #: files still load with the later versions' knobs at their
-    #: defaults.
-    CONFIG_VERSION = 6
+    #: added the ``trace`` block (engine trace sink selection); version
+    #: 7 added the ``integrity`` block (checksum lineage, audit
+    #: recomputation, blame-driven quarantine).  Older files still load
+    #: with the later versions' knobs at their defaults.
+    CONFIG_VERSION = 7
 
     # ------------------------------------------------------------ persistence
     def to_dict(self) -> dict:
@@ -316,6 +332,7 @@ class ServeConfig:
             "routing": self.routing,
             "health": self.health.to_dict() if self.health else None,
             "trace": self.trace.to_dict() if self.trace else None,
+            "integrity": self.integrity.to_dict() if self.integrity else None,
         }
 
     @classmethod
@@ -323,9 +340,9 @@ class ServeConfig:
         if not isinstance(d, dict):
             raise ConfigurationError(f"serve config must be a JSON object, got {d!r}")
         version = d.get("version", cls.CONFIG_VERSION)
-        if version not in (1, 2, 3, 4, 5, 6):
+        if version not in (1, 2, 3, 4, 5, 6, 7):
             raise ConfigurationError(
-                f"unsupported serve config version {version!r}; this build reads 1 through 6"
+                f"unsupported serve config version {version!r}; this build reads 1 through 7"
             )
         known = {
             "queue_capacity", "queue_policy", "max_inflight",
@@ -340,6 +357,7 @@ class ServeConfig:
         v4_keys = {"sharded", "sync_interval_s", "routing"}
         v5_keys = {"health"}
         v6_keys = {"trace"}
+        v7_keys = {"integrity"}
         if version >= 2:
             known |= v2_keys
         if version >= 3:
@@ -350,6 +368,8 @@ class ServeConfig:
             known |= v5_keys
         if version >= 6:
             known |= v6_keys
+        if version >= 7:
+            known |= v7_keys
         unknown = set(d) - known
         if unknown:
             raise ConfigurationError(f"unknown serve config keys: {sorted(unknown)}")
@@ -374,6 +394,8 @@ class ServeConfig:
             kwargs["health"] = HealthConfig.from_dict(d["health"])
         if d.get("trace"):
             kwargs["trace"] = TraceConfig.from_dict(d["trace"])
+        if d.get("integrity"):
+            kwargs["integrity"] = IntegrityConfig.from_dict(d["integrity"])
         return cls(**kwargs)
 
     def to_json(self, path: str | Path) -> None:
@@ -422,6 +444,10 @@ class ServeResult:
     #: Replayable health/hedge/breaker event log (empty without the
     #: health subsystem).
     health_events: list[dict] = field(default_factory=list)
+    #: Result-integrity section (injected/detected/escaped counters,
+    #: audit overhead, blame log); ``None`` unless
+    #: :attr:`ServeConfig.integrity` enabled a mode other than ``off``.
+    integrity: dict | None = None
     #: Timeline events processed by the serving loop (control-plane
     #: work, the denominator of the events/sec benchmark figure).
     events_processed: int = 0
@@ -462,6 +488,8 @@ class ServeResult:
             out["sharding"] = self.sharding
         if self.health is not None:
             out["health"] = self.health
+        if self.integrity is not None:
+            out["integrity"] = self.integrity
         out["events_processed"] = self.events_processed
         return out
 
@@ -486,6 +514,8 @@ class ServeResult:
         if self.health is not None:
             payload["health"] = self.health
             payload["health_events"] = self.health_events
+        if self.integrity is not None:
+            payload["integrity"] = self.integrity
         if self.rounds:
             payload["rounds"] = self.rounds
         if extra:
@@ -696,6 +726,15 @@ class MiccoServer:
         )
         scaler = Autoscaler(cfg.autoscaler) if cfg.autoscaler is not None else None
         journal = ResidencyJournal(cfg.journal_capacity) if cfg.warm_restore else None
+        integ = (
+            IntegrityState(cfg.integrity, self.cluster.num_devices)
+            if cfg.integrity is not None and cfg.integrity.mode != "off"
+            else None
+        )
+        #: Tickets whose completion was already audited and repaired
+        #: this epoch (skip re-auditing when the repaired completion
+        #: event fires).
+        verified: set[int] = set()
         # The fault-aware admission gate, when configured (observe() is
         # fed the live fault picture at every arrival).
         gate = queue.policy if isinstance(queue.policy, FaultAware) else None
@@ -793,6 +832,7 @@ class MiccoServer:
         if recorder is not None:
             self.engine.trace = recorder
         self.engine.injector = injector
+        self.engine.integrity = integ
         self.cluster.journal = journal
         try:
             while timeline:
@@ -820,12 +860,20 @@ class MiccoServer:
                                         device=dev,
                                     )
                                 )
+                        elif loss.kind is FaultKind.TENSOR_BITFLIP:
+                            self._apply_bitflip(loss, now, injector, integ)
                         else:
                             self._apply_device_loss(
                                 loss, now, injector, pending, busy_until, timeline,
                                 total, abandon, scaler=scaler,
                                 pending_online=pending_online,
                             )
+                if integ is not None:
+                    for dev in integ.poll_quarantines():
+                        self._quarantine_device(
+                            dev, now, injector, integ, pending, verified,
+                            busy_until, timeline, total, abandon,
+                        )
                 if scaler is not None:
                     self._autoscale_step(
                         scaler, now, queue, timeline, pending, pending_online,
@@ -898,6 +946,30 @@ class MiccoServer:
                 elif isinstance(event, VectorCompletion):
                     if event.epoch != ticket.epoch:
                         continue  # superseded by recovery (or abandoned)
+                    if integ is not None and id(ticket) not in verified:
+                        action, ready = self._audit_ticket(
+                            integ, ticket, now, busy_until, total, injector
+                        )
+                        if action == "repair":
+                            # The audit recomputation on the clean
+                            # auditor device *is* the repaired result;
+                            # the ticket completes when it lands.
+                            verified.add(id(ticket))
+                            ticket.epoch += 1
+                            timeline.push(
+                                VectorCompletion(max(ready, now), ticket, epoch=ticket.epoch)
+                            )
+                            continue
+                        if action == "flag":
+                            # Audit budget (or auditor pool) exhausted:
+                            # the result cannot be verified — shed it
+                            # rather than report a possibly-wrong answer.
+                            report.add_drop(ticket, reason="integrity-unverified")
+                            settle(ticket, now)
+                            continue
+                    if integ is not None:
+                        verified.discard(id(ticket))
+                        integ.note_reported(ticket.vector, ticket.assignment)
                     ticket.complete_s = now
                     rec = report.add_completion(ticket)
                     if scaler is not None:
@@ -913,6 +985,7 @@ class MiccoServer:
                     self._restore_device(event.device, now, busy_until, injector)
         finally:
             self.engine.injector = None
+            self.engine.integrity = None
             self.engine.trace = prev_trace
             self.cluster.journal = None
 
@@ -934,6 +1007,9 @@ class MiccoServer:
             autoscale=scaler.summary() if scaler is not None else None,
             journal=journal.summary() if journal is not None else None,
             rounds=rounds_log,
+            integrity=(
+                integ.summary(float(total.compute_s.sum())) if integ is not None else None
+            ),
             events_processed=events_processed,
             engine_trace=recorder,
             trace_mode=trace_mode,
@@ -1542,6 +1618,208 @@ class MiccoServer:
             if self.cluster.is_alive(dev):
                 complete = max(complete, busy_until[dev])
         return complete
+
+    # ------------------------------------------------------- result integrity
+    def _pick_auditor(self, producer: int, integ: IntegrityState, busy_until) -> int | None:
+        """The device that recomputes a pair for an audit.
+
+        Must be a *different* device than the producer (dual execution
+        on the producer would reproduce its own corruption) and not
+        itself under suspicion; among candidates the least-busy wins
+        (ties on id).  ``None`` when no clean second device is alive.
+        """
+        best = None
+        best_key = None
+        for dev in self.cluster.alive_ids():
+            if dev == producer or integ.is_suspect(dev):
+                continue
+            key = (busy_until[dev], dev)
+            if best_key is None or key < best_key:
+                best, best_key = dev, key
+        return best
+
+    def _audit_ticket(
+        self,
+        integ: IntegrityState,
+        ticket: Ticket,
+        now: float,
+        busy_until,
+        total: ExecutionMetrics,
+        injector: FaultInjector | None,
+    ) -> tuple[str, float]:
+        """Audit one completed-but-unreported ticket's pair outputs.
+
+        Builds the audit set — every pair whose producer is already
+        suspect (plus, in ``suspect-full`` mode, every pair of a ticket
+        that touched a suspect device), plus a deterministic
+        ``audit_fraction`` sample of the rest — and recomputes each
+        audited pair on a clean auditor device, charging the kernel
+        time to that device's busy horizon.  A checksum mismatch
+        invalidates every resident copy of the output (journal drop
+        reason ``corrupt``), blames the producer, and *escalates*: all
+        remaining pairs of the ticket join the mandatory set, so one
+        caught taint drags its whole ticket through verification.
+
+        The recomputation on the clean device is itself the repair, so
+        a mismatched ticket returns ``("repair", ready_s)`` with
+        ``ready_s`` the horizon where the last audit lands — the caller
+        re-pushes the completion there.  Audit seconds beyond
+        ``audit_budget_frac`` of the run's cumulative compute are not
+        spent: sampled audits are silently skipped (counted), mandatory
+        ones degrade the ticket to ``("flag", now)`` — shed as
+        ``integrity-unverified`` instead of fueling a recompute storm.
+        Clean throughout returns ``("clean", now)``.
+        """
+        cfg = integ.config
+        vector = ticket.vector
+        assignment = ticket.assignment
+        vid = vector.vector_id
+        cm = self.config.cost_model
+        cluster = self.cluster
+        budget_s = cfg.audit_budget_frac * float(total.compute_s.sum())
+        suspect_full = cfg.mode == "suspect-full" and any(
+            integ.is_suspect(d) for d in ticket.devices
+        )
+        to_audit: list[tuple[int, bool]] = []
+        for i in range(len(vector.pairs)):
+            if integ.is_suspect(assignment[i]) or suspect_full:
+                to_audit.append((i, True))
+            elif integ.sampled(vid, i):
+                to_audit.append((i, False))
+        audited: set[int] = set()
+        detected = 0
+        flag = False
+        ready = now
+        k = 0
+        while k < len(to_audit):
+            i, mandatory = to_audit[k]
+            k += 1
+            if i in audited:
+                continue
+            audited.add(i)
+            pair = vector.pairs[i]
+            producer = assignment[i]
+            auditor = self._pick_auditor(producer, integ, busy_until)
+            if auditor is None:
+                if mandatory:
+                    flag = True
+                continue
+            cost = cm.kernel_time(pair, cluster.devices[auditor])
+            if integ.audit_spent_s + cost > budget_s:
+                if mandatory:
+                    flag = True
+                else:
+                    integ.budget_skipped += 1
+                continue
+            integ.charge_audit(cost)
+            busy_until[auditor] = max(busy_until[auditor], now) + cost
+            ready = max(ready, busy_until[auditor])
+            if integ.output_entry(pair.out.uid, producer) is None:
+                integ.clean_audit(producer)
+                continue
+            detected += 1
+            for dev in integ.audit_detected(pair.out.uid, now):
+                if cluster.is_resident(pair.out.uid, dev):
+                    cluster.drop(pair.out.uid, dev, reason="corrupt")
+            if injector is not None:
+                injector.stats.record_event(
+                    "audit", auditor, now, cost,
+                    label=f"audit mismatch: pair {i} of v{vid} (device {producer})",
+                )
+                injector.stats.record_event(
+                    "taint", producer, now, 0.0,
+                    label=f"invalidated output {pair.out.uid}",
+                )
+            for j in range(len(vector.pairs)):
+                if j not in audited:
+                    to_audit.append((j, True))
+        if flag:
+            integ.flag_ticket(detected)
+            return "flag", now
+        if detected:
+            return "repair", ready
+        return "clean", now
+
+    def _quarantine_device(
+        self,
+        device: int,
+        now: float,
+        injector: FaultInjector | None,
+        integ: IntegrityState,
+        pending: dict[int, Ticket],
+        verified: set[int],
+        busy_until,
+        timeline: Timeline,
+        total: ExecutionMetrics,
+        abandon,
+    ) -> None:
+        """Blame crossed the threshold: retire the device from the pool.
+
+        Its resident *corrupt* copies are invalidated first (journal
+        drop reason ``corrupt``) so nothing can fetch them over D2D;
+        then the device drains like an autoscale scale-down — in-flight
+        pairs assigned to it re-execute on the survivors, with their
+        tickets' audit status reset so the re-executed work is audited
+        again.  The last alive device is never retired (a degraded
+        answer beats no answer; mandatory audits of its output will
+        flag what cannot be verified).
+        """
+        for uid in integ.dirty_uids_on(device):
+            if self.cluster.is_resident(uid, device):
+                self.cluster.drop(uid, device, reason="corrupt")
+        if injector is not None:
+            injector.stats.record_event(
+                "blame", device, now, 0.0,
+                label=f"quarantined (corruption ewma {integ.ewma[device]:.3f})",
+            )
+        if not self.cluster.is_alive(device) or self.cluster.num_alive <= 1:
+            return
+        before = self.cluster.num_alive
+        self.cluster.retire_device(device)
+        self._rescale_bounds(before, self.cluster.num_alive)
+        for ticket in [t for t in pending.values() if device in set(t.assignment)]:
+            try:
+                complete = self._reschedule_orphans(
+                    ticket, device, now, busy_until, total,
+                    stats=injector.stats if injector is not None else None,
+                )
+            except FaultError:
+                abandon(ticket, now)
+                continue
+            verified.discard(id(ticket))
+            ticket.epoch += 1
+            timeline.push(VectorCompletion(complete, ticket, epoch=ticket.epoch))
+
+    def _apply_bitflip(
+        self,
+        fault: FaultEvent,
+        now: float,
+        injector: FaultInjector,
+        integ: IntegrityState | None,
+    ) -> None:
+        """Apply a ``tensor_bitflip``: corrupt one resident copy in place.
+
+        The victim is the lowest-uid tensor resident on the event's
+        device at the fault's time (deterministic).  A dead device or
+        an empty pool makes the flip a no-op — there is nothing to
+        corrupt — and without an integrity subsystem the flip is
+        recorded but untracked (nothing can ever detect it).
+        """
+        device = fault.device
+        uid = None
+        if self.cluster.is_alive(device):
+            resident = self.cluster.pools[device].resident_uids()
+            if resident:
+                uid = min(resident)
+        if uid is not None and integ is not None:
+            integ.flip(uid, device, now)
+        injector.stats.record_event(
+            "fault", device, fault.time_s, 0.0,
+            label=(
+                f"tensor bitflip: uid {uid}" if uid is not None
+                else "tensor bitflip: no resident tensor"
+            ),
+        )
 
     # ---------------------------------------------------------------- helpers
     def _schedule_and_execute(

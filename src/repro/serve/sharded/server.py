@@ -45,6 +45,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.journal import ResidencyJournal
 from repro.faults.plan import FaultKind, FaultPlan
 from repro.gpusim.metrics import ExecutionMetrics
+from repro.integrity import IntegrityState
 from repro.schedulers.base import Scheduler
 from repro.schedulers.batching import merge_vectors, split_assignment
 from repro.serve.arrivals import ArrivalProcess, TraceArrivals
@@ -335,6 +336,14 @@ class ShardedServer(MiccoServer):
             FaultInjector(faults, self.cluster.num_devices) if faults is not None else None
         )
         journal = ResidencyJournal(cfg.journal_capacity) if cfg.warm_restore else None
+        integ = (
+            IntegrityState(cfg.integrity, self.cluster.num_devices)
+            if cfg.integrity is not None and cfg.integrity.mode != "off"
+            else None
+        )
+        #: id(ticket) -> audited-and-repaired; re-pushed completions of
+        #: repaired tickets skip a second audit (see VectorCompletion).
+        verified: set[int] = set()
         # Fault-aware admission runs once at the global tier (the shard
         # queues keep plain policies — see _shard_policy).
         gate = (
@@ -783,7 +792,63 @@ class ShardedServer(MiccoServer):
                 label="heartbeat loss",
             )
 
+        def quarantine_blamed(dev: int, now: float) -> None:
+            """Retire a device blamed for silent corruption (sharded path).
+
+            Mirrors :meth:`MiccoServer._quarantine_device` with
+            shard-scoped recovery — the bounds rescale and the orphan
+            rescheduling run through the *owning shard's* scheduler and
+            view — and escalates the blame into the health monitor as a
+            suspicion floor, so routing stops trusting the node even
+            though its heartbeats still arrive on time (corruption is
+            exactly the gray failure heartbeats cannot see).
+            """
+            node = topo.node_of(dev)
+            shard = shards[node]
+            for uid in integ.dirty_uids_on(dev):
+                if self.cluster.is_resident(uid, dev):
+                    self.cluster.drop(uid, dev, reason="corrupt")
+            injector.stats.record_event(
+                "blame", dev, now, 0.0,
+                label=f"quarantined (corruption ewma {integ.ewma[dev]:.3f})",
+            )
+            if monitor is not None:
+                monitor.raise_suspicion(node, hcfg.quarantine_threshold)
+            health_events.append(
+                {
+                    "kind": "blame",
+                    "node": node,
+                    "time_s": now,
+                    "label": f"device {dev} quarantined for corruption",
+                }
+            )
+            if not self.cluster.is_alive(dev) or self.cluster.num_alive <= 1:
+                return
+            if shard.dead or shard.view.num_alive <= 1:
+                # Never retire a shard's last device: a degraded shard
+                # beats a dead one, and mandatory audits of its output
+                # will flag whatever cannot be verified.
+                return
+            before = shard.view.num_alive
+            self.cluster.retire_device(dev)
+            self._rescale_shard_bounds(shard, before, shard.view.num_alive)
+            affected = [t for t in pending.values() if dev in set(t.assignment)]
+            for ticket in sorted(affected, key=lambda t: t.vector.vector_id):
+                try:
+                    complete = self._reschedule_orphans(
+                        ticket, {dev}, now, busy_until, total,
+                        stats=injector.stats,
+                        scheduler=shard.scheduler, cluster=shard.view,
+                    )
+                except FaultError:
+                    abandon(ticket, now)
+                    continue
+                verified.discard(id(ticket))
+                ticket.epoch += 1
+                timeline.push(VectorCompletion(complete, ticket, epoch=ticket.epoch))
+
         self.engine.injector = injector
+        self.engine.integrity = integ
         self.cluster.journal = journal
         # Initial digests so routing works before the first sync fires.
         router.sync(0.0, linkless())
@@ -805,8 +870,13 @@ class ShardedServer(MiccoServer):
                             apply_flap(loss, now)
                         elif loss.kind is FaultKind.HEARTBEAT_LOSS:
                             apply_silence(loss, now)
+                        elif loss.kind is FaultKind.TENSOR_BITFLIP:
+                            self._apply_bitflip(loss, now, injector, integ)
                         else:
                             apply_loss(loss, now)
+                if integ is not None:
+                    for dev in integ.poll_quarantines():
+                        quarantine_blamed(dev, now)
                 for node in sorted(shards):
                     self._autoscale_shard_step(
                         shards[node], now, timeline, pending, busy_until,
@@ -900,6 +970,26 @@ class ShardedServer(MiccoServer):
                 elif isinstance(event, VectorCompletion):
                     if event.epoch != ticket.epoch or ticket.cancelled:
                         continue
+                    if integ is not None and id(ticket) not in verified:
+                        action, ready = self._audit_ticket(
+                            integ, ticket, now, busy_until, total, injector
+                        )
+                        if action == "repair":
+                            verified.add(id(ticket))
+                            ticket.epoch += 1
+                            timeline.push(
+                                VectorCompletion(
+                                    max(ready, now), ticket, epoch=ticket.epoch
+                                )
+                            )
+                            continue
+                        if action == "flag":
+                            report.add_drop(ticket, reason="integrity-unverified")
+                            settle(ticket, now)
+                            continue
+                    if integ is not None:
+                        verified.discard(id(ticket))
+                        integ.note_reported(ticket.vector, ticket.assignment)
                     ticket.complete_s = now
                     rec = report.add_completion(ticket)
                     if hedger is not None:
@@ -1048,6 +1138,7 @@ class ShardedServer(MiccoServer):
                     self._bring_online_shard(shard, event.device, now, busy_until, injector)
         finally:
             self.engine.injector = None
+            self.engine.integrity = None
             self.cluster.journal = None
 
         fault_summary = None
@@ -1159,6 +1250,11 @@ class ShardedServer(MiccoServer):
             sharding=sharding,
             health=health_summary,
             health_events=health_events,
+            integrity=(
+                integ.summary(float(total.compute_s.sum()))
+                if integ is not None
+                else None
+            ),
             events_processed=events_processed,
         )
 

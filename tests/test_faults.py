@@ -492,3 +492,140 @@ class TestAvailabilityProperties:
             stats.close_down_window(0, max(end, start))
         avail = stats.availability(10.0, 1)
         assert 50.0 <= avail <= 100.0  # windows live in [0, 5] of 10 s
+
+
+class TestCorruptionFaultEvents:
+    def test_data_corruption_needs_window_and_probability(self):
+        with pytest.raises(ConfigurationError, match="data_corruption duration_s"):
+            FaultEvent(FaultKind.DATA_CORRUPTION, 0.0, 0, probability=0.5)
+        with pytest.raises(ConfigurationError, match="data_corruption probability"):
+            FaultEvent(FaultKind.DATA_CORRUPTION, 0.0, 0, duration_s=1.0)
+        with pytest.raises(ConfigurationError, match="data_corruption probability"):
+            FaultEvent(
+                FaultKind.DATA_CORRUPTION, 0.0, 0, duration_s=1.0, probability=1.5
+            )
+        ev = FaultEvent(
+            FaultKind.DATA_CORRUPTION, 0.0, 0, duration_s=1.0, probability=0.5
+        )
+        assert ev.probability == 0.5
+
+    def test_probability_rejected_on_other_kinds(self):
+        with pytest.raises(ConfigurationError, match="only meaningful"):
+            FaultEvent(FaultKind.TRANSIENT, 0.0, 0, probability=0.5)
+        with pytest.raises(ConfigurationError, match="only meaningful"):
+            FaultEvent(FaultKind.TENSOR_BITFLIP, 0.0, 0, probability=0.5)
+
+    def test_bitflip_is_a_point_event(self):
+        ev = FaultEvent(FaultKind.TENSOR_BITFLIP, 2.0, 3)
+        assert ev.duration_s == 0.0 and ev.probability == 0.0
+
+    def test_corruption_json_round_trip_keeps_probability(self, tmp_path):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.DATA_CORRUPTION, 1.0, 2, duration_s=0.25,
+                       probability=0.7),
+            FaultEvent(FaultKind.TENSOR_BITFLIP, 2.0, 5),
+        ))
+        path = tmp_path / "plan.json"
+        plan.to_json(path)
+        loaded = FaultPlan.from_json(path)
+        assert loaded == plan
+        corrupt = loaded.of_kind(FaultKind.DATA_CORRUPTION)[0]
+        assert (corrupt.probability, corrupt.duration_s) == (0.7, 0.25)
+
+    def test_validate_devices_names_the_corruption_offender(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.DATA_CORRUPTION, 1.0, 12, duration_s=0.5,
+                       probability=0.5),
+        ))
+        with pytest.raises(ConfigurationError, match="data_corruption.*device 12"):
+            plan.validate_devices(8)
+
+    def test_generate_draws_corruption_faults(self):
+        plan = FaultPlan.generate(
+            7, num_devices=8, horizon_s=1.0,
+            n_transient=0, n_transfer=0, n_straggler=0, n_device_lost=0,
+            n_data_corruption=2, n_tensor_bitflip=3,
+            corruption_prob=0.7, corruption_window_frac=0.5,
+        )
+        corruptions = plan.of_kind("data_corruption")
+        bitflips = plan.of_kind("tensor_bitflip")
+        assert len(corruptions) == 2 and len(bitflips) == 3
+        for e in corruptions:
+            assert e.probability == 0.7
+            assert e.duration_s == pytest.approx(0.5)
+        assert plan == FaultPlan.generate(
+            7, num_devices=8, horizon_s=1.0,
+            n_transient=0, n_transfer=0, n_straggler=0, n_device_lost=0,
+            n_data_corruption=2, n_tensor_bitflip=3,
+            corruption_prob=0.7, corruption_window_frac=0.5,
+        )
+
+    def test_generate_rejects_bad_corruption_prob(self):
+        with pytest.raises(ConfigurationError, match="corruption_prob"):
+            FaultPlan.generate(
+                0, num_devices=4, horizon_s=1.0,
+                n_transient=0, n_transfer=0, n_straggler=0, n_device_lost=0,
+                n_data_corruption=1, corruption_prob=0.0,
+            )
+
+
+class TestCorruptionInjector:
+    def plan(self, prob=1.0):
+        return FaultPlan((
+            FaultEvent(FaultKind.DATA_CORRUPTION, 1.0, 0, duration_s=1.0,
+                       probability=prob),
+        ))
+
+    def test_no_draws_outside_windows(self):
+        inj = FaultInjector(self.plan())
+        inj.poll(0.0)
+        assert inj.take_corruption(0) is False  # window not yet open
+        inj.poll(1.5)
+        assert inj.take_corruption(0) is True  # p = 1 inside the window
+        assert inj.take_corruption(1) is False  # other devices untouched
+        inj.poll(2.5)
+        assert inj.take_corruption(0) is False  # window closed
+
+    def test_draw_sequence_is_plan_deterministic(self):
+        """Kernels outside the window consume no draws: two runs that
+        differ only in pre-window activity corrupt the same kernels."""
+        a = FaultInjector(self.plan(prob=0.5))
+        b = FaultInjector(self.plan(prob=0.5))
+        a.poll(0.5)
+        for _ in range(100):  # pre-window kernels draw nothing
+            assert a.take_corruption(0) is False
+        a.poll(1.2)
+        b.poll(1.2)
+        draws_a = [a.take_corruption(0) for _ in range(50)]
+        draws_b = [b.take_corruption(0) for _ in range(50)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)  # p = 0.5 mixes
+
+    def test_device_loss_clears_corruption_windows(self):
+        inj = FaultInjector(self.plan())
+        inj.poll(1.5)
+        assert inj.take_corruption(0) is True
+        inj.note_device_lost(0, 1.6, orphans=0)
+        assert inj.take_corruption(0) is False
+
+    def test_stats_count_corruption_injections(self):
+        plan = FaultPlan((
+            FaultEvent(FaultKind.DATA_CORRUPTION, 0.0, 0, duration_s=1.0,
+                       probability=0.5),
+            FaultEvent(FaultKind.TENSOR_BITFLIP, 0.5, 1),
+        ))
+        inj = FaultInjector(plan)
+        losses = inj.poll(1.0)
+        assert inj.stats.injected["data_corruption"] == 1
+        assert inj.stats.injected["tensor_bitflip"] == 1
+        assert [e.kind for e in losses] == [FaultKind.TENSOR_BITFLIP]
+
+    def test_bitflip_returned_to_driver(self):
+        """Bitflips need cluster cooperation (a resident tensor to hit),
+        so the injector hands them back rather than arming them."""
+        inj = FaultInjector(FaultPlan((
+            FaultEvent(FaultKind.TENSOR_BITFLIP, 1.0, 2),
+        )))
+        assert inj.poll(0.5) == []
+        (ev,) = inj.poll(1.5)
+        assert ev.kind is FaultKind.TENSOR_BITFLIP and ev.device == 2

@@ -17,9 +17,10 @@ from repro import compat
 from repro.core.config import MiccoConfig
 from repro.gpusim import CostModel, Topology
 from repro.gpusim.device import GIB
+from repro.faults import FaultPlan
 from repro.schedulers.bounds import ReuseBounds
 from repro.schedulers.micco import MiccoScheduler
-from repro.serve import PoissonArrivals, ServeConfig, TenantSpec, serve
+from repro.serve import IntegrityConfig, PoissonArrivals, ServeConfig, TenantSpec, serve
 from repro.workloads import SyntheticWorkload, WorkloadParams
 
 MIB = 1024**2
@@ -31,6 +32,20 @@ def stream(n=24, seed=3):
         vector_size=8, tensor_size=64, repeated_rate=0.6, num_vectors=n, batch=2
     )
     return SyntheticWorkload(params, seed=seed).vectors()
+
+
+#: The integrity mode's fault-event labels carry tensor uids, which are
+#: drawn from a process-global counter — so the fast and reference runs
+#: must share ONE materialized stream for their artifacts to be
+#: byte-comparable (every other mode's artifacts are uid-free).
+_INTEGRITY_VECTORS: list | None = None
+
+
+def integrity_stream():
+    global _INTEGRITY_VECTORS
+    if _INTEGRITY_VECTORS is None:
+        _INTEGRITY_VECTORS = stream()
+    return _INTEGRITY_VECTORS
 
 
 def tenant_roster():
@@ -62,6 +77,27 @@ def run_mode(mode: str):
         )
         cluster = MiccoConfig(num_devices=4, memory_bytes=2 * GIB)
         return serve(cfg, cluster=cluster, seed=SEED)
+    if mode == "integrity":
+        # Spot-audit chaos run: silent corruption + bitflips, detection,
+        # audit recomputation and blame must replay identically through
+        # both cores (the integrity layer draws no RNG state — every
+        # decision is a counter hash).
+        plan = FaultPlan.generate(
+            SEED, num_devices=4, horizon_s=0.01,
+            n_transient=1, n_data_corruption=1, n_tensor_bitflip=1,
+            corruption_prob=0.6,
+        )
+        cfg = ServeConfig(
+            queue_capacity=16, faults=plan,
+            integrity=IntegrityConfig(mode="spot", audit_fraction=0.3),
+        )
+        cluster = MiccoConfig(num_devices=4, memory_bytes=64 * MIB)
+        return serve(
+            cfg, cluster=cluster,
+            scheduler=MiccoScheduler(ReuseBounds(0, 4, 0)),
+            vectors=integrity_stream(), arrivals=PoissonArrivals(4_000.0),
+            seed=SEED,
+        )
     if mode == "sharded":
         topo = Topology(num_devices=8, devices_per_node=4)
         cluster = MiccoConfig(
@@ -86,7 +122,7 @@ def artifacts(result, tmp_path, tag):
     return report_path.read_bytes(), trace_path.read_bytes()
 
 
-MODES = ("single", "tenants", "batched", "sharded")
+MODES = ("single", "tenants", "batched", "sharded", "integrity")
 
 
 @pytest.mark.parametrize("mode", MODES)

@@ -171,6 +171,37 @@ class TestSinks:
         with pytest.raises(ConfigurationError):
             SamplingSink(stride=0)
 
+    def test_sampling_sink_never_drops_integrity_or_fault_lanes(self):
+        """fault/audit/taint/blame events are each individually
+        meaningful; a sampled trace must keep every one of them."""
+        from repro.gpusim.trace import ALWAYS_KEPT_KINDS
+
+        tr = TraceRecorder(SamplingSink(stride=1000))
+        kinds = sorted(ALWAYS_KEPT_KINDS)
+        assert kinds == ["audit", "blame", "fault", "taint"]
+        for _ in range(5):
+            for kind in kinds:
+                tr.record(kind, 0, 0.0)
+            tr.record("kernel", 0, 1.0)
+        kept = [e.kind for e in tr.events]
+        for kind in kinds:
+            assert kept.count(kind) == 5
+
+    def test_always_kept_kinds_do_not_perturb_thinning(self):
+        """The bypass must not advance the stride counter: the thinned
+        subset of the other kinds is identical however many fault or
+        integrity events interleave with them."""
+        plain = TraceRecorder(SamplingSink(stride=3))
+        noisy = TraceRecorder(SamplingSink(stride=3))
+        for i in range(9):
+            plain.record("kernel", 0, 1.0)
+            noisy.record("fault", 0, 0.0)
+            noisy.record("kernel", 0, 1.0)
+            noisy.record("audit", 1, 0.0)
+        assert [e.start_s for e in plain.events if e.kind == "kernel"] == [
+            e.start_s for e in noisy.events if e.kind == "kernel"
+        ]
+
     def test_sinks_satisfy_protocol(self):
         for sink in (FullSink(), NullSink(), SamplingSink()):
             assert isinstance(sink, TraceSink)

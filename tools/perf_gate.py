@@ -15,6 +15,14 @@ when the runner itself got faster.  A baseline without a
 ``throughput`` section (older payloads) passes trivially — the gate
 arms itself on the first commit that carries one.
 
+The ``integrity`` section gets an *absolute* bound instead of a
+baseline diff: spot-mode auditing on the clean throughput workload
+must charge less than 10 % of compute time to audit recomputation.
+That figure is a pure function of the seed (the integrity layer draws
+no RNG state), so it gates hard on every run; the wall events/sec
+ratio vs integrity-off is printed for context only.  A fresh payload
+without an ``integrity`` section passes trivially.
+
 Usage::
 
     python tools/perf_gate.py                 # fresh ./BENCH_serve.json vs HEAD
@@ -105,6 +113,39 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
     return failures
 
 
+#: Hard ceiling on the simulated spot-audit overhead fraction.
+SPOT_AUDIT_OVERHEAD_BOUND = 0.10
+
+
+def check_integrity(fresh: dict) -> list[str]:
+    """Absolute bounds on the fresh ``integrity`` section.
+
+    No baseline is consulted: the simulated audit overhead is
+    deterministic, so the bound holds or the bench itself regressed.
+    """
+    section = fresh.get("integrity")
+    if section is None:
+        print("perf gate: fresh payload has no integrity section; skipping")
+        return []
+
+    failures = []
+    overhead = section["spot"]["audit_overhead_frac"]
+    ok = overhead < SPOT_AUDIT_OVERHEAD_BOUND
+    arrow = "ok  " if ok else "FAIL"
+    print(f"perf gate: {arrow} spot-audit overhead (simulated): "
+          f"{overhead:.1%} (bound {SPOT_AUDIT_OVERHEAD_BOUND:.0%})")
+    if not ok:
+        failures.append(
+            f"spot-audit overhead {overhead:.1%} "
+            f"(>= {SPOT_AUDIT_OVERHEAD_BOUND:.0%})"
+        )
+    ratio = section.get("spot_events_rate_ratio")
+    if ratio is not None:
+        print(f"perf gate: info spot vs integrity-off events/sec (wall): "
+              f"{ratio:.2f}x")
+    return failures
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -129,12 +170,13 @@ def main(argv=None) -> int:
 
     fresh = load_fresh(args.fresh)
     baseline = load_baseline(args.baseline_rev, args.baseline_path)
+    failures = []
     if baseline is None:
         print(f"perf gate: no baseline at {args.baseline_rev}:"
-              f"{args.baseline_path}; passing")
-        return 0
-
-    failures = check(fresh, baseline, args.tolerance)
+              f"{args.baseline_path}; skipping baseline diff")
+    else:
+        failures += check(fresh, baseline, args.tolerance)
+    failures += check_integrity(fresh)
     if failures:
         print("perf gate: FAILED")
         for line in failures:
