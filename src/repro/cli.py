@@ -152,9 +152,43 @@ def build_serve_parser() -> argparse.ArgumentParser:
     )
     system.add_argument(
         "--routing",
-        choices=("least-loaded", "residency-affinity", "threshold-local"),
+        # Mirrors repro.serve.ROUTING_POLICIES; kept literal so building
+        # the parser (and `micco --help`) never imports the serve stack.
+        choices=("least-loaded", "residency-affinity", "threshold-local", "learned"),
         default=None,
         help="with --sharded: global routing policy (default least-loaded)",
+    )
+    system.add_argument(
+        "--explore-floor",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help=(
+            "with --routing learned: probability of routing a vector to a "
+            "uniformly random shard instead of the predicted-fastest one "
+            "(default 0.05; 0 disables exploration)"
+        ),
+    )
+    system.add_argument(
+        "--min-samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --routing learned: completed-latency samples each shard "
+            "must accumulate before predictions are trusted; until then the "
+            "router falls back to the least-loaded ranking (default 24)"
+        ),
+    )
+    system.add_argument(
+        "--refit-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --routing learned: refit each per-shard predictor after "
+            "this many new samples (default 16)"
+        ),
     )
     system.add_argument(
         "--health",
@@ -385,6 +419,12 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
         overrides["sync_interval_s"] = args.sync_interval
     if args.routing is not None:
         overrides["routing"] = args.routing
+    if args.explore_floor is not None:
+        overrides["explore_floor"] = args.explore_floor
+    if args.min_samples is not None:
+        overrides["min_samples"] = args.min_samples
+    if args.refit_interval is not None:
+        overrides["refit_interval"] = args.refit_interval
     if args.health or args.hedge:
         # --hedge implies --health; either flag layers onto any health
         # block the config file already carries.
@@ -516,6 +556,19 @@ def _run_serve(argv: list[str], *, chaos: bool = False) -> int:
             f"{sh['syncs']} syncs)   "
             f"{sh['forwards']} forward(s), {sh['rerouted']} rerouted, "
             f"{sh['cross_node_fetches']} cross-node fetch(es)"
+        )
+    if result.routing is not None:
+        r = result.routing
+        errs = [
+            s["mean_abs_err_ms"]
+            for s in r["per_shard"].values()
+            if s["mean_abs_err_ms"] is not None
+        ]
+        err = f"{sum(errs) / len(errs):.3f} ms" if errs else "n/a"
+        print(
+            f"  routing    learned: {r['learned']} predicted, "
+            f"{r['fallback']} cold-start fallback(s), {r['explored']} explored "
+            f"(floor {r['explore_floor']:g})   mean |err| {err}"
         )
     if result.tenants is not None:
         for name, sec in result.tenants.items():

@@ -41,9 +41,11 @@ from repro.errors import ConfigurationError
 #: pool changes (scale-up → scale-online → scale-down), the
 #: dispatcher's batched scheduling rounds (batch), the health
 #: subsystem's lifecycle / hedge / breaker transitions
-#: (health, hedge, breaker), and the integrity subsystem's audit
+#: (health, hedge, breaker), the integrity subsystem's audit
 #: recomputations, taint invalidations and blame transitions
-#: (audit, taint, blame).
+#: (audit, taint, blame), and the learned routing policy's per-shard
+#: predictor refits and warm-up transition (routing-refit,
+#: routing-warm).
 EVENT_KINDS = (
     "batch",
     "h2d",
@@ -70,6 +72,8 @@ EVENT_KINDS = (
     "audit",
     "taint",
     "blame",
+    "routing-refit",
+    "routing-warm",
 )
 
 #: Kinds a sampling sink must never thin: fault and integrity events are

@@ -19,6 +19,7 @@ from repro.ml.forest import RandomForestRegressor
 from repro.ml.gbm import GradientBoostingRegressor
 from repro.ml.linear import LinearRegression
 from repro.ml.metrics import r2_score, spearmanr, spearman_matrix
+from repro.ml.online import SlidingWindowRegressor
 from repro.ml.tuner import ReuseBoundTuner, TuningSample
 from repro.ml.dataset import build_training_set, TrainingSet, sample_characteristics_grid
 from repro.ml.predictor import ReuseBoundPredictor, train_default_predictor
@@ -29,6 +30,7 @@ __all__ = [
     "RandomForestRegressor",
     "GradientBoostingRegressor",
     "LinearRegression",
+    "SlidingWindowRegressor",
     "r2_score",
     "spearmanr",
     "spearman_matrix",

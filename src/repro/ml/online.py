@@ -1,0 +1,104 @@
+"""Incremental refit support: a sliding-window online regressor.
+
+The offline models in this package (:mod:`repro.ml.linear`,
+:mod:`repro.ml.forest`, ...) are batch learners: one ``fit`` over a
+materialized training set.  Online consumers — the learned routing
+policy in :mod:`repro.serve.sharded.learned` — instead observe one
+``(features, target)`` sample at a time and want predictions that
+track a drifting target (a shard slowing down mid-run) without paying
+a full refit per observation.
+
+:class:`SlidingWindowRegressor` wraps any batch model behind a bounded
+sample window and an amortized refit schedule: samples accumulate in a
+``deque(maxlen=window)`` and the wrapped model is refit from the
+current window every ``refit_interval`` observations (and once
+immediately when ``min_samples`` is first reached).  Everything is
+deterministic: no RNG is drawn, and the refit cadence is a pure
+function of the observation sequence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.linear import LinearRegression
+
+
+class SlidingWindowRegressor:
+    """A batch regressor refit incrementally over a bounded window.
+
+    Parameters
+    ----------
+    model_factory:
+        Zero-argument callable returning a fresh batch model with
+        ``fit(X, y)`` / ``predict(X)`` (default
+        :class:`~repro.ml.linear.LinearRegression`).  A fresh model is
+        built per refit so stale coefficients never leak across
+        windows.
+    window:
+        Maximum samples retained; older samples fall off the far end.
+    refit_interval:
+        Observations between refits once the model is warm.
+    min_samples:
+        Observations required before the first fit (at least 2 — the
+        linear model refuses to fit a line through fewer points).
+    """
+
+    def __init__(
+        self,
+        model_factory=LinearRegression,
+        *,
+        window: int = 512,
+        refit_interval: int = 16,
+        min_samples: int = 8,
+    ):
+        if window < 2:
+            raise ModelError(f"window must be >= 2, got {window}")
+        if refit_interval < 1:
+            raise ModelError(
+                f"refit_interval must be >= 1, got {refit_interval}"
+            )
+        if min_samples < 2:
+            raise ModelError(f"min_samples must be >= 2, got {min_samples}")
+        if min_samples > window:
+            raise ModelError(
+                f"min_samples ({min_samples}) cannot exceed window ({window})"
+            )
+        self._factory = model_factory
+        self._window: deque[tuple[np.ndarray, float]] = deque(maxlen=window)
+        self.refit_interval = int(refit_interval)
+        self.min_samples = int(min_samples)
+        self._model = None
+        self._since_fit = 0
+        self.samples = 0  #: total observations ever fed in
+        self.refits = 0  #: completed refits
+
+    @property
+    def fitted(self) -> bool:
+        return self._model is not None
+
+    def observe(self, x, y: float) -> bool:
+        """Feed one sample; returns ``True`` when a refit happened."""
+        self._window.append((np.asarray(x, dtype=np.float64), float(y)))
+        self.samples += 1
+        self._since_fit += 1
+        warm_enough = len(self._window) >= self.min_samples
+        due = self._model is None or self._since_fit >= self.refit_interval
+        if not (warm_enough and due):
+            return False
+        X = np.stack([x for x, _ in self._window])
+        Y = np.array([y for _, y in self._window])
+        self._model = self._factory().fit(X, Y)
+        self._since_fit = 0
+        self.refits += 1
+        return True
+
+    def predict_one(self, x) -> float | None:
+        """Predicted target for one feature row, ``None`` while cold."""
+        if self._model is None:
+            return None
+        out = self._model.predict(np.asarray(x, dtype=np.float64))
+        return float(np.asarray(out).reshape(-1)[0])

@@ -27,7 +27,11 @@ The two-level sharded control plane (:mod:`repro.serve.sharded`,
 enabled with ``ServeConfig(sharded=True)``) replaces the single loop
 with a global router over per-node local schedulers coordinated through
 periodically synced load/residency digests — same timeline, same
-determinism, distributed control decisions.
+determinism, distributed control decisions.  Routing is pluggable:
+three static digest heuristics plus ``"learned"``
+(:mod:`repro.serve.sharded.learned`), an online per-shard
+completion-latency predictor that routes to the argmin predicted
+latency with a seeded exploration floor.
 
 Gray-failure resilience (:mod:`repro.serve.health`, enabled with
 ``ServeConfig(health=HealthConfig())`` on sharded runs) handles the
@@ -83,6 +87,7 @@ from repro.serve.server import MiccoServer, MultiTenantServer, ServeConfig, Serv
 from repro.serve.sharded import (
     ROUTING_POLICIES,
     GlobalScheduler,
+    LearnedRouting,
     NodeRuntime,
     RoutingPolicy,
     ShardSnapshot,
@@ -166,5 +171,6 @@ __all__ = [
     "ShardSnapshot",
     "RoutingPolicy",
     "ROUTING_POLICIES",
+    "LearnedRouting",
     "make_routing_policy",
 ]

@@ -382,6 +382,10 @@ class HealthMonitor:
         """Anything short of HEALTHY is deprioritized by routing."""
         return self.state[node] is not ShardHealthState.HEALTHY
 
+    def quarantine_count(self, node: int) -> int:
+        """Times ``node`` has entered quarantine so far (routing feature)."""
+        return sum(1 for ep in self.quarantine_episodes if ep["node"] == node)
+
     def summary(self) -> dict:
         """JSON-ready health section for the serve report."""
         return {

@@ -171,7 +171,22 @@ class ServeConfig:
         Global routing policy name — one of
         :data:`~repro.serve.sharded.routing.ROUTING_POLICIES`
         (``"least-loaded"``, ``"residency-affinity"``,
-        ``"threshold-local"``).
+        ``"threshold-local"``, ``"learned"``).  Unknown names fail at
+        config-parse time, not after the run has started.
+    explore_floor:
+        Learned routing only: probability in ``[0, 1)`` that a warm
+        decision picks a uniform-random candidate instead of the
+        argmin predicted latency, so every shard keeps getting sampled
+        (a recovered shard can be re-discovered).  Drawn from the
+        run-seeded exploration stream — fixed seeds replay
+        byte-identically.
+    min_samples:
+        Learned routing only: observed completions required on *every*
+        candidate shard's model before predictions are trusted; below
+        it routing falls back to the least-loaded ranking (cold start).
+    refit_interval:
+        Learned routing only: observations between incremental refits
+        of a shard's sliding-window latency model.
     health:
         Gray-failure health subsystem
         (:class:`~repro.serve.health.HealthConfig`): heartbeat-driven
@@ -216,6 +231,9 @@ class ServeConfig:
     sharded: bool = False
     sync_interval_s: float = 0.05
     routing: str = "least-loaded"
+    explore_floor: float = 0.05
+    min_samples: int = 24
+    refit_interval: int = 16
     health: HealthConfig | None = None
     trace: TraceConfig | None = None
     integrity: IntegrityConfig | None = None
@@ -270,6 +288,18 @@ class ServeConfig:
             raise ConfigurationError(
                 f"unknown routing policy {self.routing!r}; expected one of {ROUTING_POLICIES}"
             )
+        if not 0 <= self.explore_floor < 1:
+            raise ConfigurationError(
+                f"explore_floor must be in [0, 1), got {self.explore_floor}"
+            )
+        if self.min_samples < 2:
+            raise ConfigurationError(
+                f"min_samples must be >= 2, got {self.min_samples}"
+            )
+        if self.refit_interval < 1:
+            raise ConfigurationError(
+                f"refit_interval must be >= 1, got {self.refit_interval}"
+            )
         if self.health is not None and not isinstance(self.health, HealthConfig):
             raise ConfigurationError(
                 f"health must be a HealthConfig or None, got {self.health!r}"
@@ -304,9 +334,11 @@ class ServeConfig:
     #: health tracking, circuit breakers, hedged dispatch); version 6
     #: added the ``trace`` block (engine trace sink selection); version
     #: 7 added the ``integrity`` block (checksum lineage, audit
-    #: recomputation, blame-driven quarantine).  Older files still load
-    #: with the later versions' knobs at their defaults.
-    CONFIG_VERSION = 7
+    #: recomputation, blame-driven quarantine); version 8 added the
+    #: learned-routing knobs (``explore_floor``/``min_samples``/
+    #: ``refit_interval``).  Older files still load with the later
+    #: versions' knobs at their defaults.
+    CONFIG_VERSION = 8
 
     # ------------------------------------------------------------ persistence
     def to_dict(self) -> dict:
@@ -330,6 +362,9 @@ class ServeConfig:
             "sharded": self.sharded,
             "sync_interval_s": self.sync_interval_s,
             "routing": self.routing,
+            "explore_floor": self.explore_floor,
+            "min_samples": self.min_samples,
+            "refit_interval": self.refit_interval,
             "health": self.health.to_dict() if self.health else None,
             "trace": self.trace.to_dict() if self.trace else None,
             "integrity": self.integrity.to_dict() if self.integrity else None,
@@ -340,9 +375,9 @@ class ServeConfig:
         if not isinstance(d, dict):
             raise ConfigurationError(f"serve config must be a JSON object, got {d!r}")
         version = d.get("version", cls.CONFIG_VERSION)
-        if version not in (1, 2, 3, 4, 5, 6, 7):
+        if version not in (1, 2, 3, 4, 5, 6, 7, 8):
             raise ConfigurationError(
-                f"unsupported serve config version {version!r}; this build reads 1 through 7"
+                f"unsupported serve config version {version!r}; this build reads 1 through 8"
             )
         known = {
             "queue_capacity", "queue_policy", "max_inflight",
@@ -358,6 +393,7 @@ class ServeConfig:
         v5_keys = {"health"}
         v6_keys = {"trace"}
         v7_keys = {"integrity"}
+        v8_keys = {"explore_floor", "min_samples", "refit_interval"}
         if version >= 2:
             known |= v2_keys
         if version >= 3:
@@ -370,6 +406,8 @@ class ServeConfig:
             known |= v6_keys
         if version >= 7:
             known |= v7_keys
+        if version >= 8:
+            known |= v8_keys
         unknown = set(d) - known
         if unknown:
             raise ConfigurationError(f"unknown serve config keys: {sorted(unknown)}")
@@ -381,6 +419,7 @@ class ServeConfig:
                 *sorted(v2_keys),
                 *sorted(v3_keys),
                 *sorted(v4_keys),
+                *sorted(v8_keys),
             )
             if k in d
         }
@@ -451,6 +490,13 @@ class ServeResult:
     #: Timeline events processed by the serving loop (control-plane
     #: work, the denominator of the events/sec benchmark figure).
     events_processed: int = 0
+    #: Learned-routing section (decision/exploration counters, per-shard
+    #: sample counts, refits and mean absolute prediction error);
+    #: ``None`` unless :attr:`ServeConfig.routing` is ``"learned"``.
+    routing: dict | None = None
+    #: Replayable learned-routing event log — model refits and the
+    #: cold-start→warm transition (empty for static policies).
+    routing_events: list[dict] = field(default_factory=list)
     #: Engine-level event recorder for the run; populated only when
     #: :attr:`ServeConfig.trace` selects ``"full"`` or ``"sampling"``.
     engine_trace: TraceRecorder | None = None
@@ -490,6 +536,8 @@ class ServeResult:
             out["health"] = self.health
         if self.integrity is not None:
             out["integrity"] = self.integrity
+        if self.routing is not None:
+            out["routing"] = self.routing
         out["events_processed"] = self.events_processed
         return out
 
@@ -516,6 +564,9 @@ class ServeResult:
             payload["health_events"] = self.health_events
         if self.integrity is not None:
             payload["integrity"] = self.integrity
+        if self.routing is not None:
+            payload["routing"] = self.routing
+            payload["routing_events"] = self.routing_events
         if self.rounds:
             payload["rounds"] = self.rounds
         if extra:
@@ -529,7 +580,9 @@ class ServeResult:
         batched scheduling rounds on a ``batch`` lane block below the
         device lanes (``-(num_devices + 1 + round_id)``), and health /
         hedge / breaker events on a per-node lane block far below both
-        (``-(100_000 + node)``), so none of them collide with the
+        (``-(100_000 + node)``), and learned-routing events (refits,
+        warm-up) on their own per-node block below that
+        (``-(200_000 + node)``), so none of them collide with the
         per-vector lanes (vector ids are non-negative).
 
         With :attr:`trace_mode` ``"off"`` an empty recorder is returned
@@ -571,6 +624,14 @@ class ServeResult:
             trace.record_at(
                 ev["kind"],
                 -(100_000 + ev["node"]),
+                ev["time_s"],
+                0.0,
+                label=ev["label"],
+            )
+        for ev in self.routing_events:
+            trace.record_at(
+                f"routing-{ev['kind']}",
+                -(200_000 + ev["node"]),
                 ev["time_s"],
                 0.0,
                 label=ev["label"],

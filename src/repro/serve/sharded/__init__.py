@@ -7,6 +7,7 @@ load/residency digests.  :class:`ShardedServer` is the façade; enable
 it with ``ServeConfig(sharded=True)`` or ``micco serve --sharded``.
 """
 
+from repro.serve.sharded.learned import LearnedRouting
 from repro.serve.sharded.node import NodeDigest, NodeRuntime, ShardView
 from repro.serve.sharded.routing import (
     ROUTING_POLICIES,
@@ -22,6 +23,7 @@ from repro.serve.sharded.server import GlobalScheduler, ShardedServer
 __all__ = [
     "ROUTING_POLICIES",
     "GlobalScheduler",
+    "LearnedRouting",
     "LeastLoaded",
     "NodeDigest",
     "NodeRuntime",

@@ -139,7 +139,26 @@ class NodeRuntime:
         #: Devices of this shard warming up (autoscale / replacement).
         self.pending_online: set[int] = set()
         #: Tickets the router sent here since the last digest sync.
+        #: Charged at placement (direct dispatch, queue admission,
+        #: forward landings and hedge clones alike) and *discharged*
+        #: when a charged ticket leaves the shard without completing —
+        #: shed, abandoned, hedge-cancelled, quarantine-drained or
+        #: rerouted — so the correction never counts work the shard no
+        #: longer holds.
         self.routed_since_sync = 0
+        #: Charged tickets that completed since the last sync.  Kept so
+        #: the conservation invariant is checkable at every sync:
+        #: ``routed_since_sync == completed_since_sync + charged tickets
+        #: still queued or in flight here``.
+        self.completed_since_sync = 0
+        #: Bumped at every digest refresh; charges stamp the epoch they
+        #: were made under so a stale charge (made before the counter
+        #: reset) is never double-reversed.
+        self.sync_epoch = 0
+        #: id(ticket) -> ticket for every member dispatched on this
+        #: shard and not yet settled (the audit-side complement of the
+        #: ``inflight`` round counter).
+        self.inflight_tickets: dict[int, object] = {}
         #: (bounds, alive-count) anchor for per-shard bound rescaling.
         self.bounds_anchor: tuple | None = None
         # ----- counters for the report's sharding section -----
@@ -173,8 +192,23 @@ class NodeRuntime:
             residency=residency,
         )
 
-    def snapshot(self, digest: NodeDigest, suspect: bool = False) -> ShardSnapshot:
-        """Combine the last digest with the router-side correction."""
+    def snapshot(
+        self,
+        digest: NodeDigest,
+        suspect: bool = False,
+        *,
+        age_s: float = 0.0,
+        suspicion: float = 0.0,
+        quarantines: int = 0,
+        breaker: int = 0,
+        blame: float = 0.0,
+    ) -> ShardSnapshot:
+        """Combine the last digest with the router-side correction.
+
+        The keyword-only tail carries the enriched features for
+        ``wants_features`` policies; static policies call with defaults
+        and get exactly the historical snapshot.
+        """
         return ShardSnapshot(
             node=self.node,
             alive=digest.alive,
@@ -184,6 +218,11 @@ class NodeRuntime:
             suspect=suspect,
             residency=digest.residency,
             pending=self.routed_since_sync,
+            age_s=age_s,
+            suspicion=suspicion,
+            quarantines=quarantines,
+            breaker=breaker,
+            blame=blame,
         )
 
     def drain_queue(self):

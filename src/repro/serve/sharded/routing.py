@@ -27,7 +27,9 @@ from repro.gpusim.costmodel import lex_argmin
 
 #: Routing policy names accepted by ``ServeConfig.routing`` and
 #: ``micco serve --routing``.
-ROUTING_POLICIES = ("least-loaded", "residency-affinity", "threshold-local")
+ROUTING_POLICIES = (
+    "least-loaded", "residency-affinity", "threshold-local", "learned"
+)
 
 #: Below this many candidate shards a plain tuple-key ``min`` beats the
 #: numpy path (same crossover logic as the schedulers' candidate scan).
@@ -98,6 +100,18 @@ class ShardSnapshot:
     residency: dict = field(default_factory=dict)
     #: Tickets routed to this shard since its digest was taken.
     pending: int = 0
+    #: --- Enriched features (filled only for ``wants_features`` policies;
+    #: static policies never pay for them and never see them). ---
+    #: Seconds since the digest was taken (staleness of everything above).
+    age_s: float = 0.0
+    #: Phi-accrual suspicion score from the health monitor.
+    suspicion: float = 0.0
+    #: Times this shard has entered quarantine so far.
+    quarantines: int = 0
+    #: Forwarding circuit-breaker state: 0 closed, 1 half-open, 2 open.
+    breaker: int = 0
+    #: Max corruption-blame EWMA over the shard's devices.
+    blame: float = 0.0
 
     @property
     def backlog(self) -> int:
@@ -115,6 +129,12 @@ class RoutingPolicy(ABC):
     """
 
     name: str = "?"
+    #: Policies that opt in receive snapshots carrying the enriched
+    #: feature fields (age, suspicion, quarantines, breaker, blame) and
+    #: placement/outcome callbacks from the router.  Static policies
+    #: leave this ``False`` so their snapshots — and artifacts — stay
+    #: byte-identical to the pre-learned-routing code path.
+    wants_features: bool = False
 
     @abstractmethod
     def choose(self, vector, snapshots: list[ShardSnapshot]) -> int:
@@ -198,6 +218,13 @@ def make_routing_policy(name: str, **kwargs) -> RoutingPolicy:
         return ResidencyAffinity()
     if name == "threshold-local":
         return ThresholdLocal(**kwargs)
+    if name == "learned":
+        # Imported lazily: learned.py pulls in repro.ml (numpy model
+        # stack), and this module must stay a leaf for ServeConfig's
+        # parse-time validation.
+        from repro.serve.sharded.learned import LearnedRouting
+
+        return LearnedRouting(**kwargs)
     raise ConfigurationError(
         f"unknown routing policy {name!r}; expected one of {ROUTING_POLICIES}"
     )

@@ -10,8 +10,9 @@ whole plane still executes on one deterministic
 for bit; what changes is the *scope* of every control decision:
 
 * arrivals are routed (``least-loaded`` / ``residency-affinity`` /
-  ``threshold-local``) to a shard, forwarded to the next-best shard
-  when the target's queue is full;
+  ``threshold-local`` / ``learned`` — see
+  :mod:`repro.serve.sharded.learned`) to a shard, forwarded to the
+  next-best shard when the target's queue is full;
 * each shard batches and places only over its own devices — the
   balance share, the reuse bounds and the candidate tiers are all
   shard-local;
@@ -85,6 +86,21 @@ from repro.serve.timeline import (
 from repro.tensor.spec import VectorSpec
 from repro.workloads.characteristics import CharacteristicsTracker
 
+#: Test hook invoked at the top of every :meth:`GlobalScheduler.sync`
+#: (before the digests refresh) with ``(router, now, unreachable)``.
+#: The digest-conservation property test installs an auditor here to
+#: check, at each sync, that every live shard's ``routed_since_sync``
+#: reconciles exactly with its completed-since-sync count plus the
+#: charged tickets still queued or in flight.  ``None`` in production.
+SYNC_AUDIT_HOOK = None
+
+#: Circuit-breaker state encoded as a routing feature.
+_BREAKER_CODE = {
+    CircuitBreaker.CLOSED: 0,
+    CircuitBreaker.HALF_OPEN: 1,
+    CircuitBreaker.OPEN: 2,
+}
+
 
 class GlobalScheduler:
     """The global routing tier: stale digests in, shard choices out.
@@ -120,6 +136,12 @@ class GlobalScheduler:
         #: suspect shards are deprioritized and quarantined/probation
         #: shards excluded from routing (with a never-strand fallback).
         self.monitor: HealthMonitor | None = None
+        #: Per-node forwarding breakers (set by the server when health
+        #: is on); read here only as a ``wants_features`` routing input.
+        self.breakers: dict[int, CircuitBreaker] = {}
+        #: Optional ``node -> corruption-blame EWMA`` callable (set by
+        #: the server when the integrity layer is on).
+        self.blame_of = None
         #: Digest refreshes performed.
         self.syncs = 0
         #: Full-queue forward hops (ticket bounced to the next shard).
@@ -138,6 +160,8 @@ class GlobalScheduler:
         inference exists to catch.  Router-side ``routed_since_sync``
         corrections are likewise kept for unreachable shards.
         """
+        if SYNC_AUDIT_HOOK is not None:
+            SYNC_AUDIT_HOOK(self, now, unreachable)
         self.syncs += 1
         for node in sorted(self.shards):
             shard = self.shards[node]
@@ -148,14 +172,40 @@ class GlobalScheduler:
                 continue
             self.digests[node] = shard.digest(now, linkless_devices)
             shard.routed_since_sync = 0
+            shard.completed_since_sync = 0
+            shard.sync_epoch += 1
 
-    def route(self, vector: VectorSpec, exclude=frozenset()) -> int | None:
+    def _snapshot(self, node: int, digest, now: float):
+        """Router-side snapshot, enriched only for opted-in policies."""
+        shard = self.shards[node]
+        monitor = self.monitor
+        suspect = monitor.is_suspect(node) if monitor is not None else False
+        if not self.policy.wants_features:
+            return shard.snapshot(digest, suspect=suspect)
+        breaker = self.breakers.get(node)
+        return shard.snapshot(
+            digest,
+            suspect=suspect,
+            age_s=max(now - digest.time_s, 0.0),
+            suspicion=(
+                monitor.suspicion(node, now) if monitor is not None else 0.0
+            ),
+            quarantines=(
+                monitor.quarantine_count(node) if monitor is not None else 0
+            ),
+            breaker=(
+                _BREAKER_CODE[breaker.state] if breaker is not None else 0
+            ),
+            blame=self.blame_of(node) if self.blame_of is not None else 0.0,
+        )
+
+    def route(self, vector: VectorSpec, now: float, exclude=frozenset()) -> int | None:
         """Choose a live shard for ``vector``; ``None`` when none remain.
 
         Routing state is *not* charged here: the caller commits the
-        choice (queue offer or direct dispatch) and bumps
-        ``routed_since_sync`` only on success, so a full-queue rejection
-        does not inflate the shard's estimated backlog.
+        choice (queue offer or direct dispatch) and calls
+        :meth:`charge` only on success, so a full-queue rejection does
+        not inflate the shard's estimated backlog.
 
         With a health monitor attached, quarantined/probation/dead
         shards are excluded outright and suspect shards are flagged so
@@ -169,8 +219,7 @@ class GlobalScheduler:
         for node, digest in sorted(self.digests.items()):
             if node in exclude or self.shards[node].dead:
                 continue
-            suspect = monitor.is_suspect(node) if monitor is not None else False
-            snap = self.shards[node].snapshot(digest, suspect=suspect)
+            snap = self._snapshot(node, digest, now)
             if monitor is not None and monitor.is_unroutable(node):
                 avoided.append(snap)
             else:
@@ -179,6 +228,76 @@ class GlobalScheduler:
         if not candidates:
             return None
         return self.policy.choose(vector, candidates)
+
+    # ------------------------------------------- between-sync charge ledger
+    def charge(self, ticket: Ticket, node: int, now: float) -> None:
+        """Count a committed placement in the shard's stale correction.
+
+        Every successful placement charges — direct dispatch, queue
+        admission, forward landings, re-routes and hedge clones alike —
+        because all of them are load the digest has not seen yet.  The
+        ticket records which shard (and which digest epoch) it charged
+        so :meth:`discharge` can reverse exactly this correction if the
+        ticket later leaves the shard without completing.
+        """
+        shard = self.shards[node]
+        shard.routed_since_sync += 1
+        ticket.charge_node = node
+        ticket.charge_epoch = shard.sync_epoch
+        if self.policy.wants_features:
+            digest = self.digests.get(node)
+            if digest is not None:
+                self.policy.note_placed(
+                    ticket, self._snapshot(node, digest, now), now
+                )
+
+    def discharge(self, ticket: Ticket, now: float) -> None:
+        """Reverse a ticket's pending charge (shed/abandon/cancel/reroute).
+
+        A charge stamped under a superseded digest epoch was already
+        wiped by the sync-time counter reset, so only a current-epoch
+        charge decrements; either way the ticket's charge is cleared
+        and any pending learned-routing sample is dropped (its latency
+        would not be a completion latency).
+        """
+        node = ticket.charge_node
+        if node is None:
+            return
+        ticket.charge_node = None
+        shard = self.shards.get(node)
+        if (
+            shard is not None
+            and not shard.dead
+            and ticket.charge_epoch == shard.sync_epoch
+            and shard.routed_since_sync > 0
+        ):
+            shard.routed_since_sync -= 1
+        ticket.charge_epoch = -1
+        if self.policy.wants_features:
+            self.policy.note_outcome(ticket, now, completed=False)
+
+    def note_completion(self, ticket: Ticket, now: float) -> None:
+        """Settle a charged ticket's ledger entry on completion.
+
+        The completion does *not* decrement ``routed_since_sync`` —
+        the router deliberately never corrects for completions it has
+        not heard about (the two-level coordination gap) — it only
+        moves the charge to ``completed_since_sync`` so the sync-time
+        conservation audit can reconcile the counters exactly.
+        """
+        node = ticket.charge_node
+        if node is not None:
+            shard = self.shards.get(node)
+            if (
+                shard is not None
+                and not shard.dead
+                and ticket.charge_epoch == shard.sync_epoch
+            ):
+                shard.completed_since_sync += 1
+            ticket.charge_node = None
+            ticket.charge_epoch = -1
+        if self.policy.wants_features:
+            self.policy.note_outcome(ticket, now, completed=True)
 
 
 class ShardedServer(MiccoServer):
@@ -255,7 +374,7 @@ class ShardedServer(MiccoServer):
             else:
                 times = TraceArrivals(list(arrivals)).arrival_times(len(vectors))
             streams = [TenantStream(spec=None, vectors=list(vectors), times=times)]
-        return self._serve_sharded(streams, faults=faults, reset=reset)
+        return self._serve_sharded(streams, faults=faults, reset=reset, seed=seed)
 
     # ----------------------------------------------------------- shard set-up
     def _shard_policy(self, streams: list[TenantStream]) -> QueuePolicy:
@@ -316,6 +435,7 @@ class ShardedServer(MiccoServer):
         *,
         faults: FaultPlan | None,
         reset: bool = True,
+        seed=0,
     ) -> ServeResult:
         """The sharded discrete-event loop (single shared timeline)."""
         if reset:
@@ -352,8 +472,21 @@ class ShardedServer(MiccoServer):
             else None
         )
         shards = self._build_shards(streams)
+        policy_kwargs = {}
+        if cfg.routing == "learned":
+            # The exploration stream derives from the run seed, so the
+            # learned policy replays byte-identically at a fixed seed.
+            entropy = (seed if isinstance(seed, int) else 0) & 0xFFFF_FFFF
+            policy_kwargs = dict(
+                explore_floor=cfg.explore_floor,
+                min_samples=cfg.min_samples,
+                refit_interval=cfg.refit_interval,
+                seed=np.random.SeedSequence([0x1EA4, entropy]),
+            )
         router = GlobalScheduler(
-            shards, make_routing_policy(cfg.routing), cfg.sync_interval_s
+            shards,
+            make_routing_policy(cfg.routing, **policy_kwargs),
+            cfg.sync_interval_s,
         )
         pending: dict[int, Ticket] = {}
         round_ids = itertools.count()
@@ -391,6 +524,11 @@ class ShardedServer(MiccoServer):
                 )
                 for n in sorted(shards)
             }
+            router.breakers = breakers
+        if integ is not None:
+            router.blame_of = lambda node: max(
+                (integ.ewma[d] for d in shards[node].devices), default=0.0
+            )
 
         # Per-shard reuse-bound anchors (each shard rescales its own
         # scheduler's bounds from its own starting pool).
@@ -447,6 +585,7 @@ class ShardedServer(MiccoServer):
                 t.round_size = len(members)
                 t.round = rnd
                 t.shard = shard.node
+                shard.inflight_tickets[id(t)] = t
             latency = cfg.schedule_latency_per_pair_s * rnd.num_pairs
             timeline.push(SchedulingDone(now + latency, members[0], round=rnd))
             rounds_log.append(
@@ -476,6 +615,10 @@ class ShardedServer(MiccoServer):
         def settle(ticket: Ticket, now: float) -> None:
             """A round member settled; free the shard slot on the last one."""
             pending.pop(id(ticket), None)
+            if ticket.shard is not None:
+                owner = shards.get(ticket.shard)
+                if owner is not None:
+                    owner.inflight_tickets.pop(id(ticket), None)
             rnd = ticket.round
             ticket.round = None
             if rnd is None:
@@ -490,6 +633,7 @@ class ShardedServer(MiccoServer):
 
         def abandon(ticket: Ticket, now: float) -> None:
             ticket.epoch += 1
+            router.discharge(ticket, now)
             if hedge_shielded(ticket):
                 # The vector's hedge partner is still racing: this copy
                 # cancels silently instead of recording an SLO drop.
@@ -527,7 +671,7 @@ class ShardedServer(MiccoServer):
             skipped: set[int] = set()
             bypass = False
             while True:
-                node = router.route(ticket.vector, exclude=tried | skipped)
+                node = router.route(ticket.vector, now, exclude=tried | skipped)
                 if node is None:
                     if skipped and not bypass:
                         bypass = True
@@ -564,7 +708,7 @@ class ShardedServer(MiccoServer):
                 if breaker is not None:
                     breaker.record_success(now)
                 shard.routed += 1
-                shard.routed_since_sync += 1
+                router.charge(ticket, node, now)
                 if ticket.forwards:
                     shard.forwarded_in += 1
                 if rerouted:
@@ -575,6 +719,11 @@ class ShardedServer(MiccoServer):
 
         def reroute(ticket: Ticket, now: float) -> None:
             """Re-home a ticket whose shard died (arrival clock intact)."""
+            if ticket.shard is not None:
+                old = shards.get(ticket.shard)
+                if old is not None:
+                    old.inflight_tickets.pop(id(ticket), None)
+            router.discharge(ticket, now)
             ticket.round = None
             ticket.round_id = None
             ticket.dispatch_s = None
@@ -616,6 +765,7 @@ class ShardedServer(MiccoServer):
                     # router-chosen surviving shard.
                     shard.dead = True
                     shard.inflight = 0
+                    shard.inflight_tickets.clear()
                     shard.pending_online.clear()
                     router.digests.pop(node, None)
                     for t in shard.drain_queue():
@@ -624,10 +774,14 @@ class ShardedServer(MiccoServer):
                         t for t in pending.values() if by_shard[node] & set(t.assignment)
                     ]
                     for ticket in sorted(affected, key=lambda t: t.vector.vector_id):
+                        # The charge cannot complete on the dead shard;
+                        # drop it (and any learned sample) before the
+                        # ticket re-homes.
+                        router.discharge(ticket, now)
                         if not cfg.recover_faults:
                             abandon(ticket, now)
                             continue
-                        target_node = router.route(ticket.vector)
+                        target_node = router.route(ticket.vector, now)
                         if target_node is None:
                             abandon(ticket, now)
                             continue
@@ -741,7 +895,7 @@ class ShardedServer(MiccoServer):
                         continue
                     if whole_node:
                         target_node = router.route(
-                            ticket.vector, exclude=down_shards()
+                            ticket.vector, now, exclude=down_shards()
                         )
                         if target_node is None:
                             abandon(ticket, now)
@@ -933,6 +1087,8 @@ class ShardedServer(MiccoServer):
                         for t in members:
                             if t.cancelled:
                                 t.round = None
+                                if shard is not None:
+                                    shard.inflight_tickets.pop(id(t), None)
                                 continue
                             reroute(t, now)
                         continue
@@ -984,6 +1140,7 @@ class ShardedServer(MiccoServer):
                             )
                             continue
                         if action == "flag":
+                            router.discharge(ticket, now)
                             report.add_drop(ticket, reason="integrity-unverified")
                             settle(ticket, now)
                             continue
@@ -992,6 +1149,7 @@ class ShardedServer(MiccoServer):
                         integ.note_reported(ticket.vector, ticket.assignment)
                     ticket.complete_s = now
                     rec = report.add_completion(ticket)
+                    router.note_completion(ticket, now)
                     if hedger is not None:
                         hedger.observe(ticket.tenant, rec.latency_s)
                     owner = shards.get(ticket.shard)
@@ -1012,6 +1170,7 @@ class ShardedServer(MiccoServer):
                         if not loser.cancelled:
                             loser.cancelled = True
                             loser.epoch += 1
+                            router.discharge(loser, now)
                             hstats["cancelled"] += 1
                             health_events.append(
                                 {
@@ -1080,6 +1239,10 @@ class ShardedServer(MiccoServer):
                             if t.cancelled:
                                 continue
                             shard.drained_out += 1
+                            # The drain moves the ticket off this shard:
+                            # reverse its between-sync charge before the
+                            # new placement charges its destination.
+                            router.discharge(t, now)
                             t.shard = None
                             place(t, now)
                             moved += 1
@@ -1236,6 +1399,14 @@ class ShardedServer(MiccoServer):
                     }
                 )
             health_events.sort(key=lambda e: (e["time_s"], e["node"], e["kind"], e["label"]))
+        routing_summary = None
+        routing_events: list[dict] = []
+        if router.policy.wants_features:
+            routing_summary = router.policy.summary()
+            routing_events = sorted(
+                router.policy.events,
+                key=lambda e: (e["time_s"], e["node"], e["kind"], e["label"]),
+            )
         return ServeResult(
             report=report,
             metrics=total,
@@ -1256,6 +1427,8 @@ class ShardedServer(MiccoServer):
                 else None
             ),
             events_processed=events_processed,
+            routing=routing_summary,
+            routing_events=routing_events,
         )
 
     # ------------------------------------------------------- per-shard pieces

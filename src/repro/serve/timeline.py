@@ -82,6 +82,20 @@ class Ticket:
     #: that could not be placed) — cancelled tickets settle their round
     #: slot but record neither a completion nor a drop.
     cancelled: bool = False
+    #: Shard currently charged for this ticket in the router's
+    #: between-sync ``routed_since_sync`` correction, and the charged
+    #: shard's digest epoch at charge time (sharded serving only).  The
+    #: pair lets the router discharge exactly the corrections it made:
+    #: on shed/abandon/cancel/reroute the charge is reversed, keeping
+    #: ``pending`` reconciled with the shard's true backlog (a charge
+    #: from a superseded epoch is simply dropped — its counter was
+    #: already reset at the sync).
+    charge_node: int | None = None
+    charge_epoch: int = -1
+    #: Pending learned-routing sample ``(node, t0, features, predicted,
+    #: decision kind)``; labeled with the observed latency at completion,
+    #: dropped when the ticket sheds, reroutes or loses a hedge race.
+    route_sample: tuple | None = None
 
 
 @dataclass

@@ -110,6 +110,28 @@ def run_mode(mode: str):
             scheduler=MiccoScheduler(ReuseBounds(0, 4, 0)),
             vectors=stream(), arrivals=PoissonArrivals(4_000.0), seed=SEED,
         )
+    if mode == "learned":
+        # Learned routing adds an RNG stream (the exploration draws) and
+        # online regression on completion latencies; both must replay
+        # byte-identically through the reference core.  Low knobs so the
+        # predictor warms up inside a 24-vector run.
+        from repro.serve import HealthConfig
+
+        topo = Topology(num_devices=8, devices_per_node=4)
+        cluster = MiccoConfig(
+            num_devices=8, memory_bytes=64 * MIB,
+            cost_model=CostModel(topology=topo),
+        )
+        cfg = ServeConfig(
+            sharded=True, routing="learned", sync_interval_s=0.01,
+            explore_floor=0.1, min_samples=6, refit_interval=4,
+            health=HealthConfig(),
+        )
+        return serve(
+            cfg, cluster=cluster,
+            scheduler=MiccoScheduler(ReuseBounds(0, 4, 0)),
+            vectors=stream(), arrivals=PoissonArrivals(4_000.0), seed=SEED,
+        )
     raise AssertionError(mode)
 
 
@@ -122,7 +144,7 @@ def artifacts(result, tmp_path, tag):
     return report_path.read_bytes(), trace_path.read_bytes()
 
 
-MODES = ("single", "tenants", "batched", "sharded", "integrity")
+MODES = ("single", "tenants", "batched", "sharded", "learned", "integrity")
 
 
 @pytest.mark.parametrize("mode", MODES)

@@ -390,7 +390,7 @@ class TestEndToEnd:
         path = tmp_path / "v7.json"
         cfg.to_json(path)
         on_disk = json.loads(path.read_text())
-        assert on_disk["version"] == 7
+        assert on_disk["version"] == 8
         assert on_disk["integrity"]["mode"] == "spot"
         assert ServeConfig.from_json(path) == cfg
 

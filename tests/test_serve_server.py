@@ -226,7 +226,7 @@ class TestServeConfigVersioning:
         path = tmp_path / "cfg.json"
         cfg.to_json(path)
         on_disk = json.loads(path.read_text())
-        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 7
+        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 8
         assert ServeConfig.from_json(path) == cfg
 
     def test_version_1_file_loads_with_later_defaults(self, tmp_path):
@@ -283,7 +283,7 @@ class TestServeConfigVersioning:
         import json
 
         path = tmp_path / "future.json"
-        path.write_text(json.dumps({"version": 8}))
+        path.write_text(json.dumps({"version": 9}))
         with pytest.raises(ConfigurationError, match="version"):
             ServeConfig.from_json(path)
 
@@ -296,7 +296,7 @@ class TestServeConfigVersioning:
         path = tmp_path / "v6.json"
         cfg.to_json(path)
         on_disk = json.loads(path.read_text())
-        assert on_disk["version"] == 7
+        assert on_disk["version"] == 8
         assert on_disk["trace"] == {"mode": "sampling", "sample_stride": 8}
         assert ServeConfig.from_json(path) == cfg
 

@@ -303,7 +303,7 @@ class TestServeConfigV5:
         path = tmp_path / "cfg.json"
         cfg.to_json(path)
         on_disk = json.loads(path.read_text())
-        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 7
+        assert on_disk["version"] == ServeConfig.CONFIG_VERSION == 8
         assert ServeConfig.from_json(path) == cfg
 
     def test_v3_file_loads_with_later_defaults(self, tmp_path):

@@ -23,6 +23,12 @@ no RNG state), so it gates hard on every run; the wall events/sec
 ratio vs integrity-off is printed for context only.  A fresh payload
 without an ``integrity`` section passes trivially.
 
+The ``routing`` section gets the same treatment: on the clean
+fresh-sync cell of the routing sweep, the learned policy's *simulated*
+throughput must stay within 15 % of least-loaded's (the per-decision
+model work may reshape placements, never tank them).  The wall-clock
+ratio is printed for context only.
+
 Usage::
 
     python tools/perf_gate.py                 # fresh ./BENCH_serve.json vs HEAD
@@ -146,6 +152,47 @@ def check_integrity(fresh: dict) -> list[str]:
     return failures
 
 
+#: Hard floor on learned-routing dispatch efficiency: on a healthy
+#: cluster the learned policy's simulated throughput must stay within
+#: 15 % of least-loaded's (the model work may reshape placements, not
+#: tank them).
+LEARNED_ROUTING_SIM_RATIO_BOUND = 0.85
+
+
+def check_routing(fresh: dict) -> list[str]:
+    """Absolute bound on the fresh ``routing`` section.
+
+    Like the integrity bound, no baseline is consulted: the simulated
+    learned/least-loaded throughput ratio is a pure function of the
+    seed, so it holds or the routing bench itself regressed.  The
+    wall-clock ratio moves with runner hardware and is printed for
+    context only.
+    """
+    section = fresh.get("routing")
+    if section is None:
+        print("perf gate: fresh payload has no routing section; skipping")
+        return []
+
+    failures = []
+    overhead = section["overhead"]
+    ratio = overhead["sim_ratio"]
+    ok = ratio >= LEARNED_ROUTING_SIM_RATIO_BOUND
+    arrow = "ok  " if ok else "FAIL"
+    print(f"perf gate: {arrow} learned routing throughput (simulated): "
+          f"{ratio:.2f}x least-loaded "
+          f"(bound {LEARNED_ROUTING_SIM_RATIO_BOUND:.2f}x)")
+    if not ok:
+        failures.append(
+            f"learned routing simulated throughput {ratio:.2f}x least-loaded "
+            f"(< {LEARNED_ROUTING_SIM_RATIO_BOUND:.2f}x)"
+        )
+    wall = overhead.get("wall_ratio")
+    if wall is not None:
+        print(f"perf gate: info learned vs least-loaded tickets/sec (wall): "
+              f"{wall:.2f}x")
+    return failures
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -177,6 +224,7 @@ def main(argv=None) -> int:
     else:
         failures += check(fresh, baseline, args.tolerance)
     failures += check_integrity(fresh)
+    failures += check_routing(fresh)
     if failures:
         print("perf gate: FAILED")
         for line in failures:
